@@ -1,0 +1,339 @@
+// Command sdvmbench regenerates the paper's evaluation (§5) and the
+// ablation experiments listed in DESIGN.md, printing the same rows the
+// paper reports next to the published numbers.
+//
+// Usage:
+//
+//	sdvmbench -exp table1            # Table 1 (reduced p set)
+//	sdvmbench -exp table1 -full      # Table 1, all published rows
+//	sdvmbench -exp overhead          # O-1: SDVM vs sequential (~3 %)
+//	sdvmbench -exp churn             # §3.4 dynamic entry & exit
+//	sdvmbench -exp crash             # §2.2/§6 crash recovery
+//	sdvmbench -exp hetero            # §3.4 on-the-fly compilation
+//	sdvmbench -exp sched             # A-1 scheduling policies
+//	sdvmbench -exp window            # A-2 latency-hiding window
+//	sdvmbench -exp security          # A-3 encryption cost
+//	sdvmbench -exp idalloc           # A-4 id-allocation strategies
+//	sdvmbench -exp central           # A-5 central vs decentralized
+//	sdvmbench -exp all               # everything
+//
+// The -scale flag maps one Work unit to wall-clock microseconds; the
+// default 1000 (1 ms) runs the evaluation at roughly 1/30 of the paper's
+// 2005 testbed speed with the default -cost 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|all")
+		full  = flag.Bool("full", false, "table1: run every published row (p up to 1000); slow")
+		scale = flag.Int("scale", 1000, "wall-clock microseconds per Work unit")
+		cost  = flag.Float64("cost", 2.0, "Work units per prime-candidate test")
+	)
+	flag.Parse()
+
+	unit := time.Duration(*scale) * time.Microsecond
+	spec := bench.Spec{WorkUnit: unit}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("==> %s\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdvmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	all := *exp == "all"
+	any := false
+	if all || *exp == "table1" {
+		any = true
+		run("Table 1 — speedup of the parallel prime computation", func() error {
+			return expTable1(spec, *cost, *full)
+		})
+	}
+	if all || *exp == "overhead" {
+		any = true
+		run("O-1 — SDVM overhead vs stand-alone sequential ([5]: ≈3 %)", func() error {
+			return expOverhead(spec, *cost)
+		})
+	}
+	if all || *exp == "churn" {
+		any = true
+		run("§3.4 — dynamic entry and exit at runtime", func() error {
+			return expChurn(spec, *cost)
+		})
+	}
+	if all || *exp == "crash" {
+		any = true
+		run("§2.2/§6 — crash detection and recovery", func() error {
+			return expCrash(spec, *cost)
+		})
+	}
+	if all || *exp == "hetero" {
+		any = true
+		run("§3.4 — heterogeneous cluster, on-the-fly compilation", func() error {
+			return expHetero(spec, *cost)
+		})
+	}
+	if all || *exp == "sched" {
+		any = true
+		run("A-1 — scheduling policies (paper: FIFO local, LIFO help)", func() error {
+			return expSched(spec, *cost)
+		})
+	}
+	if all || *exp == "window" {
+		any = true
+		run("A-2 — latency-hiding window (paper: ≈5)", func() error {
+			return expWindow(spec)
+		})
+	}
+	if all || *exp == "security" {
+		any = true
+		run("A-3 — security manager on/off", func() error {
+			return expSecurity(spec, *cost)
+		})
+	}
+	if all || *exp == "idalloc" {
+		any = true
+		run("A-4 — logical-id allocation strategies", expIDAlloc)
+	}
+	if all || *exp == "replication" {
+		any = true
+		run("A-6 — COMA read replication on/off (matmul)", func() error {
+			return expReplication(spec)
+		})
+	}
+	if all || *exp == "scale" {
+		any = true
+		run("goal 5 — scalability curve", func() error {
+			return expScale(spec, *cost)
+		})
+	}
+	if all || *exp == "speeds" {
+		any = true
+		run("§3.5 — load balancing across heterogeneous speeds", func() error {
+			return expSpeeds(spec, *cost)
+		})
+	}
+	if all || *exp == "pinning" {
+		any = true
+		run("A-7 — critical-path scheduling hints on/off (§3.3)", func() error {
+			return expPinning(spec, *cost)
+		})
+	}
+	if all || *exp == "central" {
+		any = true
+		run("A-5 — decentralized vs central scheduling", func() error {
+			return expCentral(spec, *cost)
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "sdvmbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func expTable1(spec bench.Spec, cost float64, full bool) error {
+	rows := bench.PaperTable1
+	if !full {
+		rows = []bench.Table1Row{rows[0], rows[1], rows[4], rows[5]} // p∈{100,200}
+	}
+	got, err := bench.Table1(spec, cost, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    %5s %6s | %10s %10s %10s | %8s %8s | %8s %8s\n",
+		"p", "width", "1 site", "4 sites", "8 sites", "S4", "S8", "paper-S4", "paper-S8")
+	for _, r := range got {
+		fmt.Printf("    %5d %6d | %10v %10v %10v | %8.2f %8.2f | %8.1f %8.1f\n",
+			r.P, r.Width,
+			r.T1.Round(time.Millisecond), r.T4.Round(time.Millisecond), r.T8.Round(time.Millisecond),
+			r.Speedup4, r.Speedup8, r.PaperSpeedup4, r.PaperSpeedup8)
+	}
+	return nil
+}
+
+func expOverhead(spec bench.Spec, cost float64) error {
+	res, err := bench.Overhead(spec, 100, 10, cost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    sequential: %v   1-site SDVM: %v   overhead: %.1f%%   (paper: ≈3%%)\n",
+		res.Seq.Round(time.Millisecond), res.SDVM.Round(time.Millisecond), 100*res.Overhead)
+	return nil
+}
+
+func expChurn(spec bench.Spec, cost float64) error {
+	s := spec
+	s.Sites = 4
+	res, err := bench.Churn(s, 200, 10, cost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    static 4-site run: %v   churn run (3 sites +1 join, -1 sign-off): %v   late joiner worked: %v\n",
+		res.Static.Round(time.Millisecond), res.Churn.Round(time.Millisecond), res.Joined)
+	return nil
+}
+
+func expCrash(spec bench.Spec, cost float64) error {
+	s := spec
+	s.Sites = 4
+	res, err := bench.Crash(s, 200, 10, cost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    crash-free: %v   with one site crashing: %v   checkpoints: %d   recoveries: %d\n",
+		res.CrashFree.Round(time.Millisecond), res.WithCrash.Round(time.Millisecond),
+		res.Checkpoints, res.Recoveries)
+	fmt.Printf("    (the result was verified correct in both runs)\n")
+	return nil
+}
+
+func expHetero(spec bench.Spec, cost float64) error {
+	s := spec
+	s.Sites = 4
+	res, err := bench.Hetero(s, 200, 10, cost, 2*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    homogeneous: %v   all-distinct platforms: %v   on-the-fly compiles: %d\n",
+		res.Homogeneous.Round(time.Millisecond), res.Hetero.Round(time.Millisecond), res.Compiles)
+	return nil
+}
+
+func expSched(spec bench.Spec, cost float64) error {
+	s := spec
+	s.Sites = 8
+	out, err := bench.SchedPolicies(s, 200, 20, cost)
+	if err != nil {
+		return err
+	}
+	for _, r := range out {
+		marker := ""
+		if r.Local.String() == "fifo" && r.Help.String() == "lifo" {
+			marker = "   <- paper's choice"
+		}
+		fmt.Printf("    local=%-5v help=%-5v : %v%s\n", r.Local, r.Help, r.Elapsed.Round(time.Millisecond), marker)
+	}
+	return nil
+}
+
+func expWindow(spec bench.Spec) error {
+	s := spec
+	s.Sites = 4
+	out, err := bench.WindowSweep(s, []int{1, 2, 3, 5, 8, 16}, 32, 4, 1)
+	if err != nil {
+		return err
+	}
+	for _, r := range out {
+		marker := ""
+		if r.Window == 5 {
+			marker = "   <- paper's choice"
+		}
+		fmt.Printf("    W=%-2d : %v%s\n", r.Window, r.Elapsed.Round(time.Millisecond), marker)
+	}
+	return nil
+}
+
+func expSecurity(spec bench.Spec, cost float64) error {
+	s := spec
+	s.Sites = 4
+	res, err := bench.Security(s, 200, 10, cost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    plaintext: %v   AES-GCM: %v   (+%.1f%%)\n",
+		res.Plain.Round(time.Millisecond), res.Encrypted.Round(time.Millisecond),
+		100*(float64(res.Encrypted)-float64(res.Plain))/float64(res.Plain))
+	return nil
+}
+
+func expIDAlloc() error {
+	out, err := bench.IDAlloc(32)
+	if err != nil {
+		return err
+	}
+	for _, r := range out {
+		fmt.Printf("    %-10s : %d sites signed on in %v\n", r.Strategy, r.Sites, r.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func expReplication(spec bench.Spec) error {
+	s := spec
+	s.Sites = 4
+	res, err := bench.ReadReplication(s, 32, 4, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    replication on: %v (%d replica hits)   off: %v\n",
+		res.With.Round(time.Millisecond), res.Hits, res.Without.Round(time.Millisecond))
+	return nil
+}
+
+func expScale(spec bench.Spec, cost float64) error {
+	out, err := bench.ScaleCurve(spec, []int{1, 2, 4, 8, 16}, 200, 20, cost)
+	if err != nil {
+		return err
+	}
+	for _, pt := range out {
+		fmt.Printf("    %2d sites: %10v   speedup %.2f\n",
+			pt.Sites, pt.Elapsed.Round(time.Millisecond), pt.Speedup)
+	}
+	return nil
+}
+
+func expSpeeds(spec bench.Spec, cost float64) error {
+	speeds := []float64{2.0, 1.0, 1.0, 0.5}
+	res, err := bench.HeterogeneousSpeeds(spec, speeds, 200, 20, cost)
+	if err != nil {
+		return err
+	}
+	var total uint64
+	for _, sh := range res.Shares {
+		total += sh.Executed
+	}
+	fmt.Printf("    elapsed: %v\n", res.Elapsed.Round(time.Millisecond))
+	for _, sh := range res.Shares {
+		fmt.Printf("    %v speed=%.1f: executed %d (%.0f%%)\n",
+			sh.Site, sh.Speed, sh.Executed, 100*float64(sh.Executed)/float64(total))
+	}
+	fmt.Printf("    (speed shares sum: 2.0+1.0+1.0+0.5 — a perfect balancer gives 44/22/22/11%%)\n")
+	return nil
+}
+
+func expPinning(spec bench.Spec, cost float64) error {
+	s := spec
+	s.Sites = 8
+	res, err := bench.CriticalPinning(s, 200, 20, cost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    hints on: %v   off: %v\n",
+		res.With.Round(time.Millisecond), res.Without.Round(time.Millisecond))
+	return nil
+}
+
+func expCentral(spec bench.Spec, cost float64) error {
+	for _, sites := range []int{8, 16} {
+		s := spec
+		s.Sites = sites
+		res, err := bench.CentralVsDecentral(s, 200, 20, cost)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    %2d sites: decentralized (SDVM): %v   central master/worker: %v\n",
+			sites, res.Decentral.Round(time.Millisecond), res.Central.Round(time.Millisecond))
+	}
+	return nil
+}

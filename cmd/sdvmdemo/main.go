@@ -1,0 +1,135 @@
+// Command sdvmdemo hosts an N-site SDVM cluster inside one process and
+// runs a workload on it — the quickest way to watch the machine operate
+// without any network setup.
+//
+//	sdvmdemo -sites 8 -app primes -p 200 -width 20
+//
+// After the run it prints a per-site accounting of where microthreads
+// executed, how often sites helped each other, and what the attraction
+// memory moved — the observable counterpart of the paper's Figures 4/5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sdvm "repro"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		sites   = flag.Int("sites", 4, "number of in-process sites")
+		app     = flag.String("app", "primes", "workload: primes|fib|pi|matmul|pipeline")
+		p       = flag.Int("p", 200, "primes: how many primes")
+		width   = flag.Int("width", 10, "primes: candidates in parallel")
+		n       = flag.Int("n", 16, "fib argument / matmul dimension")
+		cost    = flag.Float64("cost", 4.0, "Work units per task")
+		doTrace = flag.Bool("trace", false, "record and print a microframe's career (paper Figure 5)")
+	)
+	flag.Parse()
+
+	opts := sdvm.Options{}
+	if *doTrace {
+		opts.TraceCapacity = 65536
+	}
+	cluster, err := sdvm.NewLocalCluster(*sites, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdvmdemo: %v\n", err)
+		os.Exit(1)
+	}
+	defer cluster.Close()
+	fmt.Printf("sdvmdemo: %d sites up\n", *sites)
+
+	var (
+		application sdvm.App
+		args        [][]byte
+	)
+	switch *app {
+	case "primes":
+		application = workloads.PrimesApp()
+		args = workloads.PrimesArgs(*p, *width, *cost)
+	case "fib":
+		application = workloads.FibApp()
+		args = workloads.FibArgs(*n, *cost)
+	case "pi":
+		application = workloads.PiApp()
+		args = workloads.PiArgs(32, 20000, *cost, 42)
+	case "matmul":
+		application = workloads.MatMulApp()
+		args = workloads.MatMulArgs(*n, 4, *cost)
+	case "pipeline":
+		application = workloads.PipeApp()
+		args = workloads.PipeArgs(16, 8, *cost)
+	default:
+		fmt.Fprintf(os.Stderr, "sdvmdemo: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	submitter := cluster.Sites[0]
+	start := time.Now()
+	prog, err := submitter.Submit(application, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdvmdemo: %v\n", err)
+		os.Exit(1)
+	}
+	out := submitter.Output(prog)
+	go func() {
+		for line := range out {
+			fmt.Println("  |", line)
+		}
+	}()
+	if _, ok := submitter.Wait(prog, 30*time.Minute); !ok {
+		fmt.Fprintln(os.Stderr, "sdvmdemo: program did not terminate")
+		os.Exit(1)
+	}
+	fmt.Printf("sdvmdemo: finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%-6s %9s %9s %9s %9s %9s %9s %9s\n",
+		"site", "executed", "helped", "begged", "granted", "applied", "fired", "migrated")
+	for i, s := range cluster.Sites {
+		d := s.Daemon
+		sc := d.Sched.Stats()
+		ms := d.Mem.Stats()
+		fmt.Printf("%-6d %9d %9d %9d %9d %9d %9d %9d\n",
+			i, d.Exec.Executed(), sc.HelpServed, sc.HelpAsked, sc.HelpGranted,
+			ms.ParamsApplied, ms.FramesFired, ms.Migrations)
+	}
+
+	if *doTrace {
+		printCareer(cluster)
+	}
+}
+
+// printCareer shows the cluster-wide career of the microframe with the
+// most recorded events — the paper's Figure 5, live.
+func printCareer(cluster *sdvm.LocalCluster) {
+	var tracers []*trace.Tracer
+	for _, s := range cluster.Sites {
+		tracers = append(tracers, s.Daemon.Trace)
+	}
+	counts := map[sdvm.FrameID]int{}
+	for _, tr := range tracers {
+		for _, e := range tr.Events() {
+			counts[e.Frame]++
+		}
+	}
+	var best sdvm.FrameID
+	bestN := 0
+	for f, n := range counts {
+		if n > bestN {
+			best, bestN = f, n
+		}
+	}
+	if bestN == 0 {
+		fmt.Println("\n(no trace events recorded)")
+		return
+	}
+	fmt.Printf("\ncareer of microframe %v (paper Figure 5):\n", best)
+	for _, e := range trace.MergeCareers(best, tracers...) {
+		fmt.Printf("  %s\n", e)
+	}
+}

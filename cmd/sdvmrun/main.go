@@ -1,0 +1,109 @@
+// Command sdvmrun submits one of the standard workloads to a running
+// SDVM cluster and waits for the result — the paper's frontend: "the
+// users can access the SDVM from any site which is part of the cluster,
+// and therefore run applications from anywhere" (§6).
+//
+// sdvmrun joins the cluster as a (temporary) site, submits, streams the
+// program's frontend output, prints the result, and signs off.
+//
+//	sdvmrun -join 192.168.1.10:7000 -app primes -p 1000 -width 10
+//	sdvmrun -join 192.168.1.10:7000 -app fib -n 20
+//	sdvmrun -join 192.168.1.10:7000 -app pi -chunks 64
+//	sdvmrun -join 192.168.1.10:7000 -app matmul -n 64 -grid 4
+//	sdvmrun -join 192.168.1.10:7000 -app pipeline -items 32 -stages 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sdvm "repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		join   = flag.String("join", "127.0.0.1:7000", "address of any current cluster member")
+		listen = flag.String("listen", "127.0.0.1:0", "this frontend site's own listen address")
+		secret = flag.String("secret", "", "cluster start password (must match the cluster)")
+		app    = flag.String("app", "primes", "workload: primes|fib|pi|matmul|pipeline")
+		cost   = flag.Float64("cost", 1.0, "Work units per task")
+
+		p      = flag.Int("p", 100, "primes: how many primes")
+		width  = flag.Int("width", 10, "primes: candidates in parallel")
+		n      = flag.Int("n", 16, "fib: argument / matmul: matrix dimension")
+		chunks = flag.Int("chunks", 32, "pi: independent chunks")
+		grid   = flag.Int("grid", 4, "matmul: block grid")
+		items  = flag.Int("items", 16, "pipeline: tokens")
+		stages = flag.Int("stages", 8, "pipeline: stages per token")
+	)
+	flag.Parse()
+
+	site, err := sdvm.Join(*join, sdvm.Options{Addr: *listen, Secret: *secret})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdvmrun: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := site.SignOff(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdvmrun: sign-off: %v\n", err)
+		}
+	}()
+	fmt.Printf("sdvmrun: joined as %v\n", site.ID())
+
+	var (
+		application sdvm.App
+		args        [][]byte
+		render      func([]byte) string
+	)
+	switch *app {
+	case "primes":
+		application = workloads.PrimesApp()
+		args = workloads.PrimesArgs(*p, *width, *cost)
+		render = func(raw []byte) string {
+			ps := workloads.ParsePrimesResult(raw)
+			return fmt.Sprintf("found %d primes; %d-th prime = %d", len(ps), len(ps), ps[len(ps)-1])
+		}
+	case "fib":
+		application = workloads.FibApp()
+		args = workloads.FibArgs(*n, *cost)
+		render = func(raw []byte) string { return fmt.Sprintf("fib(%d) = %d", *n, sdvm.ParseU64(raw)) }
+	case "pi":
+		application = workloads.PiApp()
+		args = workloads.PiArgs(*chunks, 20000, *cost, 42)
+		render = func(raw []byte) string { return fmt.Sprintf("pi ≈ %.6f", sdvm.ParseF64(raw)) }
+	case "matmul":
+		application = workloads.MatMulApp()
+		args = workloads.MatMulArgs(*n, *grid, *cost)
+		render = func(raw []byte) string { return fmt.Sprintf("checksum = %.4f", sdvm.ParseF64(raw)) }
+	case "pipeline":
+		application = workloads.PipeApp()
+		args = workloads.PipeArgs(*items, *stages, *cost)
+		render = func(raw []byte) string { return fmt.Sprintf("checksum = %d", sdvm.ParseU64(raw)) }
+	default:
+		fmt.Fprintf(os.Stderr, "sdvmrun: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	prog, err := site.Submit(application, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdvmrun: submit: %v\n", err)
+		os.Exit(1)
+	}
+	out := site.Output(prog)
+	go func() {
+		for line := range out {
+			fmt.Println("  |", line)
+		}
+	}()
+
+	raw, ok := site.Wait(prog, 0)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "sdvmrun: program did not terminate")
+		os.Exit(1)
+	}
+	fmt.Printf("sdvmrun: %s in %v\n", render(raw), time.Since(start).Round(time.Millisecond))
+}

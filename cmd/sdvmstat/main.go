@@ -1,0 +1,86 @@
+// Command sdvmstat is the SDVM's cluster monitor: it joins a running
+// cluster as an observer site, queries every member's site manager for
+// its status (paper §4: the site manager "provides the functionality to
+// query the status of the local site"), optionally pulls the accounting
+// books (paper §2.2/§6), prints the tables, and signs off.
+//
+//	sdvmstat -join 192.168.1.10:7000
+//	sdvmstat -join 192.168.1.10:7000 -watch 2s
+//	sdvmstat -join 192.168.1.10:7000 -usage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sdvm "repro"
+	"repro/internal/accounting"
+)
+
+func main() {
+	var (
+		join   = flag.String("join", "127.0.0.1:7000", "address of any current cluster member")
+		secret = flag.String("secret", "", "cluster start password (must match the cluster)")
+		watch  = flag.Duration("watch", 0, "refresh interval; 0 prints once and exits")
+		usage  = flag.Bool("usage", false, "also print per-program accounting")
+	)
+	flag.Parse()
+
+	site, err := sdvm.Join(*join, sdvm.Options{Secret: *secret})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdvmstat: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() { _ = site.SignOff() }()
+
+	printOnce := func() {
+		d := site.Daemon
+		fmt.Printf("%-10s %-24s %6s %6s %6s %9s %8s %8s %8s %10s\n",
+			"site", "address", "load", "queue", "progs", "executed", "running", "frames", "objects", "uptime")
+		ids := d.CM.SiteIDs()
+		for _, id := range ids {
+			if id == d.Self() {
+				continue // the observer itself is uninteresting
+			}
+			info, _ := d.CM.Lookup(id)
+			sr, err := d.Site.QueryStatus(id)
+			if err != nil {
+				fmt.Printf("%-10v %-24s (unreachable: %v)\n", id, info.PhysAddr, err)
+				continue
+			}
+			fmt.Printf("%-10v %-24s %6.2f %6d %6d %9d %8d %8d %8d %10v\n",
+				id, info.PhysAddr, sr.Load, sr.QueueLen, sr.Programs,
+				sr.Executed, sr.Running, sr.Frames, sr.Objects,
+				time.Duration(sr.UptimeNs).Round(time.Second))
+		}
+
+		if *usage {
+			fmt.Println()
+			progs := map[string]bool{}
+			for _, prog := range d.Acct.LocalPrograms() {
+				total, perSite := d.Acct.ClusterUsage(prog)
+				fmt.Printf("program %v (cluster total):\n  %s\n", prog, accounting.FormatUsage(total))
+				for _, u := range perSite {
+					fmt.Printf("    %s\n", accounting.FormatUsage(u))
+				}
+				progs[prog.String()] = true
+			}
+			if len(progs) == 0 {
+				fmt.Println("(no accounted programs visible from this observer)")
+			}
+		}
+	}
+
+	printOnce()
+	if *watch <= 0 {
+		return
+	}
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	for range ticker.C {
+		fmt.Println()
+		printOnce()
+	}
+}

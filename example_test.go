@@ -1,0 +1,100 @@
+package sdvm_test
+
+import (
+	"fmt"
+	"time"
+
+	sdvm "repro"
+)
+
+func init() {
+	// Microthreads register once per process (see the mthread package
+	// for why this stands in for the paper's on-the-fly compiled C).
+	sdvm.Register("example.sum", func(ctx sdvm.Context) error {
+		a := sdvm.ParseU64(ctx.Param(0))
+		b := sdvm.ParseU64(ctx.Param(1))
+		ctx.Exit(sdvm.U64(a + b))
+		return nil
+	})
+	sdvm.Register("example.fan", func(ctx sdvm.Context) error {
+		// Fan out three squares into a collector, the smallest possible
+		// dataflow graph with real parallelism.
+		collect := ctx.NewFrame(1, 3)
+		for i := uint64(1); i <= 3; i++ {
+			w := ctx.NewFrame(2, 1, sdvm.Target{Addr: collect, Slot: int32(i - 1)})
+			if err := ctx.Send(sdvm.Target{Addr: w, Slot: 0}, sdvm.U64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	sdvm.Register("example.square", func(ctx sdvm.Context) error {
+		v := sdvm.ParseU64(ctx.Param(0))
+		return ctx.Send(ctx.Target(0), sdvm.U64(v*v))
+	})
+	sdvm.Register("example.collect", func(ctx sdvm.Context) error {
+		var sum uint64
+		for i := 0; i < ctx.Arity(); i++ {
+			sum += sdvm.ParseU64(ctx.Param(i))
+		}
+		ctx.Exit(sdvm.U64(sum))
+		return nil
+	})
+}
+
+// ExampleNewLocalCluster runs the smallest possible SDVM program on an
+// in-process cluster: one microthread that adds its two parameters.
+func ExampleNewLocalCluster() {
+	cluster, err := sdvm.NewLocalCluster(2, sdvm.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cluster.Close()
+
+	app := sdvm.App{Name: "sum", Threads: []sdvm.AppThread{
+		{Index: 0, FuncName: "example.sum"},
+	}}
+	prog, err := cluster.Sites[0].Submit(app, sdvm.U64(40), sdvm.U64(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	result, ok := cluster.Sites[0].Wait(prog, time.Minute)
+	if !ok {
+		fmt.Println("timeout")
+		return
+	}
+	fmt.Println(sdvm.ParseU64(result))
+	// Output: 42
+}
+
+// ExampleSite_Submit shows a dataflow fan-out/fan-in: a root microthread
+// spawns workers whose results gather in a collector frame.
+func ExampleSite_Submit() {
+	cluster, err := sdvm.NewLocalCluster(3, sdvm.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cluster.Close()
+
+	app := sdvm.App{Name: "fan", Threads: []sdvm.AppThread{
+		{Index: 0, FuncName: "example.fan"},
+		{Index: 1, FuncName: "example.collect"},
+		{Index: 2, FuncName: "example.square"},
+	}}
+	prog, err := cluster.Sites[0].Submit(app)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	result, ok := cluster.Sites[0].Wait(prog, time.Minute)
+	if !ok {
+		fmt.Println("timeout")
+		return
+	}
+	// 1² + 2² + 3²
+	fmt.Println(sdvm.ParseU64(result))
+	// Output: 14
+}

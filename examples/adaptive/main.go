@@ -1,0 +1,79 @@
+// Adaptive: the paper's headline property — the cluster grows and
+// shrinks while an application runs (paper §3.4, "dynamic entry and exit
+// at run time").
+//
+// A prime search starts on two sites; two more join mid-run and are
+// drafted into the computation via help requests; then one of the
+// original sites signs off cleanly, relocating its microframes and
+// memory before leaving. The program finishes correctly throughout.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sdvm "repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cluster, err := sdvm.NewLocalCluster(2, sdvm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Println("cluster up: 2 sites")
+
+	// A deliberately long prime search: first 300 primes, 10 candidates
+	// in parallel, 4 work units per test.
+	prog, err := cluster.Sites[0].Submit(workloads.PrimesApp(), workloads.PrimesArgs(300, 10, 4)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+
+	// Two latecomers join through site-0 while the program runs — "new
+	// sites can be added at runtime, which will quickly get work".
+	time.Sleep(300 * time.Millisecond)
+	var late []*sdvm.Site
+	for i := 0; i < 2; i++ {
+		s, err := sdvm.Join("site-0", sdvm.Options{
+			Network:       cluster.Fabric,
+			Addr:          fmt.Sprintf("late-%d", i),
+			SimulatedWork: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Kill()
+		late = append(late, s)
+		fmt.Printf("t=%v: site %v joined mid-run\n", time.Since(start).Round(time.Millisecond), s.ID())
+	}
+
+	// A little later one of the founding sites leaves — controlled
+	// sign-off with full state relocation.
+	time.Sleep(300 * time.Millisecond)
+	leaving := cluster.Sites[1]
+	if err := leaving.SignOff(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v: site %v signed off (state relocated)\n",
+		time.Since(start).Round(time.Millisecond), leaving.ID())
+
+	raw, ok := cluster.Sites[0].Wait(prog, 5*time.Minute)
+	if !ok {
+		log.Fatal("program did not terminate")
+	}
+	primes := workloads.ParsePrimesResult(raw)
+	fmt.Printf("t=%v: done — %d primes found, 300th prime = %d (expected %d)\n",
+		time.Since(start).Round(time.Millisecond), len(primes), primes[len(primes)-1], workloads.NthPrime(300))
+
+	for i, s := range late {
+		fmt.Printf("late joiner %d executed %d microthreads\n", i, s.Status().Executed)
+	}
+}

@@ -1,0 +1,317 @@
+// Package cdag implements the Controlflow-Dataflow-Allocation-Graph, the
+// data structure the SDVM's toolchain uses for automatic parallelization
+// and scheduling hints (paper §3.3, reference [7] Klauer/Eschmann/Moore/
+// Waldschmidt, PDP 2002).
+//
+// A CDAG node is one microthread instantiation with an estimated
+// execution cost; edges are dataflow dependencies (a result of the source
+// becomes a parameter of the sink). From the graph the analyses the paper
+// names are derived:
+//
+//   - "the application's structures like microthread-blocks having many
+//     data dependencies can be extracted from the CDAG";
+//   - "microthreads in the critical path of the application can be
+//     identified, which are then executed with higher priority";
+//   - "it is possible to attach scheduling hints to microframes using
+//     information from the CDAG".
+//
+// Hints computes a priority per node from its *slack* (how much the node
+// can be delayed without lengthening the makespan): zero-slack nodes are
+// critical.
+package cdag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Node is one microthread instantiation in the graph.
+type Node struct {
+	ID     string
+	Thread uint32  // microthread index the node instantiates
+	Cost   float64 // estimated execution cost (Work units)
+
+	succ []*Node
+	pred []*Node
+}
+
+// Graph is a CDAG under construction or analysis.
+type Graph struct {
+	nodes map[string]*Node
+	order []*Node // insertion order, for deterministic output
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nodes: make(map[string]*Node)}
+}
+
+// AddNode inserts a node. Duplicate ids are an error.
+func (g *Graph) AddNode(id string, thread uint32, cost float64) (*Node, error) {
+	if _, dup := g.nodes[id]; dup {
+		return nil, fmt.Errorf("cdag: duplicate node %q", id)
+	}
+	if cost < 0 {
+		return nil, fmt.Errorf("cdag: node %q has negative cost", id)
+	}
+	n := &Node{ID: id, Thread: thread, Cost: cost}
+	g.nodes[id] = n
+	g.order = append(g.order, n)
+	return n, nil
+}
+
+// AddEdge records a dataflow dependency from -> to.
+func (g *Graph) AddEdge(from, to string) error {
+	a, ok := g.nodes[from]
+	if !ok {
+		return fmt.Errorf("cdag: unknown node %q", from)
+	}
+	b, ok := g.nodes[to]
+	if !ok {
+		return fmt.Errorf("cdag: unknown node %q", to)
+	}
+	if a == b {
+		return fmt.Errorf("cdag: self edge on %q", from)
+	}
+	a.succ = append(a.succ, b)
+	b.pred = append(b.pred, a)
+	return nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Node returns a node by id.
+func (g *Graph) Node(id string) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// TopoSort returns the nodes in a topological order, or an error naming
+// a node on a dependency cycle — a cyclic CDAG describes a program whose
+// microframes can never all fire.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	indeg := make(map[*Node]int, len(g.order))
+	for _, n := range g.order {
+		indeg[n] = len(n.pred)
+	}
+	var queue []*Node
+	for _, n := range g.order {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	out := make([]*Node, 0, len(g.order))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		for _, s := range n.succ {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(g.order) {
+		for _, n := range g.order {
+			if indeg[n] > 0 {
+				return nil, fmt.Errorf("cdag: dependency cycle through %q", n.ID)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Analysis holds the results of the scheduling analyses.
+type Analysis struct {
+	// Makespan is the critical path length (with unlimited sites).
+	Makespan float64
+	// CriticalPath lists the node ids of one longest path, in order.
+	CriticalPath []string
+	// EarliestStart / LatestStart per node id; slack = latest-earliest.
+	EarliestStart map[string]float64
+	LatestStart   map[string]float64
+	// TotalWork is the cost sum — the 1-site makespan.
+	TotalWork float64
+	// MaxWidth is the peak number of nodes whose execution windows
+	// overlap — an upper bound on exploitable parallelism.
+	MaxWidth int
+}
+
+// Slack returns a node's scheduling slack.
+func (a *Analysis) Slack(id string) float64 {
+	return a.LatestStart[id] - a.EarliestStart[id]
+}
+
+// IdealSpeedup returns TotalWork/Makespan — the speedup bound the graph
+// structure permits regardless of cluster size.
+func (a *Analysis) IdealSpeedup() float64 {
+	if a.Makespan == 0 {
+		return 1
+	}
+	return a.TotalWork / a.Makespan
+}
+
+// Analyze runs the full analysis.
+func (g *Graph) Analyze() (*Analysis, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		EarliestStart: make(map[string]float64, len(topo)),
+		LatestStart:   make(map[string]float64, len(topo)),
+	}
+
+	// Forward pass: earliest starts.
+	finish := make(map[*Node]float64, len(topo))
+	for _, n := range topo {
+		es := 0.0
+		for _, p := range n.pred {
+			if f := finish[p]; f > es {
+				es = f
+			}
+		}
+		a.EarliestStart[n.ID] = es
+		finish[n] = es + n.Cost
+		if finish[n] > a.Makespan {
+			a.Makespan = finish[n]
+		}
+		a.TotalWork += n.Cost
+	}
+
+	// Backward pass: latest starts without stretching the makespan.
+	for i := len(topo) - 1; i >= 0; i-- {
+		n := topo[i]
+		lf := a.Makespan
+		for _, s := range n.succ {
+			if ls := a.LatestStart[s.ID]; ls < lf {
+				lf = ls
+			}
+		}
+		a.LatestStart[n.ID] = lf - n.Cost
+	}
+
+	// Critical path: walk zero-slack nodes greedily from a source.
+	a.CriticalPath = g.criticalPath(a)
+
+	// Peak width by sweeping execution windows at earliest schedule.
+	a.MaxWidth = g.maxWidth(topo, a, finish)
+	return a, nil
+}
+
+func (g *Graph) criticalPath(a *Analysis) []string {
+	const eps = 1e-9
+	var cur *Node
+	for _, n := range g.order {
+		if len(n.pred) == 0 && math.Abs(a.Slack(n.ID)) < eps {
+			cur = n
+			break
+		}
+	}
+	var path []string
+	for cur != nil {
+		path = append(path, cur.ID)
+		var next *Node
+		for _, s := range cur.succ {
+			if math.Abs(a.Slack(s.ID)) < eps &&
+				math.Abs(a.EarliestStart[s.ID]-(a.EarliestStart[cur.ID]+cur.Cost)) < eps {
+				next = s
+				break
+			}
+		}
+		cur = next
+	}
+	return path
+}
+
+func (g *Graph) maxWidth(topo []*Node, a *Analysis, finish map[*Node]float64) int {
+	type event struct {
+		t     float64
+		delta int
+	}
+	var events []event
+	for _, n := range topo {
+		start := a.EarliestStart[n.ID]
+		end := finish[n]
+		if end <= start { // zero-cost node: count as instantaneous unit
+			end = start + 1e-12
+		}
+		events = append(events, event{start, +1}, event{end, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // ends before starts
+	})
+	cur, max := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Hint is the scheduling metadata the CDAG derives for one node; it maps
+// directly onto a microframe's Prio and Hint fields.
+type Hint struct {
+	Prio types.Priority
+	// Order is a hint about the local execution order: smaller runs
+	// earlier (the node's earliest start rank).
+	Order uint32
+}
+
+// Hints derives per-node scheduling hints: critical nodes get
+// PriorityCritical, others a priority decreasing with slack.
+func (g *Graph) Hints() (map[string]Hint, *Analysis, error) {
+	a, err := g.Analyze()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Rank nodes by earliest start for the order hint.
+	ids := make([]string, 0, len(g.order))
+	for _, n := range g.order {
+		ids = append(ids, n.ID)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		return a.EarliestStart[ids[i]] < a.EarliestStart[ids[j]]
+	})
+	rank := make(map[string]uint32, len(ids))
+	for i, id := range ids {
+		rank[id] = uint32(i)
+	}
+
+	maxSlack := 0.0
+	for _, n := range g.order {
+		if s := a.Slack(n.ID); s > maxSlack {
+			maxSlack = s
+		}
+	}
+
+	hints := make(map[string]Hint, len(g.order))
+	for _, n := range g.order {
+		s := a.Slack(n.ID)
+		var prio types.Priority
+		switch {
+		case s < 1e-9:
+			prio = types.PriorityCritical
+		case maxSlack > 0:
+			// Linear in remaining slack: almost-critical nodes approach
+			// PriorityHigh, maximal-slack nodes sit at PriorityLow.
+			frac := 1 - s/maxSlack
+			prio = types.PriorityLow +
+				types.Priority(frac*float64(types.PriorityHigh-types.PriorityLow))
+		default:
+			prio = types.PriorityNormal
+		}
+		hints[n.ID] = Hint{Prio: prio, Order: rank[n.ID]}
+	}
+	return hints, a, nil
+}

@@ -1,0 +1,277 @@
+package cdag
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// diamond builds the classic fork-join graph:
+//
+//	    a(1)
+//	   /    \
+//	b(5)    c(2)
+//	   \    /
+//	    d(1)
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	mustNode(t, g, "a", 0, 1)
+	mustNode(t, g, "b", 1, 5)
+	mustNode(t, g, "c", 1, 2)
+	mustNode(t, g, "d", 2, 1)
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "a", "c")
+	mustEdge(t, g, "b", "d")
+	mustEdge(t, g, "c", "d")
+	return g
+}
+
+func mustNode(t *testing.T, g *Graph, id string, thread uint32, cost float64) {
+	t.Helper()
+	if _, err := g.AddNode(id, thread, cost); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to string) {
+	t.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateNodeRejected(t *testing.T) {
+	g := New()
+	mustNode(t, g, "x", 0, 1)
+	if _, err := g.AddNode("x", 0, 1); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestNegativeCostRejected(t *testing.T) {
+	g := New()
+	if _, err := g.AddNode("x", 0, -1); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestEdgeValidation(t *testing.T) {
+	g := New()
+	mustNode(t, g, "x", 0, 1)
+	if err := g.AddEdge("x", "missing"); err == nil {
+		t.Fatal("edge to missing node accepted")
+	}
+	if err := g.AddEdge("missing", "x"); err == nil {
+		t.Fatal("edge from missing node accepted")
+	}
+	if err := g.AddEdge("x", "x"); err == nil {
+		t.Fatal("self edge accepted")
+	}
+}
+
+func TestTopoSortOrder(t *testing.T) {
+	g := diamond(t)
+	topo, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range topo {
+		pos[n.ID] = i
+	}
+	if !(pos["a"] < pos["b"] && pos["a"] < pos["c"] && pos["b"] < pos["d"] && pos["c"] < pos["d"]) {
+		t.Fatalf("not a topological order: %v", pos)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := New()
+	mustNode(t, g, "a", 0, 1)
+	mustNode(t, g, "b", 0, 1)
+	mustNode(t, g, "c", 0, 1)
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "c")
+	mustEdge(t, g, "c", "a")
+	if _, err := g.TopoSort(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+	if _, err := g.Analyze(); err == nil {
+		t.Fatal("Analyze on cyclic graph succeeded")
+	}
+}
+
+func TestDiamondAnalysis(t *testing.T) {
+	g := diamond(t)
+	a, err := g.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 7 { // a(1) + b(5) + d(1)
+		t.Errorf("Makespan = %v, want 7", a.Makespan)
+	}
+	if a.TotalWork != 9 {
+		t.Errorf("TotalWork = %v, want 9", a.TotalWork)
+	}
+	wantPath := []string{"a", "b", "d"}
+	if len(a.CriticalPath) != 3 {
+		t.Fatalf("CriticalPath = %v", a.CriticalPath)
+	}
+	for i, id := range wantPath {
+		if a.CriticalPath[i] != id {
+			t.Fatalf("CriticalPath = %v, want %v", a.CriticalPath, wantPath)
+		}
+	}
+	// c has slack 3 (can start at 1..4); a, b, d have none.
+	if s := a.Slack("c"); math.Abs(s-3) > 1e-9 {
+		t.Errorf("Slack(c) = %v, want 3", s)
+	}
+	for _, id := range wantPath {
+		if s := a.Slack(id); s > 1e-9 {
+			t.Errorf("Slack(%s) = %v, want 0", id, s)
+		}
+	}
+	// b and c overlap at the earliest schedule.
+	if a.MaxWidth != 2 {
+		t.Errorf("MaxWidth = %d, want 2", a.MaxWidth)
+	}
+	if got := a.IdealSpeedup(); math.Abs(got-9.0/7.0) > 1e-9 {
+		t.Errorf("IdealSpeedup = %v", got)
+	}
+}
+
+func TestChainAnalysis(t *testing.T) {
+	g := New()
+	ids := []string{"s0", "s1", "s2", "s3"}
+	for _, id := range ids {
+		mustNode(t, g, id, 0, 2)
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		mustEdge(t, g, ids[i], ids[i+1])
+	}
+	a, err := g.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 8 || a.MaxWidth != 1 {
+		t.Errorf("chain: makespan=%v width=%d", a.Makespan, a.MaxWidth)
+	}
+	if a.IdealSpeedup() != 1 {
+		t.Errorf("chain IdealSpeedup = %v, want 1", a.IdealSpeedup())
+	}
+}
+
+func TestIndependentNodesWidth(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		mustNode(t, g, id, 0, 3)
+	}
+	a, err := g.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxWidth != 5 {
+		t.Errorf("MaxWidth = %d, want 5", a.MaxWidth)
+	}
+	if a.Makespan != 3 {
+		t.Errorf("Makespan = %v, want 3", a.Makespan)
+	}
+}
+
+func TestHintsCriticalGetTopPriority(t *testing.T) {
+	g := diamond(t)
+	hints, a, err := g.Hints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.CriticalPath {
+		if hints[id].Prio != types.PriorityCritical {
+			t.Errorf("critical node %s priority = %v", id, hints[id].Prio)
+		}
+	}
+	if hints["c"].Prio >= types.PriorityCritical {
+		t.Errorf("slack node c priority = %v", hints["c"].Prio)
+	}
+	// Order hints follow earliest start: a before b/c before d.
+	if !(hints["a"].Order < hints["b"].Order && hints["b"].Order <= hints["d"].Order) {
+		t.Errorf("order hints wrong: %+v", hints)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New()
+	a, err := g.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 0 || a.TotalWork != 0 || a.MaxWidth != 0 {
+		t.Errorf("empty analysis = %+v", a)
+	}
+	if a.IdealSpeedup() != 1 {
+		t.Errorf("empty IdealSpeedup = %v", a.IdealSpeedup())
+	}
+}
+
+// TestAnalysisInvariants property-checks random layered DAGs: slack is
+// non-negative, makespan bounds every node's window, the critical path
+// has zero slack everywhere, and total work >= makespan.
+func TestAnalysisInvariants(t *testing.T) {
+	f := func(seed uint8, layerSizes [4]uint8) bool {
+		g := New()
+		var layers [][]string
+		idc := 0
+		rnd := uint32(seed) + 1
+		next := func() uint32 { rnd = rnd*1664525 + 1013904223; return rnd }
+		for _, ls := range layerSizes {
+			n := int(ls%4) + 1
+			var layer []string
+			for i := 0; i < n; i++ {
+				id := string(rune('a'+idc%26)) + string(rune('0'+idc/26))
+				idc++
+				cost := float64(next()%10) / 2
+				if _, err := g.AddNode(id, 0, cost); err != nil {
+					return false
+				}
+				layer = append(layer, id)
+			}
+			layers = append(layers, layer)
+		}
+		for li := 0; li+1 < len(layers); li++ {
+			for _, from := range layers[li] {
+				to := layers[li+1][int(next())%len(layers[li+1])]
+				if err := g.AddEdge(from, to); err != nil {
+					return false
+				}
+			}
+		}
+		a, err := g.Analyze()
+		if err != nil {
+			return false
+		}
+		if a.TotalWork < a.Makespan-1e-9 {
+			return false
+		}
+		for _, layer := range layers {
+			for _, id := range layer {
+				if a.Slack(id) < -1e-9 {
+					return false
+				}
+				if a.EarliestStart[id] > a.LatestStart[id]+1e-9 {
+					return false
+				}
+			}
+		}
+		for _, id := range a.CriticalPath {
+			if a.Slack(id) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package checkpoint implements the SDVM's crash management
+// (paper §2.2, §6 and reference [4]: Haase/Eschmann, "Crash management
+// for distributed parallel systems").
+//
+// Two cooperating mechanisms live here:
+//
+//   - Checkpointing: each site periodically snapshots the local state of
+//     every running program — waiting microframes in the attraction
+//     memory, queued frames in the scheduler, resident memory objects —
+//     and replicates it to a checkpoint site.
+//
+//   - Crash detection: a heartbeat pings peers; a site that misses
+//     several consecutive probes is declared crashed with a CrashNotice
+//     broadcast. Sites holding checkpoints of the dead site's state then
+//     restore it locally, re-entering the lost microframes into the
+//     dataflow.
+//
+// Recovery is at-least-once: frames executed after the last checkpoint
+// re-execute, and their (re-)sent results land on already-consumed
+// microframes, where the attraction memory drops them. Applications
+// therefore observe a correct final result, paid for with some duplicated
+// work — the paper's "a recovery costs time and resources nonetheless".
+package checkpoint
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/memory"
+	"repro/internal/msgbus"
+	"repro/internal/program"
+	"repro/internal/sched"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Config parameterizes crash management.
+type Config struct {
+	// Interval between checkpoints; 0 disables checkpointing.
+	Interval time.Duration
+	// HeartbeatEvery is the probe period; 0 disables crash detection.
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout bounds one probe.
+	HeartbeatTimeout time.Duration
+	// MissLimit is how many consecutive missed probes declare a crash.
+	MissLimit int
+}
+
+// stored is one replicated checkpoint: origin site's state for a program.
+type stored struct {
+	epoch   uint64
+	frames  []*wire.Microframe
+	objects []wire.MemObject
+}
+
+type storeKey struct {
+	prog   types.ProgramID
+	origin types.SiteID
+}
+
+// Manager is one site's crash manager.
+type Manager struct {
+	bus   *msgbus.Bus
+	cm    *cluster.Manager
+	mem   *memory.Manager
+	sched *sched.Manager
+	pm    *program.Manager
+	cfg   Config
+
+	mu     sync.Mutex
+	store  map[storeKey]*stored
+	epoch  uint64
+	misses map[types.SiteID]int
+
+	recovered uint64 // programs restored after crashes
+	taken     uint64 // checkpoints taken
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New returns a crash manager registered for MgrCheckpoint. It hooks the
+// cluster manager's OnLeave to trigger recovery for crashed sites.
+func New(bus *msgbus.Bus, cm *cluster.Manager, mem *memory.Manager, s *sched.Manager, pm *program.Manager, cfg Config) *Manager {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	if cfg.MissLimit <= 0 {
+		cfg.MissLimit = 3
+	}
+	m := &Manager{
+		bus:    bus,
+		cm:     cm,
+		mem:    mem,
+		sched:  s,
+		pm:     pm,
+		cfg:    cfg,
+		store:  make(map[storeKey]*stored),
+		misses: make(map[types.SiteID]int),
+		done:   make(chan struct{}),
+	}
+	bus.Register(types.MgrCheckpoint, m)
+	cm.OnLeave(func(id types.SiteID, crashed bool) {
+		if crashed {
+			go m.recover(id)
+		} else {
+			// A controlled sign-off relocated its state already; its
+			// checkpoints here are stale.
+			m.dropOrigin(id)
+		}
+	})
+	return m
+}
+
+// Start launches the checkpoint and heartbeat loops.
+func (m *Manager) Start() {
+	if m.cfg.Interval > 0 {
+		m.wg.Add(1)
+		go m.checkpointLoop()
+	}
+	if m.cfg.HeartbeatEvery > 0 {
+		m.wg.Add(1)
+		go m.heartbeatLoop()
+	}
+}
+
+// Close stops the loops.
+func (m *Manager) Close() {
+	m.once.Do(func() { close(m.done) })
+	m.wg.Wait()
+}
+
+// Taken returns the number of checkpoints this site has taken.
+func (m *Manager) Taken() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.taken
+}
+
+// Recovered returns the number of crash recoveries this site performed.
+func (m *Manager) Recovered() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered
+}
+
+// StoredFor reports whether this site holds a checkpoint of origin's
+// state for prog (test/diagnostic hook).
+func (m *Manager) StoredFor(prog types.ProgramID, origin types.SiteID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.store[storeKey{prog, origin}]
+	return ok
+}
+
+// CheckpointNow takes and replicates a checkpoint of every running
+// program immediately (also used by tests and before risky operations).
+func (m *Manager) CheckpointNow() {
+	for _, prog := range m.pm.Programs() {
+		m.checkpointProgram(prog)
+	}
+}
+
+func (m *Manager) checkpointLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.CheckpointNow()
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// checkpointProgram snapshots local state of prog and ships it to the
+// checkpoint site.
+func (m *Manager) checkpointProgram(prog types.ProgramID) {
+	frames, objects := m.mem.Snapshot(prog)
+	frames = append(frames, m.sched.SnapshotFrames(prog)...)
+	if len(frames) == 0 && len(objects) == 0 {
+		return
+	}
+	dst := m.checkpointSite()
+	if dst == types.InvalidSite {
+		return // single-site cluster: nowhere to replicate
+	}
+
+	m.mu.Lock()
+	m.epoch++
+	epoch := m.epoch
+	m.taken++
+	m.mu.Unlock()
+
+	_ = m.bus.Send(dst, types.MgrCheckpoint, types.MgrCheckpoint, &wire.CheckpointStore{
+		Program: prog,
+		Epoch:   epoch,
+		Origin:  m.bus.Self(),
+		Frames:  frames,
+		Objects: objects,
+	})
+}
+
+// checkpointSite picks where this site's checkpoints go. Reliable-core
+// sites (paper §2.2: "a core of reliable sites which each act as servers
+// for a number of unsafe sites") are preferred — the next reliable site
+// in id order after self; without a core, the next live site in id
+// order. Deterministic, spreads load, never self.
+func (m *Manager) checkpointSite() types.SiteID {
+	self := m.bus.Self()
+	if reliable := m.cm.ReliableSites(); len(reliable) > 0 {
+		for _, id := range reliable {
+			if id > self {
+				return id
+			}
+		}
+		if reliable[0] != self {
+			return reliable[0]
+		}
+		if len(reliable) > 1 {
+			return reliable[1]
+		}
+		// Self is the only reliable site; fall through to any peer.
+	}
+	sites := m.cm.SiteIDs()
+	if len(sites) < 2 {
+		return types.InvalidSite
+	}
+	for i, id := range sites {
+		if id == self {
+			return sites[(i+1)%len(sites)]
+		}
+	}
+	return sites[0]
+}
+
+func (m *Manager) heartbeatLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.probeAll()
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// probeAll pings every peer once, bumping miss counters on silence.
+func (m *Manager) probeAll() {
+	self := m.bus.Self()
+	for _, s := range m.cm.Sites() {
+		if s.ID == self {
+			continue
+		}
+		id := s.ID
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			_, err := m.bus.Request(id, types.MgrCluster, types.MgrCheckpoint,
+				&wire.Ping{Nonce: uint64(time.Now().UnixNano())}, m.cfg.HeartbeatTimeout)
+			m.mu.Lock()
+			if err != nil {
+				m.misses[id]++
+				missed := m.misses[id]
+				m.mu.Unlock()
+				if missed >= m.cfg.MissLimit {
+					m.declareCrash(id)
+				}
+				return
+			}
+			delete(m.misses, id)
+			m.mu.Unlock()
+		}()
+	}
+}
+
+// declareCrash broadcasts the death and removes the site locally (which
+// triggers recovery through the OnLeave hook).
+func (m *Manager) declareCrash(dead types.SiteID) {
+	m.mu.Lock()
+	delete(m.misses, dead)
+	m.mu.Unlock()
+	if _, known := m.cm.Lookup(dead); !known {
+		return // someone else already declared it
+	}
+	_ = m.bus.Send(types.Broadcast, types.MgrCluster, types.MgrCheckpoint,
+		&wire.CrashNotice{Dead: dead})
+	m.cm.Remove(dead, true)
+}
+
+// recover restores every checkpoint this site holds for the dead site.
+func (m *Manager) recover(dead types.SiteID) {
+	m.mu.Lock()
+	var restores []*stored
+	for key, cp := range m.store {
+		if key.origin == dead {
+			restores = append(restores, cp)
+			delete(m.store, key)
+		}
+	}
+	if len(restores) > 0 {
+		m.recovered += uint64(len(restores))
+	}
+	m.mu.Unlock()
+
+	for _, cp := range restores {
+		m.mem.Restore(cp.frames, cp.objects)
+	}
+}
+
+// dropOrigin discards checkpoints from a site that signed off cleanly.
+func (m *Manager) dropOrigin(origin types.SiteID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.store {
+		if key.origin == origin {
+			delete(m.store, key)
+		}
+	}
+}
+
+// DropProgram discards stored checkpoints of a terminated program.
+func (m *Manager) DropProgram(prog types.ProgramID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.store {
+		if key.prog == prog {
+			delete(m.store, key)
+		}
+	}
+}
+
+// HandleMessage implements msgbus.Handler.
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.CheckpointStore:
+		key := storeKey{p.Program, p.Origin}
+		m.mu.Lock()
+		if cur, ok := m.store[key]; !ok || p.Epoch > cur.epoch {
+			m.store[key] = &stored{epoch: p.Epoch, frames: p.Frames, objects: p.Objects}
+		}
+		m.mu.Unlock()
+		_ = m.bus.Reply(msg, types.MgrCheckpoint, &wire.CheckpointAck{Program: p.Program, Epoch: p.Epoch})
+	case *wire.RecoverRequest:
+		key := storeKey{p.Program, p.Dead}
+		m.mu.Lock()
+		cp, ok := m.store[key]
+		m.mu.Unlock()
+		reply := &wire.RecoverReply{}
+		if ok {
+			reply.Found = true
+			reply.Epoch = cp.epoch
+			reply.Frames = cp.frames
+			reply.Objects = cp.objects
+		}
+		_ = m.bus.Reply(msg, types.MgrCheckpoint, reply)
+	}
+}

@@ -1,0 +1,551 @@
+// Package cluster implements the SDVM's cluster manager (paper §4).
+//
+// The cluster manager "maintains a list containing information about
+// every site participating in the cluster": logical and physical
+// addresses, platform id, relative speed, and load statistics. It runs
+// the sign-on protocol (paper §3.4), allocates logical ids with one of
+// three strategies, propagates membership knowledge, and answers the
+// scheduling manager's question "which site should I send a help request
+// to?" based on the statistics it holds about other sites.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/msgbus"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// BootstrapID is the logical id the first site of a cluster assigns
+// itself.
+const BootstrapID types.SiteID = 1
+
+// Config parameterizes a cluster manager.
+type Config struct {
+	// PhysAddr is this site's network-manager listen address.
+	PhysAddr string
+	// Platform is the site's (simulated) platform id.
+	Platform types.PlatformID
+	// Speed is the site's relative processing speed (1.0 = reference).
+	Speed float64
+	// Strategy selects the logical-id allocation concept.
+	Strategy Strategy
+	// ContingentBlock is the block size for StrategyContingent.
+	ContingentBlock uint32
+	// Reliable marks this site as part of the reliable core
+	// (paper §2.2): checkpoints of unsafe sites are stored here.
+	Reliable bool
+	// Seed makes help-target tie-breaking deterministic in tests;
+	// 0 derives a seed from the physical address.
+	Seed int64
+}
+
+// Manager is one site's cluster manager.
+type Manager struct {
+	bus  *msgbus.Bus
+	cfg  Config
+	rand *rand.Rand
+
+	mu        sync.RWMutex
+	self      types.SiteInfo
+	sites     map[types.SiteID]types.SiteInfo // excludes self
+	departed  map[types.SiteID]bool           // signed-off or crashed
+	alloc     IDAllocator
+	bootstrap bool
+
+	// onJoin/onLeave observers; the site and checkpoint managers hook
+	// membership changes.
+	onChangeMu sync.Mutex
+	onJoin     []func(types.SiteInfo)
+	onLeave    []func(types.SiteID, bool) // crashed?
+}
+
+// New returns a cluster manager bound to bus. It registers itself as the
+// bus handler for MgrCluster.
+func New(bus *msgbus.Bus, cfg Config) *Manager {
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1.0
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(len(cfg.PhysAddr) + 1)
+		for _, c := range cfg.PhysAddr {
+			seed = seed*131 + int64(c)
+		}
+	}
+	m := &Manager{
+		bus:      bus,
+		cfg:      cfg,
+		rand:     rand.New(rand.NewSource(seed)),
+		sites:    make(map[types.SiteID]types.SiteInfo),
+		departed: make(map[types.SiteID]bool),
+	}
+	bus.Register(types.MgrCluster, m)
+	return m
+}
+
+// SetPhysAddr records the actually bound listen address (the configured
+// one may have been ":0"-style). Must be called before Bootstrap or Join.
+func (m *Manager) SetPhysAddr(addr string) {
+	m.mu.Lock()
+	m.cfg.PhysAddr = addr
+	m.self.PhysAddr = addr
+	m.mu.Unlock()
+}
+
+// Bootstrap starts a brand-new cluster: this site takes BootstrapID and
+// becomes the root of the id space (and, implicitly, a code distribution
+// site — the paper notes the application's start site always is one).
+func (m *Manager) Bootstrap() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bootstrap = true
+	m.self = types.SiteInfo{
+		ID:         BootstrapID,
+		PhysAddr:   m.cfg.PhysAddr,
+		Platform:   m.cfg.Platform,
+		Speed:      m.cfg.Speed,
+		IsCodeDist: true,
+		Reliable:   m.cfg.Reliable,
+	}
+	m.bus.SetSelf(BootstrapID)
+	m.installAllocatorLocked()
+}
+
+// Join signs on to an existing cluster through the site listening at
+// contactAddr (paper §3.4: the joining site knows exactly one address,
+// supplied "by a configuration file or direct input").
+func (m *Manager) Join(contactAddr string, timeout time.Duration) error {
+	req := &wire.SignOnRequest{
+		PhysAddr: m.cfg.PhysAddr,
+		Platform: m.cfg.Platform,
+		Speed:    m.cfg.Speed,
+		Reliable: m.cfg.Reliable,
+	}
+	reply, err := m.bus.RequestAddr(contactAddr, types.MgrCluster, types.MgrCluster, req, timeout)
+	if err != nil {
+		return fmt.Errorf("cluster: sign-on via %s: %w", contactAddr, err)
+	}
+	ack, ok := reply.Payload.(*wire.SignOnReply)
+	if !ok {
+		return fmt.Errorf("%w: sign-on reply %T", types.ErrBadMessage, reply.Payload)
+	}
+
+	m.mu.Lock()
+	m.self = types.SiteInfo{
+		ID:       ack.Assigned,
+		PhysAddr: m.cfg.PhysAddr,
+		Platform: m.cfg.Platform,
+		Speed:    m.cfg.Speed,
+		Reliable: m.cfg.Reliable,
+	}
+	m.bus.SetSelf(ack.Assigned)
+	for _, s := range ack.Cluster {
+		if s.ID != ack.Assigned && s.PhysAddr != m.cfg.PhysAddr {
+			m.sites[s.ID] = s
+		}
+	}
+	// Drop any phantom self entry a racing announcement created before
+	// the assigned id was known.
+	delete(m.sites, ack.Assigned)
+	m.installAllocatorLocked()
+	m.mu.Unlock()
+	return nil
+}
+
+// installAllocatorLocked wires the id-allocation strategy once the local
+// id is known. Caller holds m.mu.
+func (m *Manager) installAllocatorLocked() {
+	switch m.cfg.Strategy {
+	case StrategyCentral:
+		if m.bootstrap {
+			m.alloc = newCounterAllocator(BootstrapID + 1)
+		} else {
+			m.alloc = &remoteAllocator{bus: m.bus, server: BootstrapID}
+		}
+	case StrategyContingent:
+		if m.bootstrap {
+			m.alloc = newCounterAllocator(BootstrapID + 1)
+		} else {
+			m.alloc = newContingentAllocator(m.bus, BootstrapID, m.cfg.ContingentBlock)
+		}
+	case StrategyModulo:
+		m.alloc = newModuloAllocator(m.self.ID)
+	}
+}
+
+// Self returns this site's current cluster-list entry.
+func (m *Manager) Self() types.SiteInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.self
+}
+
+// SelfID returns this site's logical id.
+func (m *Manager) SelfID() types.SiteID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.self.ID
+}
+
+// UpdateSelf refreshes the local statistics that travel in load reports.
+func (m *Manager) UpdateSelf(load float64, queueLen, programs int32) {
+	m.mu.Lock()
+	m.self.Load = load
+	m.self.QueueLen = queueLen
+	m.self.Programs = programs
+	m.mu.Unlock()
+}
+
+// SetCodeDist marks this site as a code distribution site.
+func (m *Manager) SetCodeDist(v bool) {
+	m.mu.Lock()
+	m.self.IsCodeDist = v
+	m.mu.Unlock()
+}
+
+// PhysAddr implements msgbus.Resolver using the cluster list.
+func (m *Manager) PhysAddr(id types.SiteID) (string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if id == m.self.ID {
+		return m.self.PhysAddr, nil
+	}
+	if s, ok := m.sites[id]; ok {
+		return s.PhysAddr, nil
+	}
+	if m.departed[id] {
+		return "", &types.SiteError{Err: types.ErrSiteLeft, Site: id}
+	}
+	return "", &types.SiteError{Err: types.ErrSiteUnknown, Site: id}
+}
+
+// SiteIDs implements msgbus.Resolver: all known live sites, self included.
+func (m *Manager) SiteIDs() []types.SiteID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]types.SiteID, 0, len(m.sites)+1)
+	if m.self.ID.Valid() {
+		out = append(out, m.self.ID)
+	}
+	for id := range m.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sites returns a snapshot of all known peer entries (excluding self).
+func (m *Manager) Sites() []types.SiteInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]types.SiteInfo, 0, len(m.sites))
+	for _, s := range m.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the cluster-list entry for id.
+func (m *Manager) Lookup(id types.SiteID) (types.SiteInfo, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if id == m.self.ID {
+		return m.self, true
+	}
+	s, ok := m.sites[id]
+	return s, ok
+}
+
+// Size returns the number of live sites known, including self.
+func (m *Manager) Size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := len(m.sites)
+	if m.self.ID.Valid() {
+		n++
+	}
+	return n
+}
+
+// ReliableSites returns the known reliable-core sites (paper §2.2).
+func (m *Manager) ReliableSites() []types.SiteID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []types.SiteID
+	if m.self.Reliable && m.self.ID.Valid() {
+		out = append(out, m.self.ID)
+	}
+	for id, s := range m.sites {
+		if s.Reliable {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CodeDistSites returns the known code distribution sites.
+func (m *Manager) CodeDistSites() []types.SiteID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []types.SiteID
+	if m.self.IsCodeDist && m.self.ID.Valid() {
+		out = append(out, m.self.ID)
+	}
+	for id, s := range m.sites {
+		if s.IsCodeDist {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OnJoin registers a callback fired when a new site appears in the list.
+func (m *Manager) OnJoin(f func(types.SiteInfo)) {
+	m.onChangeMu.Lock()
+	m.onJoin = append(m.onJoin, f)
+	m.onChangeMu.Unlock()
+}
+
+// OnLeave registers a callback fired when a site departs; crashed tells
+// a controlled sign-off (false) from a detected crash (true).
+func (m *Manager) OnLeave(f func(id types.SiteID, crashed bool)) {
+	m.onChangeMu.Lock()
+	m.onLeave = append(m.onLeave, f)
+	m.onChangeMu.Unlock()
+}
+
+// merge adds or refreshes a peer entry, firing OnJoin for new sites.
+func (m *Manager) merge(s types.SiteInfo) {
+	if !s.ID.Valid() {
+		return
+	}
+	m.mu.Lock()
+	// The physical-address check covers the sign-on race: the cluster's
+	// announcement of *this* site can arrive before Join has recorded
+	// the assigned id, and must not create a phantom peer.
+	if s.ID == m.self.ID || s.PhysAddr == m.cfg.PhysAddr || m.departed[s.ID] {
+		m.mu.Unlock()
+		return
+	}
+	_, known := m.sites[s.ID]
+	m.sites[s.ID] = s
+	m.mu.Unlock()
+
+	if !known {
+		m.onChangeMu.Lock()
+		cbs := append([]func(types.SiteInfo){}, m.onJoin...)
+		m.onChangeMu.Unlock()
+		for _, f := range cbs {
+			f(s)
+		}
+	}
+}
+
+// Remove drops a site from the list (sign-off or crash).
+func (m *Manager) Remove(id types.SiteID, crashed bool) {
+	m.mu.Lock()
+	_, known := m.sites[id]
+	delete(m.sites, id)
+	m.departed[id] = true
+	m.mu.Unlock()
+	if !known {
+		return
+	}
+	m.onChangeMu.Lock()
+	cbs := append([]func(types.SiteID, bool){}, m.onLeave...)
+	m.onChangeMu.Unlock()
+	for _, f := range cbs {
+		f(id, crashed)
+	}
+}
+
+// PickHelpTarget chooses a site for a help request: "choose a site which
+// is probably not idle itself" (paper §4). Sites with queued work are
+// preferred, then higher load; ties break randomly so simultaneous idle
+// sites do not stampede one victim.
+func (m *Manager) PickHelpTarget(exclude map[types.SiteID]bool) types.SiteID {
+	m.mu.RLock()
+	type cand struct {
+		id    types.SiteID
+		queue int32
+		load  float64
+	}
+	cands := make([]cand, 0, len(m.sites))
+	for id, s := range m.sites {
+		if exclude[id] || id == m.self.ID {
+			continue
+		}
+		cands = append(cands, cand{id, s.QueueLen, s.Load})
+	}
+	m.mu.RUnlock()
+	if len(cands) == 0 {
+		return types.InvalidSite
+	}
+
+	best := make([]cand, 0, len(cands))
+	// Prefer sites known to have queued frames.
+	for _, c := range cands {
+		if c.queue > 0 {
+			best = append(best, c)
+		}
+	}
+	if len(best) == 0 {
+		// Fall back to busiest by load.
+		maxLoad := -1.0
+		for _, c := range cands {
+			if c.load > maxLoad {
+				maxLoad = c.load
+			}
+		}
+		for _, c := range cands {
+			if c.load >= maxLoad-1e-9 {
+				best = append(best, c)
+			}
+		}
+	}
+	m.mu.Lock()
+	pick := best[m.rand.Intn(len(best))]
+	m.mu.Unlock()
+	return pick.id
+}
+
+// BroadcastLoad sends this site's statistics to every peer.
+func (m *Manager) BroadcastLoad() {
+	self := m.Self()
+	if !self.ID.Valid() {
+		return
+	}
+	_ = m.bus.Send(types.Broadcast, types.MgrCluster, types.MgrCluster, &wire.LoadReport{
+		Site:     self.ID,
+		Load:     self.Load,
+		QueueLen: self.QueueLen,
+		Programs: self.Programs,
+	})
+}
+
+// AnnounceSignOff tells every peer this site is leaving (after the site
+// manager relocated all state).
+func (m *Manager) AnnounceSignOff() {
+	_ = m.bus.Send(types.Broadcast, types.MgrCluster, types.MgrCluster,
+		&wire.SignOffNotice{Leaving: m.SelfID()})
+}
+
+// HandleMessage implements msgbus.Handler.
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.SignOnRequest:
+		// Allocation may call out to the id server; never block the
+		// dispatcher.
+		go m.handleSignOn(msg, p)
+	case *wire.IDBlockRequest:
+		m.handleIDBlock(msg, p)
+	case *wire.SiteAnnounce:
+		for _, s := range p.Sites {
+			m.merge(s)
+		}
+	case *wire.SignOffNotice:
+		m.Remove(p.Leaving, false)
+	case *wire.CrashNotice:
+		m.Remove(p.Dead, true)
+	case *wire.LoadReport:
+		m.handleLoadReport(p)
+	case *wire.Ping:
+		_ = m.bus.Reply(msg, types.MgrCluster, &wire.Pong{Nonce: p.Nonce})
+	}
+}
+
+func (m *Manager) handleSignOn(msg *wire.Message, req *wire.SignOnRequest) {
+	m.mu.RLock()
+	alloc := m.alloc
+	m.mu.RUnlock()
+	if alloc == nil {
+		_ = m.bus.ReplyErr(msg, types.MgrCluster, wire.ErrCodeShutdown, "site not signed on itself")
+		return
+	}
+	id, err := alloc.Next()
+	if err != nil {
+		_ = m.bus.ReplyErr(msg, types.MgrCluster, wire.ErrCodeGeneric, err.Error())
+		return
+	}
+
+	newcomer := types.SiteInfo{
+		ID:       id,
+		PhysAddr: req.PhysAddr,
+		Platform: req.Platform,
+		Speed:    req.Speed,
+		Reliable: req.Reliable,
+	}
+	m.merge(newcomer)
+
+	// Snapshot includes us, the newcomer, and everyone we know.
+	m.mu.RLock()
+	snapshot := make([]types.SiteInfo, 0, len(m.sites)+1)
+	snapshot = append(snapshot, m.self)
+	for _, s := range m.sites {
+		snapshot = append(snapshot, s)
+	}
+	m.mu.RUnlock()
+
+	// The requester had no logical id when it sent the sign-on (its Src
+	// is InvalidSite), so a plain Reply could not be routed. Address the
+	// reply to the id just assigned — the cluster list already maps it
+	// to the requester's physical address — and correlate by sequence
+	// number as usual.
+	reply := &wire.Message{
+		Src:     m.SelfID(),
+		Dst:     id,
+		SrcMgr:  types.MgrCluster,
+		DstMgr:  msg.SrcMgr,
+		Seq:     m.bus.NextSeq(),
+		Reply:   msg.Seq,
+		Payload: &wire.SignOnReply{Assigned: id, Cluster: snapshot},
+	}
+	if err := m.bus.SendMsg(reply); err != nil {
+		return
+	}
+	// Propagate the newcomer to everyone else (paper: "A's id and status
+	// information is then propagated to the other sites of the cluster").
+	_ = m.bus.Send(types.Broadcast, types.MgrCluster, types.MgrCluster,
+		&wire.SiteAnnounce{Sites: []types.SiteInfo{newcomer}})
+}
+
+func (m *Manager) handleIDBlock(msg *wire.Message, req *wire.IDBlockRequest) {
+	m.mu.RLock()
+	alloc := m.alloc
+	bootstrap := m.bootstrap
+	m.mu.RUnlock()
+	if !bootstrap || alloc == nil {
+		_ = m.bus.ReplyErr(msg, types.MgrCluster, wire.ErrCodeGeneric, "not an id server")
+		return
+	}
+	want := req.Want
+	if want == 0 {
+		want = 1
+	}
+	first, err := alloc.Grant(want)
+	if err != nil {
+		_ = m.bus.ReplyErr(msg, types.MgrCluster, wire.ErrCodeGeneric, err.Error())
+		return
+	}
+	_ = m.bus.Reply(msg, types.MgrCluster, &wire.IDBlockReply{First: first, Count: want})
+}
+
+func (m *Manager) handleLoadReport(p *wire.LoadReport) {
+	m.mu.Lock()
+	if s, ok := m.sites[p.Site]; ok {
+		s.Load = p.Load
+		s.QueueLen = p.QueueLen
+		s.Programs = p.Programs
+		m.sites[p.Site] = s
+	}
+	m.mu.Unlock()
+}

@@ -1,0 +1,363 @@
+// Package code implements the SDVM's code manager (paper §3.4, §4).
+//
+// "When requested by the scheduling manager, the code manager provides
+// the corresponding microthread to a given microframe. If the microthread
+// is not found in its local memory, it requests it from another site's
+// code manager, resulting in a local copy of the microthread."
+//
+// The full distribution protocol is reproduced:
+//
+//   - artifacts are platform-specific: a site only executes binaries
+//     matching its PlatformID;
+//   - a request carries the requester's platform id; a peer that cannot
+//     supply a matching binary sends the portable source instead;
+//   - the requester then "compiles on the fly" (a configurable simulated
+//     cost — Go cannot JIT native code, see the mthread package) and
+//     uploads the result to a code distribution site "so that other sites
+//     will receive the binary code at first go";
+//   - designated code distribution sites store every artifact; the site
+//     where a program was started is implicitly one.
+package code
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/msgbus"
+	"repro/internal/mthread"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Artifact is one stored microthread representation: either a
+// platform-specific binary or portable source (Platform == PlatformAny).
+// Blob is an opaque token whose size models transfer cost; FuncName is
+// resolved against the local mthread.Registry at execution time.
+type Artifact struct {
+	Thread   types.ThreadID
+	Platform types.PlatformID
+	FuncName string
+	Blob     []byte
+}
+
+// Config parameterizes a code manager.
+type Config struct {
+	// Platform is this site's platform id; binaries of other platforms
+	// are rejected for execution.
+	Platform types.PlatformID
+	// CompileCost is the simulated wall-clock cost of compiling one
+	// microthread from source on the fly. The paper found this "fast
+	// enough not to slow the system too much, mainly since microthreads
+	// are short code fragments only and don't have to be linked".
+	CompileCost time.Duration
+	// Registry resolves function names; defaults to mthread.Global.
+	Registry *mthread.Registry
+}
+
+// Stats counts code-manager activity.
+type Stats struct {
+	LocalHits      uint64 // resolved from the local store
+	RemoteBinary   uint64 // binary fetched from a peer
+	RemoteSource   uint64 // only source available: compiled on the fly
+	Compiles       uint64
+	PublishedUp    uint64 // artifacts uploaded to distribution sites
+	RequestsServed uint64
+}
+
+// Manager is one site's code manager.
+type Manager struct {
+	bus *msgbus.Bus
+	cm  *cluster.Manager
+	cfg Config
+
+	// codeHome maps a program to the site that is guaranteed to hold
+	// its code (the program manager supplies this).
+	codeHome func(types.ProgramID) types.SiteID
+
+	mu sync.Mutex
+	// binaries by thread, then platform.
+	binaries map[types.ThreadID]map[types.PlatformID]*Artifact
+	// sources by thread (PlatformAny artifacts).
+	sources map[types.ThreadID]*Artifact
+	stats   Stats
+}
+
+// New returns a code manager registered for MgrCode on bus.
+func New(bus *msgbus.Bus, cm *cluster.Manager, cfg Config) *Manager {
+	if cfg.Registry == nil {
+		cfg.Registry = mthread.Global
+	}
+	m := &Manager{
+		bus:      bus,
+		cm:       cm,
+		cfg:      cfg,
+		codeHome: func(types.ProgramID) types.SiteID { return types.InvalidSite },
+		binaries: make(map[types.ThreadID]map[types.PlatformID]*Artifact),
+		sources:  make(map[types.ThreadID]*Artifact),
+	}
+	bus.Register(types.MgrCode, m)
+	return m
+}
+
+// SetCodeHomeFn wires the program manager's code-home lookup.
+func (m *Manager) SetCodeHomeFn(f func(types.ProgramID) types.SiteID) {
+	m.codeHome = f
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// InstallSource stores the portable source of a microthread locally —
+// what happens on the site where an application is submitted. It also
+// immediately "compiles" a binary for the local platform (cost-free at
+// submission: the paper's applications arrive precompiled for the start
+// site).
+func (m *Manager) InstallSource(thread types.ThreadID, funcName string, srcSize int) {
+	src := &Artifact{
+		Thread:   thread,
+		Platform: types.PlatformAny,
+		FuncName: funcName,
+		Blob:     makeBlob("src", funcName, types.PlatformAny, srcSize),
+	}
+	bin := &Artifact{
+		Thread:   thread,
+		Platform: m.cfg.Platform,
+		FuncName: funcName,
+		Blob:     makeBlob("bin", funcName, m.cfg.Platform, srcSize),
+	}
+	m.mu.Lock()
+	m.sources[thread] = src
+	m.storeBinaryLocked(bin)
+	m.mu.Unlock()
+}
+
+// storeBinaryLocked indexes a binary artifact. Caller holds m.mu.
+func (m *Manager) storeBinaryLocked(a *Artifact) {
+	byPlat, ok := m.binaries[a.Thread]
+	if !ok {
+		byPlat = make(map[types.PlatformID]*Artifact)
+		m.binaries[a.Thread] = byPlat
+	}
+	byPlat[a.Platform] = a
+}
+
+// makeBlob fabricates a deterministic artifact token of roughly size
+// bytes; only its length matters (transfer cost modeling).
+func makeBlob(kind, funcName string, plat types.PlatformID, size int) []byte {
+	if size <= 0 {
+		size = 64
+	}
+	blob := make([]byte, size)
+	seed := fmt.Sprintf("%s/%s/%d", kind, funcName, plat)
+	for i := range blob {
+		blob[i] = seed[i%len(seed)] ^ byte(i)
+	}
+	return blob
+}
+
+// Resolve returns the executable implementation of thread for this
+// site's platform, running the paper's lookup chain: local store →
+// remote binary → remote source + on-the-fly compile + publish. It may
+// block on network traffic and the compile cost; callers (the scheduling
+// manager's resolver goroutine) are prepared for that.
+func (m *Manager) Resolve(thread types.ThreadID) (mthread.Func, error) {
+	// 1. Local binary for our platform?
+	m.mu.Lock()
+	if a, ok := m.binaries[thread][m.cfg.Platform]; ok {
+		m.stats.LocalHits++
+		m.mu.Unlock()
+		return m.lookup(a.FuncName)
+	}
+	// 1b. Local source? Compile without a network round trip.
+	if src, ok := m.sources[thread]; ok {
+		m.mu.Unlock()
+		return m.compileAndPublish(src)
+	}
+	m.mu.Unlock()
+
+	// 2. Ask remote code managers: the program's code home first, then
+	// the known code distribution sites, then any other site.
+	for _, site := range m.requestOrder(thread.Program) {
+		reply, err := m.bus.Request(site, types.MgrCode, types.MgrCode,
+			&wire.CodeRequest{Thread: thread, Platform: m.cfg.Platform}, 0)
+		if err != nil {
+			continue
+		}
+		cr, ok := reply.Payload.(*wire.CodeReply)
+		if !ok || !cr.Found {
+			continue
+		}
+		art := &Artifact{
+			Thread:   thread,
+			Platform: cr.Platform,
+			FuncName: cr.FuncName,
+			Blob:     cr.Artifact,
+		}
+		if !cr.IsSource && cr.Platform == m.cfg.Platform {
+			m.mu.Lock()
+			m.storeBinaryLocked(art)
+			m.stats.RemoteBinary++
+			m.mu.Unlock()
+			return m.lookup(cr.FuncName)
+		}
+		if cr.IsSource {
+			art.Platform = types.PlatformAny
+			m.mu.Lock()
+			m.sources[thread] = art
+			m.stats.RemoteSource++
+			m.mu.Unlock()
+			return m.compileAndPublish(art)
+		}
+	}
+	return nil, &types.AddrError{Err: types.ErrNoBinary, Addr: types.GlobalAddr{Home: types.SiteID(thread.Index)}}
+}
+
+// requestOrder lists the sites to ask for code, best first.
+func (m *Manager) requestOrder(prog types.ProgramID) []types.SiteID {
+	self := m.bus.Self()
+	seen := map[types.SiteID]bool{self: true, types.InvalidSite: true}
+	var order []types.SiteID
+	add := func(id types.SiteID) {
+		if !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+		}
+	}
+	add(m.codeHome(prog))
+	add(prog.StartSite())
+	for _, id := range m.cm.CodeDistSites() {
+		add(id)
+	}
+	for _, s := range m.cm.Sites() {
+		add(s.ID)
+	}
+	return order
+}
+
+// compileAndPublish simulates the on-the-fly compilation of source and
+// uploads the fresh binary to a code distribution site.
+func (m *Manager) compileAndPublish(src *Artifact) (mthread.Func, error) {
+	fn, err := m.lookup(src.FuncName)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.CompileCost > 0 {
+		time.Sleep(m.cfg.CompileCost)
+	}
+	bin := &Artifact{
+		Thread:   src.Thread,
+		Platform: m.cfg.Platform,
+		FuncName: src.FuncName,
+		Blob:     makeBlob("bin", src.FuncName, m.cfg.Platform, len(src.Blob)),
+	}
+	m.mu.Lock()
+	m.storeBinaryLocked(bin)
+	m.stats.Compiles++
+	m.mu.Unlock()
+
+	// "After a compilation procedure, the local site will send a copy of
+	// the compiled code to the code distribution site."
+	for _, dist := range m.cm.CodeDistSites() {
+		if dist == m.bus.Self() {
+			continue
+		}
+		if err := m.bus.Send(dist, types.MgrCode, types.MgrCode, &wire.CodePublish{
+			Thread:   bin.Thread,
+			Platform: bin.Platform,
+			Artifact: bin.Blob,
+			FuncName: bin.FuncName,
+		}); err == nil {
+			m.mu.Lock()
+			m.stats.PublishedUp++
+			m.mu.Unlock()
+			break
+		}
+	}
+	return fn, nil
+}
+
+// lookup resolves a function name against the registry.
+func (m *Manager) lookup(name string) (mthread.Func, error) {
+	fn, ok := m.cfg.Registry.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q not in registry", types.ErrNoSuchThread, name)
+	}
+	return fn, nil
+}
+
+// Has reports whether a binary for this site's platform is stored
+// locally (no network traffic).
+func (m *Manager) Has(thread types.ThreadID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.binaries[thread][m.cfg.Platform]
+	return ok
+}
+
+// DropProgram discards all artifacts of a terminated program.
+func (m *Manager) DropProgram(prog types.ProgramID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for t := range m.binaries {
+		if t.Program == prog {
+			delete(m.binaries, t)
+		}
+	}
+	for t := range m.sources {
+		if t.Program == prog {
+			delete(m.sources, t)
+		}
+	}
+}
+
+// HandleMessage implements msgbus.Handler.
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.CodeRequest:
+		m.handleRequest(msg, p)
+	case *wire.CodePublish:
+		m.mu.Lock()
+		m.storeBinaryLocked(&Artifact{
+			Thread:   p.Thread,
+			Platform: p.Platform,
+			FuncName: p.FuncName,
+			Blob:     p.Artifact,
+		})
+		m.mu.Unlock()
+	}
+}
+
+// handleRequest serves a peer's code request: matching binary first,
+// source as fallback ("if the other site cannot supply the microthread
+// in the desired binary format, the C source code will be sent instead").
+func (m *Manager) handleRequest(msg *wire.Message, p *wire.CodeRequest) {
+	m.mu.Lock()
+	m.stats.RequestsServed++
+	var reply *wire.CodeReply
+	if a, ok := m.binaries[p.Thread][p.Platform]; ok {
+		reply = &wire.CodeReply{
+			Found:    true,
+			Platform: a.Platform,
+			Artifact: a.Blob,
+			FuncName: a.FuncName,
+		}
+	} else if src, ok := m.sources[p.Thread]; ok {
+		reply = &wire.CodeReply{
+			Found:    true,
+			IsSource: true,
+			Platform: types.PlatformAny,
+			Artifact: src.Blob,
+			FuncName: src.FuncName,
+		}
+	} else {
+		reply = &wire.CodeReply{Found: false}
+	}
+	m.mu.Unlock()
+	_ = m.bus.Reply(msg, types.MgrCode, reply)
+}

@@ -1,0 +1,192 @@
+package code
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mthread"
+	"repro/internal/testnet"
+	"repro/internal/types"
+)
+
+// codeCluster builds n sites each with a code manager; site i gets
+// platform platforms[i] (or 1 if platforms is nil).
+func codeCluster(t *testing.T, n int, platforms []types.PlatformID, compileCost time.Duration) ([]*testnet.Node, []*Manager, *mthread.Registry) {
+	t.Helper()
+	reg := mthread.NewRegistry()
+	mgrs := make([]*Manager, n)
+	nodes := testnet.NewCluster(t, n, func(i int, node *testnet.Node) {
+		plat := types.PlatformID(1)
+		if platforms != nil {
+			plat = platforms[i]
+		}
+		mgrs[i] = New(node.Bus, node.CM, Config{
+			Platform:    plat,
+			CompileCost: compileCost,
+			Registry:    reg,
+		})
+	})
+	return nodes, mgrs, reg
+}
+
+func testThread() types.ThreadID {
+	return types.ThreadID{Program: types.MakeProgramID(1, 1), Index: 0}
+}
+
+func TestResolveLocal(t *testing.T) {
+	_, mgrs, reg := codeCluster(t, 1, nil, 0)
+	var ran atomic.Bool
+	reg.Register("t.f", func(mthread.Context) error { ran.Store(true); return nil })
+	mgrs[0].InstallSource(testThread(), "t.f", 100)
+
+	fn, err := mgrs[0].Resolve(testThread())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(nil); err != nil || !ran.Load() {
+		t.Fatal("wrong function resolved")
+	}
+	if s := mgrs[0].Stats(); s.LocalHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !mgrs[0].Has(testThread()) {
+		t.Fatal("Has = false after install")
+	}
+}
+
+func TestResolveRemoteBinarySamePlatform(t *testing.T) {
+	_, mgrs, reg := codeCluster(t, 2, nil, 0)
+	reg.Register("t.f", func(mthread.Context) error { return nil })
+	mgrs[0].InstallSource(testThread(), "t.f", 100)
+
+	if mgrs[1].Has(testThread()) {
+		t.Fatal("site 1 has the binary before requesting")
+	}
+	if _, err := mgrs[1].Resolve(testThread()); err != nil {
+		t.Fatal(err)
+	}
+	if !mgrs[1].Has(testThread()) {
+		t.Fatal("binary not cached after remote fetch")
+	}
+	s := mgrs[1].Stats()
+	if s.RemoteBinary != 1 || s.Compiles != 0 {
+		t.Fatalf("stats = %+v (want a binary fetch, no compile)", s)
+	}
+	// Second resolve is a local hit.
+	if _, err := mgrs[1].Resolve(testThread()); err != nil {
+		t.Fatal(err)
+	}
+	if s := mgrs[1].Stats(); s.LocalHits != 1 {
+		t.Fatalf("stats after second resolve = %+v", s)
+	}
+}
+
+func TestResolveForeignPlatformCompiles(t *testing.T) {
+	// Site 1 has a different platform: it must receive source and
+	// compile on the fly (paper §3.4).
+	_, mgrs, reg := codeCluster(t, 2, []types.PlatformID{1, 2}, 5*time.Millisecond)
+	reg.Register("t.f", func(mthread.Context) error { return nil })
+	mgrs[0].InstallSource(testThread(), "t.f", 100)
+
+	start := time.Now()
+	if _, err := mgrs[1].Resolve(testThread()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("compile cost not applied")
+	}
+	s := mgrs[1].Stats()
+	if s.RemoteSource != 1 || s.Compiles != 1 {
+		t.Fatalf("stats = %+v (want source fetch + compile)", s)
+	}
+}
+
+func TestCompiledBinaryPublishedToDistSite(t *testing.T) {
+	// After site 1 (platform 2) compiles, it publishes the binary to a
+	// code distribution site so site 2 (also platform 2) gets a binary
+	// "at first go".
+	_, mgrs, reg := codeCluster(t, 3, []types.PlatformID{1, 2, 2}, time.Millisecond)
+	reg.Register("t.f", func(mthread.Context) error { return nil })
+	mgrs[0].InstallSource(testThread(), "t.f", 100)
+	// Site 0 (bootstrap) is implicitly a code distribution site.
+	testnet.WaitFor(t, "dist sites known", func() bool {
+		return len(mgrs[1].cm.CodeDistSites()) >= 1
+	})
+
+	if _, err := mgrs[1].Resolve(testThread()); err != nil {
+		t.Fatal(err)
+	}
+	// The publish is asynchronous; wait for the dist site to hold the
+	// platform-2 binary, then verify site 2 resolves without compiling.
+	testnet.WaitFor(t, "binary published", func() bool {
+		mgrs[0].mu.Lock()
+		defer mgrs[0].mu.Unlock()
+		_, ok := mgrs[0].binaries[testThread()][types.PlatformID(2)]
+		return ok
+	})
+
+	if _, err := mgrs[2].Resolve(testThread()); err != nil {
+		t.Fatal(err)
+	}
+	s := mgrs[2].Stats()
+	if s.Compiles != 0 {
+		t.Fatalf("site 2 compiled although a published binary existed: %+v", s)
+	}
+	if s.RemoteBinary != 1 {
+		t.Fatalf("site 2 stats = %+v", s)
+	}
+}
+
+func TestResolveUnknownThreadFails(t *testing.T) {
+	_, mgrs, _ := codeCluster(t, 2, nil, 0)
+	missing := types.ThreadID{Program: types.MakeProgramID(1, 9), Index: 3}
+	if _, err := mgrs[1].Resolve(missing); !errors.Is(err, types.ErrNoBinary) {
+		t.Fatalf("Resolve unknown = %v", err)
+	}
+}
+
+func TestResolveUnregisteredFuncFails(t *testing.T) {
+	_, mgrs, _ := codeCluster(t, 1, nil, 0)
+	mgrs[0].InstallSource(testThread(), "never.registered", 10)
+	if _, err := mgrs[0].Resolve(testThread()); !errors.Is(err, types.ErrNoSuchThread) {
+		t.Fatalf("Resolve unregistered = %v", err)
+	}
+}
+
+func TestCodeHomePreferred(t *testing.T) {
+	_, mgrs, reg := codeCluster(t, 3, nil, 0)
+	reg.Register("t.f", func(mthread.Context) error { return nil })
+	// Only site 2 has the code; the code-home lookup points there.
+	mgrs[2].InstallSource(testThread(), "t.f", 100)
+	home := mgrs[2].bus.Self()
+	mgrs[1].SetCodeHomeFn(func(types.ProgramID) types.SiteID { return home })
+
+	if _, err := mgrs[1].Resolve(testThread()); err != nil {
+		t.Fatal(err)
+	}
+	if s := mgrs[2].Stats(); s.RequestsServed == 0 {
+		t.Fatal("code home was not asked")
+	}
+}
+
+func TestDropProgram(t *testing.T) {
+	_, mgrs, reg := codeCluster(t, 1, nil, 0)
+	reg.Register("t.f", func(mthread.Context) error { return nil })
+	mgrs[0].InstallSource(testThread(), "t.f", 100)
+	mgrs[0].DropProgram(testThread().Program)
+	if mgrs[0].Has(testThread()) {
+		t.Fatal("binary survived DropProgram")
+	}
+}
+
+func TestBlobSizeModelsArtifact(t *testing.T) {
+	b := makeBlob("bin", "f", 1, 5000)
+	if len(b) != 5000 {
+		t.Fatalf("blob size = %d", len(b))
+	}
+	if len(makeBlob("bin", "f", 1, 0)) == 0 {
+		t.Fatal("zero-size blob should get a default size")
+	}
+}

@@ -1,0 +1,23 @@
+// Package core documents where the paper's primary contribution lives.
+//
+// The SDVM's "core" is not one algorithm but the interplay of the
+// execution-layer managers (paper §4, Figure 4); in this repository it is
+// deliberately decomposed into one package per manager, matching the
+// paper's own structure:
+//
+//   - internal/memory — the attraction memory: COMA-style global memory,
+//     the homesite directory, and the dataflow trigger (a microframe
+//     receiving its last parameter becomes executable);
+//   - internal/sched — the scheduling manager: executable/ready queues,
+//     decentralized help requests, scheduling hints;
+//   - internal/exec — the processing manager: microthread execution with
+//     the latency-hiding window, the SDVM instruction set (mthread.Context);
+//   - internal/code — the code manager: platform-specific artifacts and
+//     on-the-fly compilation;
+//   - internal/mthread — the microthread programming model itself.
+//
+// internal/daemon assembles these (plus the maintenance and communication
+// layers) into the site daemon, and the root sdvm package is the public
+// face. Start reading at internal/daemon for the big picture, or at
+// internal/memory for the dataflow heart of the machine.
+package core

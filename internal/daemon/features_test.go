@@ -1,0 +1,229 @@
+package daemon_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/daemon"
+	"repro/internal/mthread"
+	tracepkg "repro/internal/trace"
+	"repro/internal/types"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// Tests for the paper's proposed extensions: accounting (§2.2/§6),
+// remote status queries (§4 site manager), and frontend input (§4 I/O
+// manager).
+
+func TestAccountingMetersARun(t *testing.T) {
+	_, ds := testCluster(t, 3, nil)
+	prog, err := ds[0].Submit(workloads.PrimesApp(), workloads.PrimesArgs(40, 10, 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds[0].WaitResult(prog, 60*time.Second); !ok {
+		t.Fatal("did not terminate")
+	}
+
+	total, perSite := ds[0].Acct.ClusterUsage(prog)
+	if total.Executed == 0 {
+		t.Fatal("no executions accounted")
+	}
+	// Every candidate test spends 2 Work units; rounds and start spend 0.
+	// Pipelining overshoots at most a couple of batches past the find.
+	if total.WorkUnits < 2*100 {
+		t.Fatalf("WorkUnits = %v, implausibly low", total.WorkUnits)
+	}
+	if total.BusyNanos <= 0 {
+		t.Fatal("no busy time accounted")
+	}
+	if total.MsgsSent == 0 || total.BytesMoved == 0 {
+		t.Fatal("no parameter traffic accounted")
+	}
+	if len(perSite) != 3 {
+		t.Fatalf("perSite = %d entries", len(perSite))
+	}
+	// The executed sum across sites must equal the total.
+	var sum uint64
+	for _, u := range perSite {
+		sum += u.Executed
+	}
+	if sum != total.Executed {
+		t.Fatalf("per-site sum %d != total %d", sum, total.Executed)
+	}
+
+	// And an invoice prices it.
+	bill := accounting.Invoice(total, accounting.Rates{PerWorkUnit: 0.01, PerBusySecond: 1})
+	if bill <= 0 {
+		t.Fatal("zero invoice for real work")
+	}
+}
+
+func TestRemoteStatusQuery(t *testing.T) {
+	_, ds := testCluster(t, 2, nil)
+	prog, err := ds[0].Submit(workloads.PrimesApp(), workloads.PrimesArgs(20, 5, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds[0].WaitResult(prog, 60*time.Second); !ok {
+		t.Fatal("did not terminate")
+	}
+
+	sr, err := ds[0].Site.QueryStatus(ds[1].Self())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Site != ds[1].Self() {
+		t.Fatalf("status from wrong site: %v", sr.Site)
+	}
+	if sr.UptimeNs <= 0 {
+		t.Fatal("no uptime in remote status")
+	}
+	if sr.Executed != ds[1].Exec.Executed() {
+		t.Fatalf("remote executed %d != local truth %d", sr.Executed, ds[1].Exec.Executed())
+	}
+}
+
+func TestFrontendInputReachesRemoteMicrothread(t *testing.T) {
+	mthread.Global.Register("inputtest.start", func(ctx mthread.Context) error {
+		// Force the asking microthread onto a non-frontend site by
+		// spawning a child that the scatter mechanism may move; the
+		// Input path works identically either way, and the remote case
+		// is covered by running the child on site 1 via direct push.
+		line, ok := ctx.Input("what is the answer?")
+		if !ok {
+			ctx.Exit([]byte("no-input"))
+			return nil
+		}
+		ctx.Exit([]byte("got:" + line))
+		return nil
+	})
+
+	_, ds := testCluster(t, 2, nil)
+	// The submitter's frontend answers input requests.
+	ds[0].IO.SetInputProvider(func(prog types.ProgramID, prompt string) (string, bool) {
+		if !strings.Contains(prompt, "answer") {
+			t.Errorf("prompt = %q", prompt)
+		}
+		return "42", true
+	})
+
+	app := daemon.App{Name: "inputtest", Threads: []daemon.AppThread{
+		{Index: 0, FuncName: "inputtest.start"},
+	}}
+	prog, err := ds[0].Submit(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := ds[0].WaitResult(prog, 30*time.Second)
+	if !ok {
+		t.Fatal("did not terminate")
+	}
+	if string(raw) != "got:42" {
+		t.Fatalf("result = %q", raw)
+	}
+}
+
+func TestFrontendInputWithoutProvider(t *testing.T) {
+	mthread.Global.Register("inputtest.none", func(ctx mthread.Context) error {
+		_, ok := ctx.Input("anyone?")
+		if ok {
+			ctx.Exit([]byte("unexpected"))
+		} else {
+			ctx.Exit([]byte("no-provider"))
+		}
+		return nil
+	})
+	_, ds := testCluster(t, 1, nil)
+	app := daemon.App{Name: "inputtest2", Threads: []daemon.AppThread{
+		{Index: 0, FuncName: "inputtest.none"},
+	}}
+	prog, err := ds[0].Submit(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := ds[0].WaitResult(prog, 30*time.Second)
+	if !ok {
+		t.Fatal("did not terminate")
+	}
+	if string(raw) != "no-provider" {
+		t.Fatalf("result = %q", raw)
+	}
+}
+
+func TestInputCrossSite(t *testing.T) {
+	// Directly exercise the remote input path: site 1 asks for input of
+	// a program whose frontend is site 0.
+	_, ds := testCluster(t, 2, nil)
+	prog := ds[0].PM.NewProgram()
+	ds[0].IO.SetInputProvider(func(types.ProgramID, string) (string, bool) {
+		return "remote-line", true
+	})
+	// Register the program cluster-wide so site 1 knows the frontend.
+	ds[0].PM.Register(programRegister(prog, ds[0].Self()))
+	deadline := time.Now().Add(5 * time.Second)
+	for !ds[1].PM.Known(prog) {
+		if time.Now().After(deadline) {
+			t.Fatal("registration did not propagate")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	line, ok := ds[1].IO.Input(prog, "over the wire?")
+	if !ok || line != "remote-line" {
+		t.Fatalf("Input = (%q,%v)", line, ok)
+	}
+}
+
+// programRegister builds a registration for tests.
+func programRegister(prog types.ProgramID, home types.SiteID) wire.ProgramRegister {
+	return wire.ProgramRegister{Program: prog, CodeHome: home, Frontend: home, Name: "t"}
+}
+
+func TestTracerRecordsFrameCareers(t *testing.T) {
+	_, ds := testCluster(t, 2, func(i int, cfg *daemon.Config) {
+		cfg.TraceCapacity = 8192
+	})
+	prog, err := ds[0].Submit(workloads.PrimesApp(), workloads.PrimesArgs(20, 5, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds[0].WaitResult(prog, 60*time.Second); !ok {
+		t.Fatal("did not terminate")
+	}
+
+	if ds[0].Trace.Total() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	// Find a frame that was granted away and verify its merged career
+	// crosses sites in a sane order: created somewhere, received on the
+	// other site, executed there.
+	var granted *tracepkg.Event
+	for _, e := range ds[0].Trace.Events() {
+		if e.Kind == tracepkg.EvGranted {
+			e := e
+			granted = &e
+			break
+		}
+	}
+	if granted == nil {
+		t.Skip("no frame migrated in this run")
+	}
+	career := tracepkg.MergeCareers(granted.Frame, ds[0].Trace, ds[1].Trace)
+	if len(career) < 2 {
+		t.Fatalf("career too short: %v", career)
+	}
+	// The career must contain an execution event exactly once.
+	executions := 0
+	for _, e := range career {
+		if e.Kind == tracepkg.EvExecuted {
+			executions++
+		}
+	}
+	if executions != 1 {
+		t.Fatalf("frame executed %d times according to the trace", executions)
+	}
+}

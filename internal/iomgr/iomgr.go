@@ -1,0 +1,334 @@
+// Package iomgr implements the SDVM's input/output manager (paper §4).
+//
+// "The input/output manager offers the functionality to access disk
+// files and communicate with the user. Disk files are given a unique file
+// handle when they are accessed for the first time (which contains the
+// site id of the machine the file resides on). Therefore all other sites
+// can access any opened file using this file handle — the access is
+// automatically rerouted to the appropriate site. As the SDVM is run as a
+// daemon and operated using a front end, the I/O manager sends all output
+// and input requests to the front end."
+package iomgr
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/msgbus"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// FrontendSink consumes program output on the frontend site. The daemon
+// wires it to subscriber channels.
+type FrontendSink func(prog types.ProgramID, text string)
+
+// Manager is one site's I/O manager.
+type Manager struct {
+	bus *msgbus.Bus
+
+	// frontendSite resolves a program's frontend site (program manager).
+	frontendSite func(types.ProgramID) types.SiteID
+
+	mu        sync.Mutex
+	files     map[types.GlobalAddr]*os.File
+	nextLocal uint64
+	sink      FrontendSink
+	inputFn   func(prog types.ProgramID, prompt string) (string, bool)
+	onOutput  func(prog types.ProgramID)
+	outputs   uint64
+}
+
+// New returns an I/O manager registered for MgrIO.
+func New(bus *msgbus.Bus) *Manager {
+	m := &Manager{
+		bus:          bus,
+		frontendSite: func(types.ProgramID) types.SiteID { return types.InvalidSite },
+		files:        make(map[types.GlobalAddr]*os.File),
+		sink:         func(types.ProgramID, string) {},
+		inputFn:      func(types.ProgramID, string) (string, bool) { return "", false },
+		onOutput:     func(types.ProgramID) {},
+	}
+	bus.Register(types.MgrIO, m)
+	return m
+}
+
+// SetFrontendSite wires the program manager's frontend lookup.
+func (m *Manager) SetFrontendSite(f func(types.ProgramID) types.SiteID) {
+	m.frontendSite = f
+}
+
+// SetSink installs the local frontend sink.
+func (m *Manager) SetSink(s FrontendSink) {
+	m.mu.Lock()
+	m.sink = s
+	m.mu.Unlock()
+}
+
+// SetInputProvider installs the local frontend's input source — what
+// answers a microthread's Input call when this site is the program's
+// frontend (paper §4: input requests go to the front end).
+func (m *Manager) SetInputProvider(f func(prog types.ProgramID, prompt string) (string, bool)) {
+	m.mu.Lock()
+	if f != nil {
+		m.inputFn = f
+	}
+	m.mu.Unlock()
+}
+
+// SetOutputHook installs an observer called once per Output (the
+// accounting manager's meter).
+func (m *Manager) SetOutputHook(f func(types.ProgramID)) {
+	m.mu.Lock()
+	if f != nil {
+		m.onOutput = f
+	}
+	m.mu.Unlock()
+}
+
+// Input obtains one line of user input from the program's frontend,
+// wherever the calling microthread runs.
+func (m *Manager) Input(prog types.ProgramID, prompt string) (string, bool) {
+	dst := m.frontendSite(prog)
+	if dst == m.bus.Self() || !dst.Valid() {
+		m.mu.Lock()
+		f := m.inputFn
+		m.mu.Unlock()
+		return f(prog, prompt)
+	}
+	reply, err := m.bus.Request(dst, types.MgrIO, types.MgrIO,
+		&wire.InputRequest{Program: prog, Prompt: prompt}, 30*time.Second)
+	if err != nil {
+		return "", false
+	}
+	ir, ok := reply.Payload.(*wire.InputReply)
+	if !ok {
+		return "", false
+	}
+	return ir.Line, ir.OK
+}
+
+// Output routes program output to the program's frontend: locally to the
+// sink, remotely as a FrontendOutput message.
+func (m *Manager) Output(prog types.ProgramID, text string) {
+	m.mu.Lock()
+	m.outputs++
+	sink := m.sink
+	hook := m.onOutput
+	m.mu.Unlock()
+	hook(prog)
+
+	dst := m.frontendSite(prog)
+	if dst == m.bus.Self() || !dst.Valid() {
+		sink(prog, text)
+		return
+	}
+	_ = m.bus.Send(dst, types.MgrIO, types.MgrIO, &wire.FrontendOutput{Program: prog, Text: text})
+}
+
+// Outputs returns the number of Output calls handled locally.
+func (m *Manager) Outputs() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.outputs
+}
+
+// Open opens (creating if needed) a local disk file and returns its
+// global handle; the handle's home is this site.
+func (m *Manager) Open(name string) (types.GlobalAddr, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return types.NilAddr, fmt.Errorf("iomgr: open: %w", err)
+	}
+	m.mu.Lock()
+	m.nextLocal++
+	h := types.GlobalAddr{Home: m.bus.Self(), Local: m.nextLocal}
+	m.files[h] = f
+	m.mu.Unlock()
+	return h, nil
+}
+
+// OpenOn opens a file residing on a (possibly remote) site and returns
+// the global handle.
+func (m *Manager) OpenOn(site types.SiteID, name string) (types.GlobalAddr, error) {
+	if site == m.bus.Self() {
+		return m.Open(name)
+	}
+	reply, err := m.request(site, &wire.IORequest{Op: wire.IOOpOpen, Name: name})
+	if err != nil {
+		return types.NilAddr, err
+	}
+	return reply.Handle, nil
+}
+
+// ReadAt reads up to length bytes at offset from the file behind handle,
+// wherever it lives.
+func (m *Manager) ReadAt(handle types.GlobalAddr, offset int64, length int) ([]byte, error) {
+	if handle.Home == m.bus.Self() {
+		return m.localRead(handle, offset, length)
+	}
+	reply, err := m.request(handle.Home, &wire.IORequest{
+		Op: wire.IOOpRead, Handle: handle, Offset: offset, Length: int32(length),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// WriteAt writes data at offset into the file behind handle.
+func (m *Manager) WriteAt(handle types.GlobalAddr, offset int64, data []byte) (int, error) {
+	if handle.Home == m.bus.Self() {
+		return m.localWrite(handle, offset, data)
+	}
+	reply, err := m.request(handle.Home, &wire.IORequest{
+		Op: wire.IOOpWrite, Handle: handle, Offset: offset, Data: data,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(reply.N), nil
+}
+
+// Close closes the file behind handle.
+func (m *Manager) Close(handle types.GlobalAddr) error {
+	if handle.Home == m.bus.Self() {
+		return m.localClose(handle)
+	}
+	_, err := m.request(handle.Home, &wire.IORequest{Op: wire.IOOpClose, Handle: handle})
+	return err
+}
+
+// CloseAll closes every locally owned file (site shutdown).
+func (m *Manager) CloseAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for h, f := range m.files {
+		f.Close()
+		delete(m.files, h)
+	}
+}
+
+func (m *Manager) request(site types.SiteID, req *wire.IORequest) (*wire.IOReply, error) {
+	reply, err := m.bus.Request(site, types.MgrIO, types.MgrIO, req, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := reply.Payload.(*wire.IOReply)
+	if !ok {
+		return nil, fmt.Errorf("%w: io reply %T", types.ErrBadMessage, reply.Payload)
+	}
+	if !r.OK {
+		return nil, fmt.Errorf("iomgr: remote: %s", r.Errmsg)
+	}
+	return r, nil
+}
+
+func (m *Manager) localFile(handle types.GlobalAddr) (*os.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[handle]
+	if !ok {
+		return nil, &types.AddrError{Err: types.ErrNoSuchObject, Addr: handle}
+	}
+	return f, nil
+}
+
+func (m *Manager) localRead(handle types.GlobalAddr, offset int64, length int) ([]byte, error) {
+	f, err := m.localFile(handle)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, length)
+	n, err := f.ReadAt(buf, offset)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("iomgr: read: %w", err)
+	}
+	return buf[:n], nil
+}
+
+func (m *Manager) localWrite(handle types.GlobalAddr, offset int64, data []byte) (int, error) {
+	f, err := m.localFile(handle)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.WriteAt(data, offset)
+	if err != nil {
+		return n, fmt.Errorf("iomgr: write: %w", err)
+	}
+	return n, nil
+}
+
+func (m *Manager) localClose(handle types.GlobalAddr) error {
+	m.mu.Lock()
+	f, ok := m.files[handle]
+	delete(m.files, handle)
+	m.mu.Unlock()
+	if !ok {
+		return &types.AddrError{Err: types.ErrNoSuchObject, Addr: handle}
+	}
+	return f.Close()
+}
+
+// HandleMessage implements msgbus.Handler.
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.FrontendOutput:
+		m.mu.Lock()
+		m.outputs++
+		sink := m.sink
+		m.mu.Unlock()
+		sink(p.Program, p.Text)
+	case *wire.InputRequest:
+		// The provider may block on a human; keep the dispatcher free.
+		go func() {
+			m.mu.Lock()
+			f := m.inputFn
+			m.mu.Unlock()
+			line, ok := f(p.Program, p.Prompt)
+			_ = m.bus.Reply(msg, types.MgrIO, &wire.InputReply{OK: ok, Line: line})
+		}()
+	case *wire.IORequest:
+		// File work can touch the disk; keep the dispatcher free.
+		go m.serveIO(msg, p)
+	}
+}
+
+func (m *Manager) serveIO(msg *wire.Message, p *wire.IORequest) {
+	var reply *wire.IOReply
+	switch p.Op {
+	case wire.IOOpOpen:
+		h, err := m.Open(p.Name)
+		if err != nil {
+			reply = &wire.IOReply{Errmsg: err.Error()}
+		} else {
+			reply = &wire.IOReply{OK: true, Handle: h}
+		}
+	case wire.IOOpRead:
+		data, err := m.localRead(p.Handle, p.Offset, int(p.Length))
+		if err != nil {
+			reply = &wire.IOReply{Errmsg: err.Error()}
+		} else {
+			reply = &wire.IOReply{OK: true, Data: data, N: int32(len(data))}
+		}
+	case wire.IOOpWrite:
+		n, err := m.localWrite(p.Handle, p.Offset, p.Data)
+		if err != nil {
+			reply = &wire.IOReply{Errmsg: err.Error(), N: int32(n)}
+		} else {
+			reply = &wire.IOReply{OK: true, N: int32(n)}
+		}
+	case wire.IOOpClose:
+		if err := m.localClose(p.Handle); err != nil {
+			reply = &wire.IOReply{Errmsg: err.Error()}
+		} else {
+			reply = &wire.IOReply{OK: true}
+		}
+	default:
+		reply = &wire.IOReply{Errmsg: "unknown io op"}
+	}
+	_ = m.bus.Reply(msg, types.MgrIO, reply)
+}

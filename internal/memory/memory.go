@@ -1,0 +1,989 @@
+// Package memory implements the SDVM's attraction memory (paper §3.1, §4).
+//
+// The attraction memory is the COMA-inspired heart of the SDVM: it
+// "contains the local part of the global memory" and "behaves like a
+// COMA's attraction memory by attracting requested data to the local site
+// transparently". Three kinds of state live in it:
+//
+//   - application memory objects, allocated with a global address whose
+//     high part encodes the allocating site (the object's homesite);
+//   - microframes, "a special kind of global data", stored and migrated
+//     until they have received all their parameters;
+//   - the homesite directory ([5]): every site tracks the current owner
+//     of the objects it created, so a cache miss anywhere can be resolved
+//     by asking the address's homesite, which answers or redirects.
+//
+// The central dataflow event also happens here: "every time a result of
+// the computation of a microthread is applied to a waiting microframe,
+// the attraction memory checks whether this was the last missing
+// parameter. In this case the microframe has become executable and is
+// given to the scheduling manager."
+package memory
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/msgbus"
+	"repro/internal/trace"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// maxRedirects bounds a read/write resolution chain. Ownership can move
+// while we chase it, but never in a cycle longer than the cluster.
+const maxRedirects = 16
+
+// FireFunc receives a microframe that just became executable. The daemon
+// wires this to the scheduling manager's Enqueue. It must not block.
+type FireFunc func(f *wire.Microframe)
+
+// Manager is one site's attraction memory.
+type Manager struct {
+	bus     *msgbus.Bus
+	fire    FireFunc
+	traffic func(prog types.ProgramID, bytes int)
+	tr      *trace.Tracer
+
+	mu        sync.Mutex
+	nextLocal uint64
+
+	// objects owned (resident) at this site, by address.
+	objects map[types.GlobalAddr]*wire.MemObject
+	// objOwner is the homesite directory for objects homed here:
+	// address -> site currently owning it. Entries exist only while the
+	// object lives elsewhere.
+	objOwner map[types.GlobalAddr]types.SiteID
+
+	// frames waiting (incomplete) at this site.
+	frames map[types.FrameID]*wire.Microframe
+	// frameOwner is the directory for frames homed here but currently
+	// held elsewhere (after migration at sign-off or help replies of
+	// incomplete frames).
+	frameOwner map[types.FrameID]types.SiteID
+
+	// remap overrides the homesite for addresses whose home left the
+	// cluster; learned from broadcast HomeUpdates during sign-off.
+	remap map[types.GlobalAddr]types.SiteID
+
+	// readCache holds validated read copies of remote objects
+	// (COMA read replication, paper §4: objects "migrate or even be
+	// copied to other sites"). Coherence is write-invalidate: the owner
+	// tracks a copyset per object and broadcasts MemInvalidate when the
+	// object changes or migrates.
+	readCache map[types.GlobalAddr][]byte
+	// copies is the owner-side copyset: sites holding read copies of a
+	// locally owned object.
+	copies map[types.GlobalAddr]map[types.SiteID]bool
+	// cacheEnabled allows the A-6 ablation to disable replication.
+	cacheEnabled bool
+	// fetching single-flights remote reads: concurrent readers of one
+	// address share a single fetch instead of a thundering herd.
+	fetching map[types.GlobalAddr]chan struct{}
+
+	// consumed records frames that already fired, distinguishing the
+	// programming error "parameter for a consumed frame" from routing
+	// races worth retrying.
+	consumed map[types.FrameID]bool
+
+	// pendingRetries caps re-queues of parameters whose target frame is
+	// in flight, so a parameter for a frame that never materializes is
+	// eventually dropped instead of looping forever.
+	pendingRetries map[wire.Target]int
+
+	// Sender-side logs for crash recovery ([4]): paramLog keeps every
+	// parameter sent to a remote frame, grantLog every frame handed to
+	// a peer (help replies, pushes). When a peer is declared crashed,
+	// Replay resends/re-injects them; duplicate applications are
+	// rejected by the Filled/consumed guards, and deterministic
+	// microthreads make re-execution converge on the same results.
+	paramLog map[types.ProgramID][]loggedParam
+	grantLog map[types.SiteID][]*wire.Microframe
+
+	stats Stats
+}
+
+// loggedParam is one replayable remote parameter application.
+type loggedParam struct {
+	target wire.Target
+	data   []byte
+}
+
+// Stats counts attraction-memory activity for the site manager.
+type Stats struct {
+	Allocs        uint64
+	LocalReads    uint64
+	RemoteReads   uint64
+	LocalWrites   uint64
+	RemoteWrites  uint64
+	ParamsApplied uint64
+	FramesFired   uint64
+	Migrations    uint64
+	CacheHits     uint64 // reads served from a local replica
+	Invalidates   uint64 // replicas dropped after a remote write
+}
+
+// New returns an attraction memory bound to bus, delivering executable
+// frames through fire. It registers itself for MgrMemory.
+func New(bus *msgbus.Bus, fire FireFunc) *Manager {
+	m := &Manager{
+		bus:            bus,
+		fire:           fire,
+		objects:        make(map[types.GlobalAddr]*wire.MemObject),
+		objOwner:       make(map[types.GlobalAddr]types.SiteID),
+		frames:         make(map[types.FrameID]*wire.Microframe),
+		frameOwner:     make(map[types.FrameID]types.SiteID),
+		remap:          make(map[types.GlobalAddr]types.SiteID),
+		consumed:       make(map[types.FrameID]bool),
+		pendingRetries: make(map[wire.Target]int),
+		paramLog:       make(map[types.ProgramID][]loggedParam),
+		grantLog:       make(map[types.SiteID][]*wire.Microframe),
+		readCache:      make(map[types.GlobalAddr][]byte),
+		copies:         make(map[types.GlobalAddr]map[types.SiteID]bool),
+		cacheEnabled:   true,
+		fetching:       make(map[types.GlobalAddr]chan struct{}),
+	}
+	m.traffic = func(types.ProgramID, int) {}
+	bus.Register(types.MgrMemory, m)
+	return m
+}
+
+// SetTracer installs the event tracer (nil = off).
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// SetReadReplication toggles COMA read replication (default on); the
+// A-6 ablation measures its effect.
+func (m *Manager) SetReadReplication(enabled bool) {
+	m.mu.Lock()
+	m.cacheEnabled = enabled
+	if !enabled {
+		m.readCache = make(map[types.GlobalAddr][]byte)
+	}
+	m.mu.Unlock()
+}
+
+// SetTrafficHook installs the accounting manager's meter for parameter
+// data produced on behalf of a program.
+func (m *Manager) SetTrafficHook(f func(prog types.ProgramID, bytes int)) {
+	if f != nil {
+		m.traffic = f
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// newAddr issues a fresh global address homed at this site.
+func (m *Manager) newAddr() types.GlobalAddr {
+	m.nextLocal++
+	return types.GlobalAddr{Home: m.bus.Self(), Local: m.nextLocal}
+}
+
+// ---------------------------------------------------------------------------
+// Local API: called by the execution layer (may block on remote traffic).
+
+// Alloc creates a memory object of the given contents for program prog,
+// homed and initially owned at this site, and returns its global address
+// — "it will receive a global memory address ... and is thus accessible
+// from all sites in the cluster" (paper §4).
+func (m *Manager) Alloc(prog types.ProgramID, data []byte) types.GlobalAddr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	addr := m.newAddr()
+	m.objects[addr] = &wire.MemObject{
+		Addr:    addr,
+		Program: prog,
+		Data:    append([]byte(nil), data...),
+	}
+	m.stats.Allocs++
+	return addr
+}
+
+// NewFrame allocates a microframe homed at this site. A zero-arity frame
+// is executable immediately and goes straight to the scheduler; any other
+// frame waits in the attraction memory for its parameters.
+func (m *Manager) NewFrame(thread types.ThreadID, arity int, prio types.Priority, hint uint32, targets ...wire.Target) types.FrameID {
+	m.mu.Lock()
+	id := m.newAddr()
+	f := wire.NewMicroframe(id, thread, arity, targets...)
+	f.Prio = prio
+	f.Hint = hint
+	if arity == 0 {
+		m.consumed[id] = true
+		m.stats.FramesFired++
+		m.mu.Unlock()
+		m.tr.Record(trace.EvFrameCreated, id, thread, "zero arity")
+		m.tr.Record(trace.EvFrameFired, id, thread, "")
+		m.fire(f)
+		return id
+	}
+	m.frames[id] = f
+	m.mu.Unlock()
+	m.tr.Record(trace.EvFrameCreated, id, thread, fmt.Sprintf("arity %d", arity))
+	return id
+}
+
+// AdoptFrame registers a frame that migrated here (help reply of a
+// waiting frame, sign-off relocation, checkpoint recovery). The frame's
+// homesite is informed so future parameters find it.
+func (m *Manager) AdoptFrame(f *wire.Microframe) {
+	m.mu.Lock()
+	if m.consumed[f.ID] {
+		m.mu.Unlock()
+		return
+	}
+	if f.Executable() {
+		m.consumed[f.ID] = true
+		m.stats.FramesFired++
+		m.mu.Unlock()
+		m.fire(f)
+		return
+	}
+	m.frames[f.ID] = f
+	self := m.bus.Self()
+	m.mu.Unlock()
+	m.tr.Record(trace.EvReceived, f.ID, f.Thread, "incomplete frame adopted")
+
+	if f.ID.Home != self {
+		_ = m.bus.Send(f.ID.Home, types.MgrMemory, types.MgrMemory,
+			&wire.HomeUpdate{Addr: f.ID, Owner: self})
+	}
+}
+
+// Send applies one result datum to a parameter slot of a target frame,
+// locally or across the cluster — the SDVM's fundamental dataflow step
+// (paper §3.2, action 4). It retries transient routing failures: frames
+// migrate, sites leave, directories lag.
+func (m *Manager) Send(target wire.Target, data []byte) error {
+	return m.SendFor(0, target, data)
+}
+
+// SendFor is Send with the owning program recorded in the crash-recovery
+// log (prog 0 skips logging; used for bootstrap-internal sends).
+func (m *Manager) SendFor(prog types.ProgramID, target wire.Target, data []byte) error {
+	if prog != 0 {
+		m.traffic(prog, len(data))
+		m.mu.Lock()
+		m.paramLog[prog] = append(m.paramLog[prog], loggedParam{target, append([]byte(nil), data...)})
+		m.mu.Unlock()
+	}
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		done, err := m.trySend(target, data)
+		if done {
+			return err
+		}
+		lastErr = err
+		time.Sleep(time.Duration(10*(attempt+1)) * time.Millisecond)
+	}
+	return fmt.Errorf("memory: apply %v: %w", target, lastErr)
+}
+
+// RecordGrant logs a frame handed to a peer, for re-injection if that
+// peer crashes before the frame's results are observed.
+func (m *Manager) RecordGrant(grantee types.SiteID, f *wire.Microframe) {
+	m.mu.Lock()
+	m.grantLog[grantee] = append(m.grantLog[grantee], f.Clone())
+	m.mu.Unlock()
+}
+
+// OnSiteCrashed replays this site's logs after dead was declared
+// crashed: frames granted to the dead site re-enter the dataflow here,
+// and every logged parameter of still-running programs is resent (stale
+// copies are dropped at the receivers).
+func (m *Manager) OnSiteCrashed(dead types.SiteID, running func(types.ProgramID) bool) {
+	m.mu.Lock()
+	granted := m.grantLog[dead]
+	delete(m.grantLog, dead)
+	var params []loggedParam
+	for prog, entries := range m.paramLog {
+		if running == nil || running(prog) {
+			params = append(params, entries...)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, f := range granted {
+		if running == nil || running(f.Thread.Program) {
+			m.AdoptFrame(f.Clone())
+		}
+	}
+	for _, p := range params {
+		// Ignore errors: most replays hit already-filled slots.
+		_ = m.Send(p.target, p.data)
+	}
+}
+
+// trySend attempts one delivery. done=false means "retry may help".
+func (m *Manager) trySend(target wire.Target, data []byte) (done bool, err error) {
+	m.mu.Lock()
+	if f, ok := m.frames[target.Addr]; ok {
+		err := m.applyLocked(f, int(target.Slot), data)
+		m.mu.Unlock()
+		return true, err
+	}
+	if m.consumed[target.Addr] {
+		m.mu.Unlock()
+		return true, &types.AddrError{Err: types.ErrNoSuchFrame, Addr: target.Addr}
+	}
+	dst := m.routeFrameLocked(target.Addr)
+	m.mu.Unlock()
+
+	if dst == types.InvalidSite || dst == m.bus.Self() {
+		// Nobody known to hold it (yet): relocation in flight.
+		return false, &types.AddrError{Err: types.ErrNoSuchFrame, Addr: target.Addr}
+	}
+	sendErr := m.bus.Send(dst, types.MgrMemory, types.MgrMemory,
+		&wire.ApplyParam{Dst: target, Data: data})
+	if sendErr != nil {
+		return false, sendErr
+	}
+	return true, nil
+}
+
+// applyLocked fills a slot of a locally held frame, firing it if
+// complete. Caller holds m.mu; the fire callback runs without the lock.
+func (m *Manager) applyLocked(f *wire.Microframe, slot int, data []byte) error {
+	fires, err := f.Apply(slot, data)
+	if err != nil {
+		return err
+	}
+	m.stats.ParamsApplied++
+	if !fires {
+		m.tr.Record(trace.EvParamApplied, f.ID, f.Thread, fmt.Sprintf("slot %d, %d missing", slot, f.Missing()))
+		return nil
+	}
+	delete(m.frames, f.ID)
+	m.consumed[f.ID] = true
+	m.stats.FramesFired++
+	fire := m.fire
+	m.mu.Unlock()
+	m.tr.Record(trace.EvFrameFired, f.ID, f.Thread, fmt.Sprintf("last slot %d", slot))
+	fire(f)
+	m.mu.Lock()
+	return nil
+}
+
+// routeFrameLocked decides where a parameter for a non-resident frame
+// should go. Caller holds m.mu.
+func (m *Manager) routeFrameLocked(id types.FrameID) types.SiteID {
+	if owner, ok := m.frameOwner[id]; ok {
+		return owner
+	}
+	if owner, ok := m.remap[id]; ok {
+		return owner
+	}
+	if id.Home != m.bus.Self() {
+		return id.Home
+	}
+	return types.InvalidSite
+}
+
+// Read returns a copy of the object's current contents, fetching it from
+// its owner if it is not resident ("when they are needed, they migrate to
+// the corresponding site" — reads take a copy, write intent migrates).
+func (m *Manager) Read(addr types.GlobalAddr) ([]byte, error) {
+	for {
+		m.mu.Lock()
+		if o, ok := m.objects[addr]; ok {
+			m.stats.LocalReads++
+			data := append([]byte(nil), o.Data...)
+			m.mu.Unlock()
+			return data, nil
+		}
+		if data, ok := m.readCache[addr]; ok {
+			m.stats.CacheHits++
+			out := append([]byte(nil), data...)
+			m.mu.Unlock()
+			return out, nil
+		}
+		if wait, inflight := m.fetching[addr]; inflight && m.cacheEnabled {
+			// Another microthread is already fetching this object;
+			// share its result instead of stampeding the owner.
+			m.mu.Unlock()
+			<-wait
+			continue
+		}
+		done := make(chan struct{})
+		m.fetching[addr] = done
+		m.stats.RemoteReads++
+		m.mu.Unlock()
+
+		o, err := m.fetch(addr, false)
+		m.mu.Lock()
+		if err == nil && m.cacheEnabled {
+			m.readCache[addr] = append([]byte(nil), o.Data...)
+		}
+		delete(m.fetching, addr)
+		close(done)
+		m.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return o.Data, nil
+	}
+}
+
+// Attract migrates the object to this site (ownership transfer) and
+// returns a copy of its contents — COMA attraction on write intent.
+func (m *Manager) Attract(addr types.GlobalAddr) ([]byte, error) {
+	m.mu.Lock()
+	if o, ok := m.objects[addr]; ok {
+		data := append([]byte(nil), o.Data...)
+		m.mu.Unlock()
+		return data, nil
+	}
+	m.mu.Unlock()
+
+	o, err := m.fetch(addr, true)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	m.objects[addr] = o
+	m.stats.Migrations++
+	self := m.bus.Self()
+	m.mu.Unlock()
+
+	// Keep the homesite directory current.
+	if addr.Home != self {
+		_ = m.bus.Send(addr.Home, types.MgrMemory, types.MgrMemory,
+			&wire.HomeUpdate{Addr: addr, Owner: self})
+	}
+	return append([]byte(nil), o.Data...), nil
+}
+
+// fetch resolves addr through the homesite directory and retrieves the
+// object, following redirects. Ownership can move mid-chase (directory
+// updates are asynchronous), so an exhausted redirect chain is retried
+// after a short pause rather than failed outright.
+func (m *Manager) fetch(addr types.GlobalAddr, migrate bool) (*wire.MemObject, error) {
+	var lastErr error
+	for round := 0; round < 5; round++ {
+		o, retry, err := m.fetchOnce(addr, migrate)
+		if err == nil {
+			return o, nil
+		}
+		if !retry {
+			return nil, err
+		}
+		lastErr = err
+		time.Sleep(time.Duration(10*(round+1)) * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+// fetchOnce runs one redirect chase. retry reports whether the failure
+// is plausibly transient (in-flight migration).
+func (m *Manager) fetchOnce(addr types.GlobalAddr, migrate bool) (obj *wire.MemObject, retry bool, err error) {
+	m.mu.Lock()
+	dst := m.routeObjectLocked(addr)
+	m.mu.Unlock()
+	if dst == types.InvalidSite {
+		return nil, false, &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+	}
+
+	for hop := 0; hop < maxRedirects; hop++ {
+		reply, err := m.bus.Request(dst, types.MgrMemory, types.MgrMemory,
+			&wire.MemRead{Addr: addr, Migrate: migrate}, 0)
+		if err != nil {
+			return nil, true, err
+		}
+		rr, ok := reply.Payload.(*wire.MemReadReply)
+		if !ok {
+			return nil, false, fmt.Errorf("%w: mem read reply %T", types.ErrBadMessage, reply.Payload)
+		}
+		switch {
+		case rr.Found && rr.Redirect == types.InvalidSite:
+			o := rr.Object
+			return &o, false, nil
+		case rr.Redirect != types.InvalidSite && rr.Redirect != dst:
+			dst = rr.Redirect
+		default:
+			return nil, true, &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+		}
+	}
+	return nil, true, fmt.Errorf("memory: read %v: redirect chain too long", addr)
+}
+
+// takeCopysetLocked removes and returns the copyset of addr, excluding
+// skip (the site whose action triggered the invalidation — it holds the
+// fresh version). Caller holds m.mu.
+func (m *Manager) takeCopysetLocked(addr types.GlobalAddr, skip types.SiteID) []types.SiteID {
+	cs, ok := m.copies[addr]
+	if !ok {
+		return nil
+	}
+	delete(m.copies, addr)
+	out := make([]types.SiteID, 0, len(cs))
+	for id := range cs {
+		if id != skip {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// sendInvalidates drops replica holders' copies of addr and waits for
+// their acknowledgements (bounded), so a writer that has been acked can
+// rely on no stale replica surviving anywhere.
+func (m *Manager) sendInvalidates(addr types.GlobalAddr, sites []types.SiteID) {
+	if len(sites) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, id := range sites {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = m.bus.Request(id, types.MgrMemory, types.MgrMemory,
+				&wire.MemInvalidate{Addr: addr}, 500*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+}
+
+// routeObjectLocked picks the first site to ask about addr. Caller holds
+// m.mu.
+func (m *Manager) routeObjectLocked(addr types.GlobalAddr) types.SiteID {
+	if owner, ok := m.objOwner[addr]; ok {
+		return owner
+	}
+	if owner, ok := m.remap[addr]; ok {
+		return owner
+	}
+	if addr.Home != m.bus.Self() {
+		return addr.Home
+	}
+	return types.InvalidSite
+}
+
+// Write stores data at offset within the object, extending it if needed.
+// Non-resident objects are written in place at their owner.
+func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
+	m.mu.Lock()
+	if o, ok := m.objects[addr]; ok {
+		writeAt(o, offset, data)
+		m.stats.LocalWrites++
+		invalidate := m.takeCopysetLocked(addr, types.InvalidSite)
+		m.mu.Unlock()
+		m.sendInvalidates(addr, invalidate)
+		return nil
+	}
+	// A stale local replica must not survive our own write-through.
+	delete(m.readCache, addr)
+	m.stats.RemoteWrites++
+	dst := m.routeObjectLocked(addr)
+	m.mu.Unlock()
+	if dst == types.InvalidSite {
+		return &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+	}
+
+	for hop := 0; hop < maxRedirects; hop++ {
+		reply, err := m.bus.Request(dst, types.MgrMemory, types.MgrMemory,
+			&wire.MemWrite{Addr: addr, Offset: uint32(offset), Data: data}, 0)
+		if err != nil {
+			return err
+		}
+		ack, ok := reply.Payload.(*wire.MemWriteAck)
+		if !ok {
+			return fmt.Errorf("%w: mem write reply %T", types.ErrBadMessage, reply.Payload)
+		}
+		if ack.OK {
+			return nil
+		}
+		if ack.Redirect == types.InvalidSite || ack.Redirect == dst {
+			return &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+		}
+		dst = ack.Redirect
+	}
+	return fmt.Errorf("memory: write %v: redirect chain too long", addr)
+}
+
+func writeAt(o *wire.MemObject, offset int, data []byte) {
+	if need := offset + len(data); need > len(o.Data) {
+		grown := make([]byte, need)
+		copy(grown, o.Data)
+		o.Data = grown
+	}
+	copy(o.Data[offset:], data)
+	o.Version++
+}
+
+// ---------------------------------------------------------------------------
+// Relocation, checkpointing, GC.
+
+// EvacuateTo hands every resident frame and object to successor — the
+// sign-off protocol's data phase (paper §3.4: "all microframes and the
+// local part of the global memory have to be relocated to other sites
+// before shutdown"). Peers are told the new owner so the directories
+// stay coherent even though this site is about to vanish.
+func (m *Manager) EvacuateTo(successor types.SiteID) error {
+	m.mu.Lock()
+	frames := make([]*wire.Microframe, 0, len(m.frames))
+	for _, f := range m.frames {
+		frames = append(frames, f.Clone())
+	}
+	objects := make([]wire.MemObject, 0, len(m.objects))
+	for _, o := range m.objects {
+		objects = append(objects, *o.Clone())
+	}
+	m.frames = make(map[types.FrameID]*wire.Microframe)
+	m.objects = make(map[types.GlobalAddr]*wire.MemObject)
+	m.mu.Unlock()
+
+	// Tell everyone where the addresses homed or owned here now live,
+	// before moving the data, so in-flight traffic re-routes.
+	var updates []*wire.HomeUpdate
+	for _, f := range frames {
+		updates = append(updates, &wire.HomeUpdate{Addr: f.ID, Owner: successor})
+	}
+	for i := range objects {
+		updates = append(updates, &wire.HomeUpdate{Addr: objects[i].Addr, Owner: successor})
+	}
+	m.mu.Lock()
+	for addr, owner := range m.objOwner {
+		updates = append(updates, &wire.HomeUpdate{Addr: addr, Owner: owner})
+	}
+	for id, owner := range m.frameOwner {
+		updates = append(updates, &wire.HomeUpdate{Addr: id, Owner: owner})
+	}
+	m.mu.Unlock()
+	for _, u := range updates {
+		_ = m.bus.Send(types.Broadcast, types.MgrMemory, types.MgrMemory, u)
+	}
+
+	if len(objects) > 0 {
+		if err := m.bus.Send(successor, types.MgrMemory, types.MgrMemory,
+			&wire.MemMigrate{Objects: objects}); err != nil {
+			return fmt.Errorf("memory: evacuate objects: %w", err)
+		}
+	}
+	if len(frames) > 0 {
+		if err := m.bus.Send(successor, types.MgrMemory, types.MgrMemory,
+			&wire.FrameRelocate{Frames: frames}); err != nil {
+			return fmt.Errorf("memory: evacuate frames: %w", err)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns deep copies of all resident frames and objects of one
+// program, for checkpointing.
+func (m *Manager) Snapshot(prog types.ProgramID) (frames []*wire.Microframe, objects []wire.MemObject) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.frames {
+		if f.Thread.Program == prog {
+			frames = append(frames, f.Clone())
+		}
+	}
+	for _, o := range m.objects {
+		if o.Program == prog {
+			objects = append(objects, *o.Clone())
+		}
+	}
+	return frames, objects
+}
+
+// Restore adopts checkpointed state (crash recovery): frames re-enter
+// the dataflow, objects become resident here. Ownership updates are
+// broadcast — the restored addresses' homesite is typically the dead
+// site, so a directed directory update would go nowhere.
+func (m *Manager) Restore(frames []*wire.Microframe, objects []wire.MemObject) {
+	m.mu.Lock()
+	for i := range objects {
+		o := objects[i]
+		m.objects[o.Addr] = &o
+	}
+	self := m.bus.Self()
+	m.mu.Unlock()
+
+	for i := range objects {
+		if objects[i].Addr.Home != self {
+			_ = m.bus.Send(types.Broadcast, types.MgrMemory, types.MgrMemory,
+				&wire.HomeUpdate{Addr: objects[i].Addr, Owner: self})
+		}
+	}
+	for _, f := range frames {
+		m.AdoptFrame(f.Clone())
+		if f.ID.Home != self {
+			_ = m.bus.Send(types.Broadcast, types.MgrMemory, types.MgrMemory,
+				&wire.HomeUpdate{Addr: f.ID, Owner: self})
+		}
+	}
+}
+
+// DropProgram discards all state of a terminated program ("a flag that
+// the program has terminated and thus its microthreads can safely be
+// deleted from memory", paper §4).
+func (m *Manager) DropProgram(prog types.ProgramID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, f := range m.frames {
+		if f.Thread.Program == prog {
+			delete(m.frames, id)
+		}
+	}
+	for addr, o := range m.objects {
+		if o.Program == prog {
+			delete(m.objects, addr)
+			delete(m.objOwner, addr)
+		}
+	}
+	// Replicas are not program-tagged; drop them all (cheap, and a
+	// terminated program's addresses never resolve again anyway).
+	m.readCache = make(map[types.GlobalAddr][]byte)
+	delete(m.paramLog, prog)
+	for grantee, frames := range m.grantLog {
+		kept := frames[:0]
+		for _, f := range frames {
+			if f.Thread.Program != prog {
+				kept = append(kept, f)
+			}
+		}
+		m.grantLog[grantee] = kept
+	}
+}
+
+// FrameCount returns the number of waiting frames (site statistics).
+func (m *Manager) FrameCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.frames)
+}
+
+// ObjectCount returns the number of resident objects.
+func (m *Manager) ObjectCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.objects)
+}
+
+// TakeFrame removes and returns a specific waiting frame (used when a
+// help reply hands a waiting frame away — rare, but the scheduler may
+// relocate incomplete frames during load balancing).
+func (m *Manager) TakeFrame(id types.FrameID) (*wire.Microframe, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.frames[id]
+	if ok {
+		delete(m.frames, id)
+	}
+	return f, ok
+}
+
+// ---------------------------------------------------------------------------
+// Message handling (msgbus dispatcher; must not block).
+
+// HandleMessage implements msgbus.Handler.
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.ApplyParam:
+		m.handleApplyParam(p)
+	case *wire.MemRead:
+		m.handleMemRead(msg, p)
+	case *wire.MemWrite:
+		m.handleMemWrite(msg, p)
+	case *wire.MemMigrate:
+		m.handleMigrate(p)
+	case *wire.MemInvalidate:
+		m.mu.Lock()
+		if _, ok := m.readCache[p.Addr]; ok {
+			delete(m.readCache, p.Addr)
+			m.stats.Invalidates++
+		}
+		m.mu.Unlock()
+		_ = m.bus.Reply(msg, types.MgrMemory, &wire.Barrier{})
+	case *wire.HomeUpdate:
+		m.handleHomeUpdate(msg.Src, p)
+	case *wire.FrameRelocate:
+		for _, f := range p.Frames {
+			m.AdoptFrame(f)
+		}
+	}
+}
+
+func (m *Manager) handleApplyParam(p *wire.ApplyParam) {
+	m.mu.Lock()
+	if f, ok := m.frames[p.Dst.Addr]; ok {
+		// Errors here are dataflow programming errors (double-filled
+		// slot); they are counted but cannot be reported to the remote
+		// sender meaningfully.
+		_ = m.applyLocked(f, int(p.Dst.Slot), p.Data)
+		m.mu.Unlock()
+		return
+	}
+	if m.consumed[p.Dst.Addr] {
+		m.mu.Unlock()
+		return
+	}
+	dst := m.routeFrameLocked(p.Dst.Addr)
+	m.mu.Unlock()
+
+	if dst != types.InvalidSite && dst != m.bus.Self() {
+		if err := m.bus.Send(dst, types.MgrMemory, types.MgrMemory, p); err == nil {
+			return
+		}
+		// The forward target just left or crashed; fall through to the
+		// retry path — routing will heal once relocation broadcasts or
+		// crash recovery update the directories.
+	}
+	// Frame not here and not (reachably) known elsewhere: likely
+	// in-flight. Retry shortly rather than dropping the parameter, but
+	// give up after ~5s so dead programs cannot loop forever.
+	m.mu.Lock()
+	m.pendingRetries[p.Dst]++
+	tries := m.pendingRetries[p.Dst]
+	m.mu.Unlock()
+	if tries > 100 {
+		m.mu.Lock()
+		delete(m.pendingRetries, p.Dst)
+		m.mu.Unlock()
+		return
+	}
+	dup := &wire.ApplyParam{Dst: p.Dst, Data: p.Data}
+	time.AfterFunc(50*time.Millisecond, func() {
+		_ = m.bus.Send(m.bus.Self(), types.MgrMemory, types.MgrMemory, dup)
+	})
+}
+
+func (m *Manager) handleMemRead(msg *wire.Message, p *wire.MemRead) {
+	m.mu.Lock()
+	if o, ok := m.objects[p.Addr]; ok {
+		reply := &wire.MemReadReply{Found: true, Object: *o.Clone()}
+		var invalidate []types.SiteID
+		if p.Migrate {
+			delete(m.objects, p.Addr)
+			if p.Addr.Home == m.bus.Self() {
+				m.objOwner[p.Addr] = msg.Src
+			} else {
+				// Transit hint: until the homesite directory catches
+				// up, requests that still arrive here are forwarded to
+				// the new owner instead of bouncing via the home.
+				m.remap[p.Addr] = msg.Src
+			}
+			m.stats.Migrations++
+			// Ownership moves: replicas keyed to this owner's copyset
+			// are dropped (the new owner starts a fresh copyset).
+			invalidate = m.takeCopysetLocked(p.Addr, msg.Src)
+		} else {
+			m.stats.LocalReads++
+			if m.cacheEnabled && msg.Src.Valid() && msg.Src != m.bus.Self() {
+				cs, ok := m.copies[p.Addr]
+				if !ok {
+					cs = make(map[types.SiteID]bool)
+					m.copies[p.Addr] = cs
+				}
+				cs[msg.Src] = true
+			}
+		}
+		m.mu.Unlock()
+		m.sendInvalidates(p.Addr, invalidate)
+		_ = m.bus.Reply(msg, types.MgrMemory, reply)
+		return
+	}
+	dst := m.routeObjectLocked(p.Addr)
+	m.mu.Unlock()
+
+	if dst == types.InvalidSite || dst == m.bus.Self() {
+		_ = m.bus.ReplyErr(msg, types.MgrMemory, wire.ErrCodeNoSuchObject, p.Addr.String())
+		return
+	}
+	_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemReadReply{Found: true, Redirect: dst})
+}
+
+func (m *Manager) handleMemWrite(msg *wire.Message, p *wire.MemWrite) {
+	m.mu.Lock()
+	if o, ok := m.objects[p.Addr]; ok {
+		writeAt(o, int(p.Offset), p.Data)
+		m.stats.LocalWrites++
+		invalidate := m.takeCopysetLocked(p.Addr, msg.Src)
+		m.mu.Unlock()
+		if len(invalidate) == 0 {
+			_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: true})
+			return
+		}
+		// Collect invalidation acks off the dispatcher, then ack the
+		// writer: once the writer proceeds, no stale replica survives.
+		go func() {
+			m.sendInvalidates(p.Addr, invalidate)
+			_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: true})
+		}()
+		return
+	}
+	dst := m.routeObjectLocked(p.Addr)
+	m.mu.Unlock()
+
+	if dst == types.InvalidSite || dst == m.bus.Self() {
+		_ = m.bus.ReplyErr(msg, types.MgrMemory, wire.ErrCodeNoSuchObject, p.Addr.String())
+		return
+	}
+	_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: false, Redirect: dst})
+}
+
+func (m *Manager) handleMigrate(p *wire.MemMigrate) {
+	m.mu.Lock()
+	self := m.bus.Self()
+	var updates []*wire.HomeUpdate
+	for i := range p.Objects {
+		o := p.Objects[i]
+		m.objects[o.Addr] = &o
+		if o.Addr.Home == self {
+			delete(m.objOwner, o.Addr) // we own it again
+		} else {
+			updates = append(updates, &wire.HomeUpdate{Addr: o.Addr, Owner: self})
+		}
+	}
+	m.stats.Migrations += uint64(len(p.Objects))
+	m.mu.Unlock()
+
+	for _, u := range updates {
+		_ = m.bus.Send(u.Addr.Home, types.MgrMemory, types.MgrMemory, u)
+	}
+}
+
+func (m *Manager) handleHomeUpdate(from types.SiteID, p *wire.HomeUpdate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	self := m.bus.Self()
+	if p.Addr.Home == self {
+		// Directory update for an address we created.
+		if p.Owner == self {
+			delete(m.objOwner, p.Addr)
+			delete(m.frameOwner, p.Addr)
+			return
+		}
+		if m.consumed[p.Addr] {
+			return
+		}
+		// The address may name a frame or an object; record in both
+		// directories (lookups check residency first, so a stale entry
+		// in the wrong directory is harmless).
+		if _, resident := m.objects[p.Addr]; !resident {
+			if _, fresident := m.frames[p.Addr]; !fresident {
+				m.objOwner[p.Addr] = p.Owner
+				m.frameOwner[p.Addr] = p.Owner
+			}
+		}
+		return
+	}
+	// Broadcast remap from an evacuating site.
+	if _, resident := m.objects[p.Addr]; resident {
+		return
+	}
+	if _, resident := m.frames[p.Addr]; resident {
+		return
+	}
+	if p.Owner == self {
+		return
+	}
+	m.remap[p.Addr] = p.Owner
+}

@@ -1,0 +1,105 @@
+package mthread
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Parameter encoding helpers. Microframe parameters are opaque byte
+// slices on the wire; applications almost always pass integers, floats,
+// global addresses, or frame targets. These helpers fix one encoding
+// (little-endian) so microthreads on any site agree.
+
+// U64 encodes an unsigned 64-bit integer.
+func U64(v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, v)
+}
+
+// ParseU64 decodes an unsigned 64-bit integer (zero for short input).
+func ParseU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 encodes a signed 64-bit integer.
+func I64(v int64) []byte { return U64(uint64(v)) }
+
+// ParseI64 decodes a signed 64-bit integer.
+func ParseI64(b []byte) int64 { return int64(ParseU64(b)) }
+
+// F64 encodes a float64.
+func F64(v float64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(v))
+}
+
+// ParseF64 decodes a float64.
+func ParseF64(b []byte) float64 { return math.Float64frombits(ParseU64(b)) }
+
+// U64s encodes a vector of unsigned 64-bit integers.
+func U64s(vs []uint64) []byte {
+	out := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		out = binary.LittleEndian.AppendUint64(out, v)
+	}
+	return out
+}
+
+// ParseU64s decodes a vector of unsigned 64-bit integers.
+func ParseU64s(b []byte) []uint64 {
+	n := len(b) / 8
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// Addr encodes a global memory address.
+func Addr(a types.GlobalAddr) []byte {
+	out := make([]byte, 12)
+	binary.LittleEndian.PutUint32(out, uint32(a.Home))
+	binary.LittleEndian.PutUint64(out[4:], a.Local)
+	return out
+}
+
+// ParseAddr decodes a global memory address.
+func ParseAddr(b []byte) types.GlobalAddr {
+	if len(b) < 12 {
+		return types.NilAddr
+	}
+	return types.GlobalAddr{
+		Home:  types.SiteID(binary.LittleEndian.Uint32(b)),
+		Local: binary.LittleEndian.Uint64(b[4:]),
+	}
+}
+
+// TargetBytes encodes a frame target (address + slot) so microthreads can
+// pass result destinations to each other as ordinary parameters — the
+// paper's "some address data has to be propagated to make transfer of
+// results possible at all" (§3.2).
+func TargetBytes(t wire.Target) []byte {
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint32(out, uint32(t.Addr.Home))
+	binary.LittleEndian.PutUint64(out[4:], t.Addr.Local)
+	binary.LittleEndian.PutUint32(out[12:], uint32(t.Slot))
+	return out
+}
+
+// ParseTarget decodes a frame target.
+func ParseTarget(b []byte) wire.Target {
+	if len(b) < 16 {
+		return wire.Target{}
+	}
+	return wire.Target{
+		Addr: types.GlobalAddr{
+			Home:  types.SiteID(binary.LittleEndian.Uint32(b)),
+			Local: binary.LittleEndian.Uint64(b[4:]),
+		},
+		Slot: int32(binary.LittleEndian.Uint32(b[12:])),
+	}
+}

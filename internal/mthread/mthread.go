@@ -1,0 +1,152 @@
+// Package mthread defines the microthread programming interface — the
+// "special instructions provided by the SDVM which represent the only
+// interface between the program running on the SDVM and the SDVM itself"
+// (paper §4, processing manager).
+//
+// A microthread is a short sequential code fragment (paper §3.1) that,
+// when executed with the parameters taken from its microframe, may:
+//
+//  1. extract the parameters from its microframe,
+//  2. calculate its results,
+//  3. possibly create (allocate) new microframes,
+//  4. send the results to the microframes requiring them as parameters.
+//
+// In the 2005 prototype microthreads were C fragments compiled per
+// platform. Go cannot load native code at runtime, so microthreads here
+// are Go functions registered by name in a Registry; the code manager
+// distributes *artifacts* (name + synthetic binary blob) between sites
+// and resolves names against the local registry. Every process of a
+// deployment registers the same application code — the moral equivalent
+// of every site having the source available for on-the-fly compilation.
+package mthread
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Context is the SDVM instruction set available to an executing
+// microthread.
+type Context interface {
+	// Param returns parameter slot i of the consumed microframe.
+	Param(i int) []byte
+	// Arity returns the number of parameter slots.
+	Arity() int
+	// Target returns pre-wired result destination i of the frame
+	// (zero Target if absent).
+	Target(i int) wire.Target
+	// Targets returns all pre-wired result destinations.
+	Targets() []wire.Target
+
+	// Program returns the running program's id.
+	Program() types.ProgramID
+	// Thread returns the executing microthread's id.
+	Thread() types.ThreadID
+	// Frame returns the consumed microframe's id.
+	Frame() types.FrameID
+	// Site returns the executing site's logical id.
+	Site() types.SiteID
+	// Speed returns the executing site's relative speed factor.
+	Speed() float64
+
+	// NewFrame allocates a microframe for thread index threadIdx of the
+	// same program with the given parameter arity and result targets.
+	// The returned id is a global address other microthreads can send
+	// parameters to. Allocation is local and never fails; a zero-arity
+	// frame becomes executable immediately (paper §3.2: "a microframe
+	// may only be allocated when it is certain that it will receive all
+	// its parameters in the future").
+	NewFrame(threadIdx uint32, arity int, targets ...wire.Target) types.FrameID
+	// NewFramePrio is NewFrame with explicit scheduling hints
+	// (paper §3.3).
+	NewFramePrio(threadIdx uint32, arity int, prio types.Priority, hint uint32, targets ...wire.Target) types.FrameID
+	// Send applies data to a parameter slot of a target microframe,
+	// anywhere in the cluster.
+	Send(target wire.Target, data []byte) error
+
+	// Alloc creates a global memory object and returns its address.
+	Alloc(data []byte) types.GlobalAddr
+	// Read returns a copy of a global memory object's contents.
+	Read(addr types.GlobalAddr) ([]byte, error)
+	// Write updates a global memory object in place.
+	Write(addr types.GlobalAddr, offset int, data []byte) error
+	// Attract migrates a global memory object to this site and returns
+	// its contents (COMA write-intent attraction).
+	Attract(addr types.GlobalAddr) ([]byte, error)
+
+	// Output sends text to the program's frontend (paper §4, I/O
+	// manager routes all output to the front end).
+	Output(text string)
+	// Input asks the program's frontend for one line of user input;
+	// ok is false when the frontend has no input source attached. It
+	// blocks across the cluster — precisely the latency the processing
+	// manager's window hides.
+	Input(prompt string) (line string, ok bool)
+	// Work simulates cpuCost units of computation, scaled by the site's
+	// speed factor. In real-work mode it burns CPU; in simulated mode it
+	// sleeps — see the exec package's WorkModel.
+	Work(cpuCost float64)
+	// Exit terminates the whole program with a result delivered to the
+	// submitter.
+	Exit(result []byte)
+}
+
+// Func is the executable body of a microthread.
+type Func func(ctx Context) error
+
+// Registry maps stable function names to implementations. Application
+// packages register their microthreads once at startup (typically from
+// init or a Register*Workload helper); sites resolve artifacts received
+// from the code manager against it.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{funcs: make(map[string]Func)}
+}
+
+// Register binds name to fn. Re-registering a name panics: two different
+// microthreads with one name would corrupt programs silently.
+func (r *Registry) Register(name string, fn Func) {
+	if fn == nil {
+		panic(fmt.Sprintf("mthread: nil func registered for %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.funcs[name]; dup {
+		panic(fmt.Sprintf("mthread: duplicate registration of %q", name))
+	}
+	r.funcs[name] = fn
+}
+
+// Lookup resolves a function name.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.funcs[name]
+	return fn, ok
+}
+
+// Names returns all registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Global is the process-wide default registry. Workload packages register
+// into it from init so every site daemon hosted by this process can
+// execute them — mirroring "the source code is available on every site".
+var Global = NewRegistry()

@@ -1,0 +1,144 @@
+package mthread
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	called := false
+	r.Register("w.f", func(Context) error { called = true; return nil })
+
+	fn, ok := r.Lookup("w.f")
+	if !ok {
+		t.Fatal("Lookup failed")
+	}
+	if err := fn(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("wrong function")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("Lookup of missing name succeeded")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("dup", func(Context) error { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register("dup", func(Context) error { return nil })
+}
+
+func TestRegistryNilPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Register did not panic")
+		}
+	}()
+	r.Register("nil", nil)
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Register(n, func(Context) error { return nil })
+	}
+	got := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return ParseU64(U64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ParseU64(nil) != 0 || ParseU64([]byte{1, 2}) != 0 {
+		t.Fatal("short input must parse to 0")
+	}
+}
+
+func TestI64RoundTrip(t *testing.T) {
+	f := func(v int64) bool { return ParseI64(I64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF64RoundTrip(t *testing.T) {
+	cases := []float64{0, 1.5, -3.25, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	for _, v := range cases {
+		if got := ParseF64(F64(v)); got != v {
+			t.Errorf("F64 roundtrip %v -> %v", v, got)
+		}
+	}
+	if !math.IsNaN(ParseF64(F64(math.NaN()))) {
+		t.Error("NaN lost")
+	}
+}
+
+func TestU64sRoundTrip(t *testing.T) {
+	f := func(vs []uint64) bool {
+		got := ParseU64s(U64s(vs))
+		if len(vs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(home uint32, local uint64) bool {
+		a := types.GlobalAddr{Home: types.SiteID(home), Local: local}
+		return ParseAddr(Addr(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ParseAddr([]byte{1}).IsNil() {
+		t.Fatal("short addr must parse to nil")
+	}
+}
+
+func TestTargetRoundTrip(t *testing.T) {
+	f := func(home uint32, local uint64, slot int32) bool {
+		tg := wire.Target{
+			Addr: types.GlobalAddr{Home: types.SiteID(home), Local: local},
+			Slot: slot,
+		}
+		return ParseTarget(TargetBytes(tg)) == tg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ParseTarget([]byte{1, 2, 3}).IsNil() {
+		t.Fatal("short target must parse to zero")
+	}
+}
+
+func TestGlobalRegistryHasWorkloads(t *testing.T) {
+	// The workloads package registers into Global from init; this
+	// package must not know about it. Just verify Global is usable.
+	r := Global
+	if r == nil {
+		t.Fatal("Global registry is nil")
+	}
+}

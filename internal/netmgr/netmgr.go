@@ -1,0 +1,250 @@
+// Package netmgr implements the SDVM's network manager (paper §4).
+//
+// The network manager "sends and receives packets to and from the
+// network. To receive, it features a listener, which spawns a new thread
+// every time an incoming connection is established." It is the lowest
+// layer of the SDVM and "works with physical (ip) addresses only" — it
+// knows nothing about logical site ids, managers, or message contents.
+//
+// Outgoing datagrams pass through the security layer's Seal, incoming
+// ones through Open, realizing the paper's placement of the security
+// manager between message manager and network manager. Connections are
+// cached per physical address and re-dialed transparently after failures,
+// amortizing TCP's connection-setup overhead (the paper's main complaint
+// about TCP for SDVM-sized messages).
+package netmgr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/security"
+	"repro/internal/transport"
+)
+
+// Handler consumes one verified incoming datagram. It is called from a
+// per-connection receive goroutine; implementations hand off long work.
+type Handler func(datagram []byte)
+
+// Manager moves sealed datagrams between this site and peers.
+type Manager struct {
+	net     transport.Network
+	sec     security.Layer
+	handler Handler
+
+	mu       sync.Mutex
+	listener transport.Listener
+	conns    map[string]transport.Endpoint // dialed, by remote listen address
+	live     map[transport.Endpoint]bool   // every endpoint with a recv loop
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New returns a network manager using net for links and sec for sealing.
+func New(net transport.Network, sec security.Layer, handler Handler) *Manager {
+	return &Manager{
+		net:     net,
+		sec:     sec,
+		handler: handler,
+		conns:   make(map[string]transport.Endpoint),
+		live:    make(map[transport.Endpoint]bool),
+	}
+}
+
+// Listen binds the site's listening point and starts the accept loop.
+// It returns the bound physical address (resolving ":0" style requests).
+func (m *Manager) Listen(addr string) (string, error) {
+	l, err := m.net.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		l.Close()
+		return "", transport.ErrClosed
+	}
+	m.listener = l
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go m.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+func (m *Manager) acceptLoop(l transport.Listener) {
+	defer m.wg.Done()
+	for {
+		ep, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m.track(ep)
+	}
+}
+
+// track registers an endpoint and starts its receive loop; endpoints of
+// a closed manager are closed immediately.
+func (m *Manager) track(ep transport.Endpoint) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		ep.Close()
+		return
+	}
+	m.live[ep] = true
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.recvLoop(ep)
+}
+
+// recvLoop drains one endpoint, opening and delivering each datagram.
+// Datagrams that fail authentication are dropped silently — an attacker
+// must not learn which guesses came close (and a cluster-config mistake
+// shows up as timeouts, which the managers already handle).
+func (m *Manager) recvLoop(ep transport.Endpoint) {
+	defer m.wg.Done()
+	defer func() {
+		ep.Close()
+		m.mu.Lock()
+		delete(m.live, ep)
+		m.mu.Unlock()
+	}()
+	for {
+		sealed, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		plain, err := m.sec.Open(sealed)
+		if err != nil {
+			continue
+		}
+		m.handler(plain)
+	}
+}
+
+// Send seals and transmits one datagram to the peer listening at
+// physAddr. A cached connection is reused; on send failure one fresh
+// dial is attempted before giving up (the peer may have restarted).
+func (m *Manager) Send(physAddr string, datagram []byte) error {
+	sealed, err := m.sec.Seal(datagram)
+	if err != nil {
+		return err
+	}
+
+	ep, err := m.conn(physAddr, false)
+	if err != nil {
+		return err
+	}
+	if err := ep.Send(sealed); err == nil {
+		return nil
+	}
+	// Stale connection: drop it and retry over a fresh one.
+	ep, err = m.conn(physAddr, true)
+	if err != nil {
+		return err
+	}
+	if err := ep.Send(sealed); err != nil {
+		m.drop(physAddr, ep)
+		return fmt.Errorf("netmgr send to %s: %w", physAddr, err)
+	}
+	return nil
+}
+
+// conn returns the cached connection to physAddr, dialing if absent or
+// if fresh is set.
+func (m *Manager) conn(physAddr string, fresh bool) (transport.Endpoint, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if !fresh {
+		if ep, ok := m.conns[physAddr]; ok {
+			m.mu.Unlock()
+			return ep, nil
+		}
+	}
+	m.mu.Unlock()
+
+	ep, err := m.net.Dial(physAddr)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		ep.Close()
+		return nil, transport.ErrClosed
+	}
+	if old, ok := m.conns[physAddr]; ok && !fresh {
+		// Lost a race with a concurrent dial; keep the existing one.
+		m.mu.Unlock()
+		ep.Close()
+		return old, nil
+	}
+	if old, ok := m.conns[physAddr]; ok {
+		old.Close()
+	}
+	m.conns[physAddr] = ep
+	m.mu.Unlock()
+
+	// Replies and peer-initiated traffic can arrive on our dialed
+	// connection too; drain it like an accepted one.
+	m.track(ep)
+	return ep, nil
+}
+
+// drop removes a dead connection from the cache.
+func (m *Manager) drop(physAddr string, ep transport.Endpoint) {
+	m.mu.Lock()
+	if m.conns[physAddr] == ep {
+		delete(m.conns, physAddr)
+	}
+	m.mu.Unlock()
+	ep.Close()
+}
+
+// Forget closes and forgets the cached connection to physAddr (used when
+// a peer signs off or is declared crashed).
+func (m *Manager) Forget(physAddr string) {
+	m.mu.Lock()
+	ep, ok := m.conns[physAddr]
+	if ok {
+		delete(m.conns, physAddr)
+	}
+	m.mu.Unlock()
+	if ok {
+		ep.Close()
+	}
+}
+
+// Close shuts the manager down: the listener stops, all connections
+// close, and Close blocks until every receive goroutine exited.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	l := m.listener
+	conns := make([]transport.Endpoint, 0, len(m.conns)+len(m.live))
+	for _, ep := range m.conns {
+		conns = append(conns, ep)
+	}
+	for ep := range m.live {
+		conns = append(conns, ep)
+	}
+	m.conns = make(map[string]transport.Endpoint)
+	m.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	for _, ep := range conns {
+		ep.Close()
+	}
+	m.wg.Wait()
+}

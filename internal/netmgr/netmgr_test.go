@@ -1,0 +1,250 @@
+package netmgr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/transport/inproc"
+)
+
+// collect buffers delivered datagrams for assertions.
+type collect struct {
+	mu   sync.Mutex
+	msgs [][]byte
+	ch   chan []byte
+}
+
+func newCollect() *collect {
+	return &collect{ch: make(chan []byte, 128)}
+}
+
+func (c *collect) handler(d []byte) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, d)
+	c.mu.Unlock()
+	c.ch <- d
+}
+
+func (c *collect) wait(t *testing.T) []byte {
+	t.Helper()
+	select {
+	case d := <-c.ch:
+		return d
+	case <-time.After(5 * time.Second):
+		t.Fatal("no datagram delivered")
+		return nil
+	}
+}
+
+func newPairT(t *testing.T, sec security.Layer) (a, b *Manager, ca, cb *collect, addrA, addrB string) {
+	t.Helper()
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+
+	ca, cb = newCollect(), newCollect()
+	a = New(fab, sec, ca.handler)
+	b = New(fab, sec, cb.handler)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+
+	var err error
+	addrA, err = a.Listen("site-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err = b.Listen("site-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestSendDeliversPlaintext(t *testing.T) {
+	a, _, _, cb, _, addrB := newPairT(t, security.Plaintext{})
+	if err := a.Send(addrB, []byte("help request")); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.wait(t); string(got) != "help request" {
+		t.Fatalf("delivered %q", got)
+	}
+}
+
+func TestSendDeliversEncrypted(t *testing.T) {
+	sec, err := security.NewAESGCM("cluster-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ca, cb, addrA, addrB := newPairT(t, sec)
+
+	if err := a.Send(addrB, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.wait(t); string(got) != "secret" {
+		t.Fatalf("delivered %q", got)
+	}
+	// Reverse direction over b's own dial.
+	if err := b.Send(addrA, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ca.wait(t); string(got) != "reply" {
+		t.Fatalf("delivered %q", got)
+	}
+}
+
+func TestMismatchedKeysDropSilently(t *testing.T) {
+	secA, _ := security.NewAESGCM("alpha")
+	secB, _ := security.NewAESGCM("beta")
+	fab := inproc.New(inproc.LinkProfile{})
+	defer fab.Close()
+
+	cb := newCollect()
+	a := New(fab, secA, func([]byte) {})
+	b := New(fab, secB, cb.handler)
+	defer a.Close()
+	defer b.Close()
+	if _, err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := b.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Send(addrB, []byte("noise")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-cb.ch:
+		t.Fatalf("foreign-key datagram delivered: %q", d)
+	case <-time.After(100 * time.Millisecond):
+		// Correct: dropped.
+	}
+}
+
+func TestConnectionReuse(t *testing.T) {
+	a, _, _, cb, _, addrB := newPairT(t, security.Plaintext{})
+	for i := 0; i < 50; i++ {
+		if err := a.Send(addrB, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		cb.wait(t)
+	}
+	a.mu.Lock()
+	n := len(a.conns)
+	a.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d cached connections, want 1", n)
+	}
+}
+
+func TestRepliesArriveOnDialedConnection(t *testing.T) {
+	// a dials b; b answers over its own Send — and a must also receive
+	// traffic b initiates, without b ever dialing (beyond its own cache).
+	a, b, ca, cb, addrA, addrB := newPairT(t, security.Plaintext{})
+	if err := a.Send(addrB, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	cb.wait(t)
+	if err := b.Send(addrA, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	ca.wait(t)
+}
+
+func TestSendToDeadPeerFails(t *testing.T) {
+	fab := inproc.New(inproc.LinkProfile{})
+	defer fab.Close()
+	a := New(fab, security.Plaintext{}, func([]byte) {})
+	defer a.Close()
+	if err := a.Send("nobody", []byte("x")); err == nil {
+		t.Fatal("Send to unbound address succeeded")
+	}
+}
+
+func TestRedialAfterPeerRestart(t *testing.T) {
+	fab := inproc.New(inproc.LinkProfile{})
+	defer fab.Close()
+
+	cb := newCollect()
+	a := New(fab, security.Plaintext{}, func([]byte) {})
+	defer a.Close()
+	b1 := New(fab, security.Plaintext{}, cb.handler)
+	addrB, err := b1.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Send(addrB, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	cb.wait(t)
+
+	// Restart b: old connections die, a's cache goes stale.
+	b1.Close()
+	b2 := New(fab, security.Plaintext{}, cb.handler)
+	defer b2.Close()
+	if _, err := b2.Listen("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Allow close to propagate, then Send must transparently redial.
+	time.Sleep(20 * time.Millisecond)
+	if err := a.Send(addrB, []byte("two")); err != nil {
+		t.Fatalf("Send after peer restart: %v", err)
+	}
+	if got := cb.wait(t); string(got) != "two" {
+		t.Fatalf("delivered %q", got)
+	}
+}
+
+func TestForgetDropsConnection(t *testing.T) {
+	a, _, _, cb, _, addrB := newPairT(t, security.Plaintext{})
+	if err := a.Send(addrB, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	cb.wait(t)
+	a.Forget(addrB)
+	a.mu.Lock()
+	n := len(a.conns)
+	a.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d cached connections after Forget, want 0", n)
+	}
+}
+
+func TestCloseIsIdempotentAndTerminal(t *testing.T) {
+	a, _, _, _, _, addrB := newPairT(t, security.Plaintext{})
+	a.Close()
+	a.Close()
+	if err := a.Send(addrB, []byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Send after Close = %v", err)
+	}
+	if _, err := a.Listen("again"); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Listen after Close = %v", err)
+	}
+}
+
+func TestConcurrentSendsOneTarget(t *testing.T) {
+	a, _, _, cb, _, addrB := newPairT(t, security.Plaintext{})
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Send(addrB, []byte("m")); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		cb.wait(t)
+	}
+}

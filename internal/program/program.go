@@ -1,0 +1,255 @@
+// Package program implements the SDVM's program manager (paper §4).
+//
+// "If the SDVM runs more than one program at the same time, the programs
+// must be distinguished. The program manager maintains a list of all
+// programs the local site currently works on," including each program's
+// code home site (where microthread code can always be requested), its
+// frontend site (where output goes), and a termination flag so that dead
+// programs' state "can safely be deleted from memory".
+//
+// The list is updated lazily: when a help request hands this site a
+// microframe of an unknown program, the program manager queries the
+// granting site for the registration — "the site will always know at
+// least one other site working on a program".
+package program
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/msgbus"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Entry is one program-table row.
+type Entry struct {
+	Reg        wire.ProgramRegister
+	Terminated bool
+	Result     []byte
+}
+
+// Manager is one site's program manager.
+type Manager struct {
+	bus *msgbus.Bus
+
+	mu      sync.Mutex
+	table   map[types.ProgramID]*Entry
+	nextSeq uint32
+	waiters map[types.ProgramID][]chan []byte
+	pending map[types.ProgramID]bool // registration fetch in flight
+
+	// onTerminate hooks let the other managers GC a finished program.
+	onTerminate []func(prog types.ProgramID, result []byte)
+}
+
+// New returns a program manager registered for MgrProgram.
+func New(bus *msgbus.Bus) *Manager {
+	m := &Manager{
+		bus:     bus,
+		table:   make(map[types.ProgramID]*Entry),
+		waiters: make(map[types.ProgramID][]chan []byte),
+		pending: make(map[types.ProgramID]bool),
+	}
+	bus.Register(types.MgrProgram, m)
+	return m
+}
+
+// OnTerminate registers a garbage-collection hook invoked (once per
+// program, on this site) when a program terminates.
+func (m *Manager) OnTerminate(f func(prog types.ProgramID, result []byte)) {
+	m.mu.Lock()
+	m.onTerminate = append(m.onTerminate, f)
+	m.mu.Unlock()
+}
+
+// NewProgram allocates a cluster-unique program id started at this site.
+func (m *Manager) NewProgram() types.ProgramID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextSeq++
+	return types.MakeProgramID(m.bus.Self(), m.nextSeq)
+}
+
+// Register installs a program locally and announces it to the cluster.
+// The submitting site is the program's code home and frontend by default.
+func (m *Manager) Register(reg wire.ProgramRegister) {
+	m.mu.Lock()
+	if _, dup := m.table[reg.Program]; !dup {
+		m.table[reg.Program] = &Entry{Reg: reg}
+	}
+	m.mu.Unlock()
+	_ = m.bus.Send(types.Broadcast, types.MgrProgram, types.MgrProgram, &reg)
+}
+
+// Known reports whether this site has a program-table entry.
+func (m *Manager) Known(prog types.ProgramID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.table[prog]
+	return ok
+}
+
+// Terminated reports whether the program is known to be finished.
+func (m *Manager) Terminated(prog types.ProgramID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.table[prog]
+	return ok && e.Terminated
+}
+
+// CodeHome returns the site to request microthread code from.
+func (m *Manager) CodeHome(prog types.ProgramID) types.SiteID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.table[prog]; ok {
+		return e.Reg.CodeHome
+	}
+	return types.InvalidSite
+}
+
+// Frontend returns the site whose frontend receives the program's output.
+func (m *Manager) Frontend(prog types.ProgramID) types.SiteID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.table[prog]; ok {
+		return e.Reg.Frontend
+	}
+	return types.InvalidSite
+}
+
+// Programs returns the ids of all non-terminated programs on this site.
+func (m *Manager) Programs() []types.ProgramID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]types.ProgramID, 0, len(m.table))
+	for id, e := range m.table {
+		if !e.Terminated {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EnsureKnown fetches the registration of an unknown program from hint —
+// the site that just handed us one of its microframes. Asynchronous and
+// idempotent; called from the scheduling manager's adoption path.
+func (m *Manager) EnsureKnown(prog types.ProgramID, hint types.SiteID) {
+	m.mu.Lock()
+	if _, ok := m.table[prog]; ok || m.pending[prog] || !hint.Valid() {
+		m.mu.Unlock()
+		return
+	}
+	m.pending[prog] = true
+	m.mu.Unlock()
+
+	go func() {
+		defer func() {
+			m.mu.Lock()
+			delete(m.pending, prog)
+			m.mu.Unlock()
+		}()
+		reply, err := m.bus.Request(hint, types.MgrProgram, types.MgrProgram,
+			&wire.ProgramQuery{Program: prog}, 3*time.Second)
+		if err != nil {
+			return
+		}
+		info, ok := reply.Payload.(*wire.ProgramInfo)
+		if !ok || !info.Known {
+			return
+		}
+		m.mu.Lock()
+		if _, dup := m.table[prog]; !dup {
+			m.table[prog] = &Entry{Reg: info.Register, Terminated: info.Terminated}
+		}
+		m.mu.Unlock()
+	}()
+}
+
+// Terminate finishes a program: records the result, notifies the cluster,
+// wakes local waiters, and runs GC hooks. Safe to call more than once;
+// only the first call has effect.
+func (m *Manager) Terminate(prog types.ProgramID, result []byte) {
+	if !m.markTerminated(prog, result) {
+		return
+	}
+	_ = m.bus.Send(types.Broadcast, types.MgrProgram, types.MgrProgram,
+		&wire.ProgramTerminated{Program: prog, Result: result})
+}
+
+// markTerminated updates local state; returns false if already done.
+func (m *Manager) markTerminated(prog types.ProgramID, result []byte) bool {
+	m.mu.Lock()
+	e, ok := m.table[prog]
+	if !ok {
+		e = &Entry{Reg: wire.ProgramRegister{Program: prog}}
+		m.table[prog] = e
+	}
+	if e.Terminated {
+		m.mu.Unlock()
+		return false
+	}
+	e.Terminated = true
+	e.Result = result
+	waiters := m.waiters[prog]
+	delete(m.waiters, prog)
+	hooks := append([]func(types.ProgramID, []byte){}, m.onTerminate...)
+	m.mu.Unlock()
+
+	for _, ch := range waiters {
+		ch <- result
+	}
+	for _, h := range hooks {
+		h(prog, result)
+	}
+	return true
+}
+
+// WaitResult blocks until the program terminates (anywhere in the
+// cluster) and returns its result. ok is false on timeout.
+func (m *Manager) WaitResult(prog types.ProgramID, timeout time.Duration) (result []byte, ok bool) {
+	m.mu.Lock()
+	if e, done := m.table[prog]; done && e.Terminated {
+		m.mu.Unlock()
+		return e.Result, true
+	}
+	ch := make(chan []byte, 1)
+	m.waiters[prog] = append(m.waiters[prog], ch)
+	m.mu.Unlock()
+
+	if timeout <= 0 {
+		return <-ch, true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r, true
+	case <-timer.C:
+		return nil, false
+	}
+}
+
+// HandleMessage implements msgbus.Handler.
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.ProgramRegister:
+		m.mu.Lock()
+		if _, dup := m.table[p.Program]; !dup {
+			m.table[p.Program] = &Entry{Reg: *p}
+		}
+		m.mu.Unlock()
+	case *wire.ProgramTerminated:
+		m.markTerminated(p.Program, p.Result)
+	case *wire.ProgramQuery:
+		m.mu.Lock()
+		info := &wire.ProgramInfo{}
+		if e, ok := m.table[p.Program]; ok {
+			info.Known = true
+			info.Terminated = e.Terminated
+			info.Register = e.Reg
+		}
+		m.mu.Unlock()
+		_ = m.bus.Reply(msg, types.MgrProgram, info)
+	}
+}

@@ -1,0 +1,174 @@
+package program
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/testnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func progCluster(t *testing.T, n int) ([]*testnet.Node, []*Manager) {
+	t.Helper()
+	mgrs := make([]*Manager, n)
+	nodes := testnet.NewCluster(t, n, func(i int, node *testnet.Node) {
+		mgrs[i] = New(node.Bus)
+	})
+	return nodes, mgrs
+}
+
+func TestNewProgramEmbedsSite(t *testing.T) {
+	_, mgrs := progCluster(t, 2)
+	p0 := mgrs[0].NewProgram()
+	p1 := mgrs[1].NewProgram()
+	if p0.StartSite() == p1.StartSite() {
+		t.Fatal("programs from different sites share a start site")
+	}
+	if mgrs[0].NewProgram() == p0 {
+		t.Fatal("sequential programs collide")
+	}
+}
+
+func TestRegisterBroadcasts(t *testing.T) {
+	_, mgrs := progCluster(t, 3)
+	prog := mgrs[0].NewProgram()
+	mgrs[0].Register(wire.ProgramRegister{
+		Program:  prog,
+		CodeHome: mgrs[0].bus.Self(),
+		Frontend: mgrs[0].bus.Self(),
+		Name:     "test",
+	})
+	for i, m := range mgrs {
+		m := m
+		testnet.WaitFor(t, "registration propagated", func() bool { return m.Known(prog) })
+		if m.CodeHome(prog) != mgrs[0].bus.Self() {
+			t.Errorf("site %d: CodeHome = %v", i, m.CodeHome(prog))
+		}
+		if m.Frontend(prog) != mgrs[0].bus.Self() {
+			t.Errorf("site %d: Frontend = %v", i, m.Frontend(prog))
+		}
+	}
+}
+
+func TestUnknownProgramDefaults(t *testing.T) {
+	_, mgrs := progCluster(t, 1)
+	bogus := types.MakeProgramID(9, 9)
+	if mgrs[0].Known(bogus) || mgrs[0].Terminated(bogus) {
+		t.Fatal("unknown program misreported")
+	}
+	if mgrs[0].CodeHome(bogus) != types.InvalidSite || mgrs[0].Frontend(bogus) != types.InvalidSite {
+		t.Fatal("unknown program has homes")
+	}
+}
+
+func TestTerminateWakesWaiters(t *testing.T) {
+	_, mgrs := progCluster(t, 2)
+	prog := mgrs[0].NewProgram()
+	mgrs[0].Register(wire.ProgramRegister{Program: prog, CodeHome: 1, Frontend: 1})
+	testnet.WaitFor(t, "registered everywhere", func() bool { return mgrs[1].Known(prog) })
+
+	type res struct {
+		r  []byte
+		ok bool
+	}
+	ch := make(chan res, 2)
+	for _, m := range mgrs {
+		m := m
+		go func() {
+			r, ok := m.WaitResult(prog, 10*time.Second)
+			ch <- res{r, ok}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Termination can be triggered on any site; broadcast reaches all.
+	mgrs[1].Terminate(prog, []byte("done"))
+	for i := 0; i < 2; i++ {
+		got := <-ch
+		if !got.ok || string(got.r) != "done" {
+			t.Fatalf("waiter %d got (%q,%v)", i, got.r, got.ok)
+		}
+	}
+	if !mgrs[0].Terminated(prog) || !mgrs[1].Terminated(prog) {
+		t.Fatal("termination flag missing")
+	}
+}
+
+func TestWaitResultAfterTermination(t *testing.T) {
+	_, mgrs := progCluster(t, 1)
+	prog := mgrs[0].NewProgram()
+	mgrs[0].Terminate(prog, []byte("r"))
+	r, ok := mgrs[0].WaitResult(prog, time.Second)
+	if !ok || string(r) != "r" {
+		t.Fatal("late waiter did not get result")
+	}
+}
+
+func TestWaitResultTimeout(t *testing.T) {
+	_, mgrs := progCluster(t, 1)
+	prog := mgrs[0].NewProgram()
+	if _, ok := mgrs[0].WaitResult(prog, 30*time.Millisecond); ok {
+		t.Fatal("WaitResult returned for unfinished program")
+	}
+}
+
+func TestTerminateIdempotent(t *testing.T) {
+	_, mgrs := progCluster(t, 1)
+	prog := mgrs[0].NewProgram()
+	hooks := 0
+	mgrs[0].OnTerminate(func(types.ProgramID, []byte) { hooks++ })
+	mgrs[0].Terminate(prog, []byte("first"))
+	mgrs[0].Terminate(prog, []byte("second"))
+	if hooks != 1 {
+		t.Fatalf("OnTerminate ran %d times", hooks)
+	}
+	r, _ := mgrs[0].WaitResult(prog, time.Second)
+	if string(r) != "first" {
+		t.Fatalf("result = %q, want the first", r)
+	}
+}
+
+func TestEnsureKnownFetchesRegistration(t *testing.T) {
+	_, mgrs := progCluster(t, 2)
+	prog := mgrs[0].NewProgram()
+	// Register only locally (no broadcast): simulate a site that joined
+	// after the announcement.
+	mgrs[0].mu.Lock()
+	mgrs[0].table[prog] = &Entry{Reg: wire.ProgramRegister{
+		Program: prog, CodeHome: mgrs[0].bus.Self(), Frontend: mgrs[0].bus.Self(), Name: "late",
+	}}
+	mgrs[0].mu.Unlock()
+
+	if mgrs[1].Known(prog) {
+		t.Fatal("site 1 knows the program prematurely")
+	}
+	mgrs[1].EnsureKnown(prog, mgrs[0].bus.Self())
+	testnet.WaitFor(t, "lazy registration", func() bool { return mgrs[1].Known(prog) })
+	if mgrs[1].CodeHome(prog) != mgrs[0].bus.Self() {
+		t.Fatal("fetched registration wrong")
+	}
+}
+
+func TestEnsureKnownIgnoresInvalidHint(t *testing.T) {
+	_, mgrs := progCluster(t, 1)
+	prog := types.MakeProgramID(7, 7)
+	mgrs[0].EnsureKnown(prog, types.InvalidSite) // must not panic or hang
+	time.Sleep(20 * time.Millisecond)
+	if mgrs[0].Known(prog) {
+		t.Fatal("program appeared from nowhere")
+	}
+}
+
+func TestProgramsListsRunningOnly(t *testing.T) {
+	_, mgrs := progCluster(t, 1)
+	m := mgrs[0]
+	p1 := m.NewProgram()
+	p2 := m.NewProgram()
+	m.Register(wire.ProgramRegister{Program: p1})
+	m.Register(wire.ProgramRegister{Program: p2})
+	m.Terminate(p1, nil)
+	progs := m.Programs()
+	if len(progs) != 1 || progs[0] != p2 {
+		t.Fatalf("Programs = %v", progs)
+	}
+}

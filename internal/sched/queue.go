@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// frameQueue is a deque of microframes supporting the FIFO, LIFO and
+// priority disciplines of the scheduling manager. It is not safe for
+// concurrent use; the Manager's mutex guards it.
+type frameQueue struct {
+	frames []*wire.Microframe
+}
+
+func newFrameQueue() *frameQueue { return &frameQueue{} }
+
+func (q *frameQueue) len() int { return len(q.frames) }
+
+// push appends a frame. Arrival order is the queue order; the policy is
+// applied at pop time so one queue can serve local FIFO dispatch and
+// LIFO help replies simultaneously, as the paper prescribes.
+func (q *frameQueue) push(f *wire.Microframe, _ types.SchedulingClass) {
+	q.frames = append(q.frames, f)
+}
+
+// pop removes one frame per the given discipline; nil when empty.
+// Critical-path frames (paper §3.3 scheduling hints) always dispatch
+// first, whatever the policy; with no critical frame queued the policy
+// applies unchanged.
+func (q *frameQueue) pop(policy types.SchedulingClass) *wire.Microframe {
+	n := len(q.frames)
+	if n == 0 {
+		return nil
+	}
+	idx := -1
+	for i, f := range q.frames {
+		if f.Prio >= types.PriorityCritical {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = pickIndex(n, policy, func(i int) types.Priority { return q.frames[i].Prio })
+	}
+	f := q.frames[idx]
+	q.frames = append(q.frames[:idx], q.frames[idx+1:]...)
+	return f
+}
+
+// popSurrender removes the frame best suited to give away to a peer:
+// the *lowest*-priority frame (ties broken by policy), and never a
+// critical-path frame — shipping the frame that unfolds the next stage
+// of the program detaches every peer's knowledge of where work spawns.
+func (q *frameQueue) popSurrender(policy types.SchedulingClass) *wire.Microframe {
+	n := len(q.frames)
+	if n == 0 {
+		return nil
+	}
+	lowest := q.frames[0].Prio
+	for _, f := range q.frames[1:] {
+		if f.Prio < lowest {
+			lowest = f.Prio
+		}
+	}
+	if lowest >= types.PriorityCritical {
+		return nil
+	}
+	// Pick among the lowest-priority frames by policy order.
+	var idxs []int
+	for i, f := range q.frames {
+		if f.Prio == lowest {
+			idxs = append(idxs, i)
+		}
+	}
+	pick := idxs[pickIndex(len(idxs), policy, func(int) types.Priority { return 0 })]
+	f := q.frames[pick]
+	q.frames = append(q.frames[:pick], q.frames[pick+1:]...)
+	return f
+}
+
+// drain removes and returns everything, oldest first.
+func (q *frameQueue) drain() []*wire.Microframe {
+	out := q.frames
+	q.frames = nil
+	return out
+}
+
+// all returns the queued frames without removing them.
+func (q *frameQueue) all() []*wire.Microframe { return q.frames }
+
+// dropProgram removes all frames of one program.
+func (q *frameQueue) dropProgram(prog types.ProgramID) {
+	kept := q.frames[:0]
+	for _, f := range q.frames {
+		if f.Thread.Program != prog {
+			kept = append(kept, f)
+		}
+	}
+	q.frames = kept
+}
+
+// pickIndex chooses the element index a policy selects from a queue of
+// length n whose elements arrived in index order. prio exposes element
+// priorities for SchedPriority (ties break FIFO).
+func pickIndex(n int, policy types.SchedulingClass, prio func(i int) types.Priority) int {
+	switch policy {
+	case types.SchedLIFO:
+		return n - 1
+	case types.SchedPriority:
+		best := 0
+		for i := 1; i < n; i++ {
+			if prio(i) > prio(best) {
+				best = i
+			}
+		}
+		return best
+	default: // SchedFIFO
+		return 0
+	}
+}

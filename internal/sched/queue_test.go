@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func qframe(local uint64, prio types.Priority) *wire.Microframe {
+	f := wire.NewMicroframe(
+		types.GlobalAddr{Home: 1, Local: local},
+		types.ThreadID{Program: types.MakeProgramID(1, 1), Index: 0}, 0)
+	f.Prio = prio
+	return f
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := newFrameQueue()
+	for i := uint64(1); i <= 5; i++ {
+		q.push(qframe(i, types.PriorityNormal), types.SchedFIFO)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if got := q.pop(types.SchedFIFO); got.ID.Local != i {
+			t.Fatalf("FIFO pop = %v, want %d", got.ID, i)
+		}
+	}
+	if q.pop(types.SchedFIFO) != nil {
+		t.Fatal("pop from empty queue")
+	}
+}
+
+func TestQueueLIFO(t *testing.T) {
+	q := newFrameQueue()
+	for i := uint64(1); i <= 5; i++ {
+		q.push(qframe(i, types.PriorityNormal), types.SchedLIFO)
+	}
+	for i := uint64(5); i >= 1; i-- {
+		if got := q.pop(types.SchedLIFO); got.ID.Local != i {
+			t.Fatalf("LIFO pop = %v, want %d", got.ID, i)
+		}
+	}
+}
+
+func TestQueueCriticalJumpsAnyPolicy(t *testing.T) {
+	for _, policy := range []types.SchedulingClass{types.SchedFIFO, types.SchedLIFO, types.SchedPriority} {
+		q := newFrameQueue()
+		q.push(qframe(1, types.PriorityNormal), policy)
+		q.push(qframe(2, types.PriorityCritical), policy)
+		q.push(qframe(3, types.PriorityHigh), policy)
+		if got := q.pop(policy); got.ID.Local != 2 {
+			t.Fatalf("policy %v: critical frame not dispatched first (got %v)", policy, got.ID)
+		}
+	}
+}
+
+func TestQueueSurrenderNeverGivesCritical(t *testing.T) {
+	q := newFrameQueue()
+	q.push(qframe(1, types.PriorityCritical), types.SchedLIFO)
+	if got := q.popSurrender(types.SchedLIFO); got != nil {
+		t.Fatalf("surrendered a critical frame: %v", got.ID)
+	}
+	q.push(qframe(2, types.PriorityLow), types.SchedLIFO)
+	q.push(qframe(3, types.PriorityNormal), types.SchedLIFO)
+	got := q.popSurrender(types.SchedLIFO)
+	if got == nil || got.ID.Local != 2 {
+		t.Fatalf("surrender must pick the lowest-priority frame, got %v", got)
+	}
+	if q.len() != 2 {
+		t.Fatalf("queue len = %d", q.len())
+	}
+}
+
+func TestQueueDropProgram(t *testing.T) {
+	q := newFrameQueue()
+	p2 := types.MakeProgramID(2, 2)
+	q.push(qframe(1, 0), types.SchedFIFO)
+	other := wire.NewMicroframe(types.GlobalAddr{Home: 1, Local: 9},
+		types.ThreadID{Program: p2, Index: 0}, 0)
+	q.push(other, types.SchedFIFO)
+	q.dropProgram(types.MakeProgramID(1, 1))
+	if q.len() != 1 || q.all()[0].Thread.Program != p2 {
+		t.Fatalf("dropProgram kept wrong frames: %v", q.all())
+	}
+}
+
+// TestQueueConservation property-checks that any sequence of pushes and
+// policy pops conserves frames: nothing is lost, nothing duplicated.
+func TestQueueConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := newFrameQueue()
+		pushed := map[uint64]bool{}
+		popped := map[uint64]bool{}
+		next := uint64(1)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // push with a pseudo-random priority
+				prio := types.Priority(int16(op) - 60)
+				q.push(qframe(next, prio), types.SchedFIFO)
+				pushed[next] = true
+				next++
+			case 2: // policy pop
+				if fr := q.pop(types.SchedulingClass(op % 3)); fr != nil {
+					if popped[fr.ID.Local] {
+						return false // duplicate
+					}
+					popped[fr.ID.Local] = true
+				}
+			case 3: // surrender pop
+				if fr := q.popSurrender(types.SchedLIFO); fr != nil {
+					if popped[fr.ID.Local] {
+						return false
+					}
+					popped[fr.ID.Local] = true
+				}
+			}
+		}
+		// drain the rest
+		for {
+			fr := q.pop(types.SchedFIFO)
+			if fr == nil {
+				break
+			}
+			if popped[fr.ID.Local] {
+				return false
+			}
+			popped[fr.ID.Local] = true
+		}
+		if len(popped) != len(pushed) {
+			return false
+		}
+		for id := range pushed {
+			if !popped[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,754 @@
+// Package sched implements the SDVM's scheduling manager (paper §3.3, §4).
+//
+// The scheduling manager "maintains a queue of executable microframes and
+// a queue of ready microframes" (Figure 5). A microframe arriving from
+// the attraction memory (all parameters present) is *executable*; the
+// scheduling manager then "will request the corresponding microthread
+// from the code manager as soon as it decides that it should eventually
+// be executed on the local site", and once the code pointer arrives the
+// frame is *ready*. The processing manager pulls ready frames.
+//
+// When both queues are empty and the processing manager asks for work,
+// the scheduling manager sends *help requests* to other sites — chosen by
+// the cluster manager as "probably not idle" — which answer with a frame
+// or a can't-help message. Per the paper, help replies use a LIFO pick
+// (hide the communication latency behind the freshest work, which has the
+// best chance of spawning more) while local dispatch is FIFO ("to avoid
+// starving of microframes"); both policies are configurable for the A-1
+// ablation.
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/msgbus"
+	"repro/internal/mthread"
+	"repro/internal/trace"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// parkedTTL bounds how long a parked help requester is remembered; a
+// site that found work elsewhere meanwhile simply re-begs.
+const parkedTTL = time.Second
+
+// Resolver turns a thread id into executable code (the code manager).
+type Resolver interface {
+	Resolve(thread types.ThreadID) (mthread.Func, error)
+}
+
+// Adopter registers migrated frames (the attraction memory).
+type Adopter interface {
+	AdoptFrame(f *wire.Microframe)
+}
+
+// grantLogger is implemented by the attraction memory to record frames
+// handed to peers, for crash-recovery replay.
+type grantLogger interface {
+	RecordGrant(grantee types.SiteID, f *wire.Microframe)
+}
+
+// Ready pairs an executable microframe with its resolved code pointer —
+// what the scheduling manager hands the processing manager.
+type Ready struct {
+	Frame *wire.Microframe
+	Fn    mthread.Func
+}
+
+// Config parameterizes a scheduling manager.
+type Config struct {
+	// LocalPolicy orders the ready queue for local execution
+	// (paper default: FIFO).
+	LocalPolicy types.SchedulingClass
+	// HelpPolicy picks the frame surrendered to a help request
+	// (paper default: LIFO).
+	HelpPolicy types.SchedulingClass
+	// HelpRetryMin/Max bound the idle site's backoff between help
+	// request rounds.
+	HelpRetryMin time.Duration
+	HelpRetryMax time.Duration
+	// MaxHelpFanout bounds how many distinct sites one help round asks.
+	MaxHelpFanout int
+	// NoCriticalPinning disables the §3.3 critical-path treatment
+	// (critical frames dispatch first and never migrate) for the A-7
+	// ablation.
+	NoCriticalPinning bool
+	// CentralSite, when valid, switches this site into the *central
+	// scheduling* baseline (A-5 ablation): every frame that becomes
+	// executable anywhere is forwarded to the central site's queue, and
+	// idle sites direct every help request there — reproducing the
+	// master/worker systems (Condor et al.) the paper argues against.
+	CentralSite types.SiteID
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Enqueued       uint64 // frames that became executable here
+	Dispatched     uint64 // frames handed to the processing manager
+	HelpAsked      uint64 // help requests sent
+	HelpGranted    uint64 // frames received from peers
+	HelpDenied     uint64 // can't-help replies received
+	HelpServed     uint64 // frames given away to peers
+	HelpRefused    uint64 // can't-help replies sent
+	ResolveErrs    uint64 // code resolution failures
+	FramesInFlight int32  // executable+ready right now
+}
+
+// Manager is one site's scheduling manager.
+type Manager struct {
+	bus      *msgbus.Bus
+	cm       *cluster.Manager
+	resolver Resolver
+	adopter  Adopter
+	cfg      Config
+	tr       *trace.Tracer
+
+	mu         sync.Mutex
+	executable *frameQueue // awaiting code resolution
+	ready      []*Ready    // awaiting the processing manager
+	stats      Stats
+	closed     bool
+	begging    bool // one help round in flight per site
+
+	// terminated programs: frames of these are dropped on sight.
+	dead map[types.ProgramID]bool
+
+	// resolveKick wakes the resolve loop (executable queue grew);
+	// readyKick wakes GetWork waiters (ready queue grew).
+	resolveKick chan struct{}
+	readyKick   chan struct{}
+	done        chan struct{}
+	wg          sync.WaitGroup
+
+	// lastGrantor is the peer that most recently gave this site work;
+	// it is the first target of the next help round (work begets work:
+	// the site that just spawned a burst of frames very likely still
+	// has some).
+	lastGrantor types.SiteID
+
+	// scatterRR round-robins proactive pushes over the cluster list —
+	// the paper's automatic spatial distribution: a burst of locally
+	// created frames spreads immediately instead of waiting to be
+	// begged for one by one.
+	scatterRR int
+
+	// parked remembers help requesters this site had to turn away;
+	// the next executable frames are pushed to them instead of waiting
+	// for their next poll. This turns the idle-site polling loop into
+	// push-based distribution (the polling stays as a fallback).
+	parked map[types.SiteID]time.Time
+
+	// unknownProg is invoked when a frame of an unknown program arrives
+	// from a peer (help reply); the program manager uses it to fetch the
+	// program's registration lazily. May be nil.
+	unknownProg func(prog types.ProgramID, hint types.SiteID)
+	knownProg   func(prog types.ProgramID) bool
+}
+
+// New returns a scheduling manager registered for MgrScheduling.
+func New(bus *msgbus.Bus, cm *cluster.Manager, resolver Resolver, cfg Config) *Manager {
+	if cfg.HelpRetryMin <= 0 {
+		cfg.HelpRetryMin = time.Millisecond
+	}
+	if cfg.HelpRetryMin <= 0 {
+		cfg.HelpRetryMin = 2 * time.Millisecond
+	}
+	if cfg.HelpRetryMax <= 0 {
+		// Polling is only the fallback: a turned-away requester is
+		// parked at the target, which pushes it the next executable
+		// frame (and the push wakes the sleeping worker immediately).
+		// The poll period therefore only bounds how fast an idle site
+		// discovers *new* busy sites, so it can be lazy.
+		cfg.HelpRetryMax = 25 * time.Millisecond
+	}
+	if cfg.MaxHelpFanout <= 0 {
+		cfg.MaxHelpFanout = 3
+	}
+	m := &Manager{
+		bus:         bus,
+		cm:          cm,
+		resolver:    resolver,
+		cfg:         cfg,
+		executable:  newFrameQueue(),
+		parked:      make(map[types.SiteID]time.Time),
+		dead:        make(map[types.ProgramID]bool),
+		resolveKick: make(chan struct{}, 1),
+		readyKick:   make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		knownProg:   func(types.ProgramID) bool { return true },
+	}
+	bus.Register(types.MgrScheduling, m)
+	return m
+}
+
+// SetAdopter wires the attraction memory (for incomplete frames arriving
+// in relocations).
+func (m *Manager) SetAdopter(a Adopter) { m.adopter = a }
+
+// SetTracer installs the event tracer (nil = off).
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// SetProgramHooks wires the program manager's lazy registration lookup.
+func (m *Manager) SetProgramHooks(known func(types.ProgramID) bool, unknown func(types.ProgramID, types.SiteID)) {
+	m.knownProg = known
+	m.unknownProg = unknown
+}
+
+// Start launches the code-resolution worker.
+func (m *Manager) Start() {
+	m.wg.Add(1)
+	go m.resolveLoop()
+}
+
+// Close stops the scheduler; blocked GetWork calls return false.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+	m.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.FramesInFlight = int32(m.executable.len() + len(m.ready))
+	return s
+}
+
+// QueueLen returns executable+ready counts for load reports.
+func (m *Manager) QueueLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.executable.len() + len(m.ready)
+}
+
+// notifyResolve wakes the resolve loop without blocking.
+func (m *Manager) notifyResolve() {
+	select {
+	case m.resolveKick <- struct{}{}:
+	default:
+	}
+}
+
+// notifyReady wakes one GetWork waiter without blocking.
+func (m *Manager) notifyReady() {
+	select {
+	case m.readyKick <- struct{}{}:
+	default:
+	}
+}
+
+// Enqueue accepts a microframe that just became executable — the
+// attraction memory's fire callback for locally created frames. It never
+// blocks. In central mode (A-5 baseline) frames are forwarded to the
+// central site instead of queueing locally. Surplus local frames scatter
+// round-robin across the cluster (spatial distribution, paper §2.1);
+// frames received from peers enter through enqueueForeign and never
+// bounce onward.
+func (m *Manager) Enqueue(f *wire.Microframe) {
+	m.enqueue(f, true)
+}
+
+// enqueueForeign accepts an executable frame granted by a peer.
+func (m *Manager) enqueueForeign(f *wire.Microframe) {
+	m.enqueue(f, false)
+}
+
+func (m *Manager) enqueue(f *wire.Microframe, allowScatter bool) {
+	m.mu.Lock()
+	if m.dead[f.Thread.Program] {
+		m.mu.Unlock()
+		return
+	}
+	if m.closed {
+		m.mu.Unlock()
+		// Signing off (or shut down): this frame must not die with us.
+		// Hand it to any other site; each push is also grant-logged so
+		// a crash of the successor replays it.
+		if target := m.cm.PickHelpTarget(nil); target.Valid() {
+			_ = m.PushFrame(target, f)
+		}
+		return
+	}
+	if m.cfg.CentralSite.Valid() && m.cfg.CentralSite != m.bus.Self() && allowScatter {
+		// Central baseline: locally fired frames go to the master's
+		// queue. Frames the master granted us (allowScatter=false) stay
+		// here — bouncing them back would ping-pong forever.
+		m.mu.Unlock()
+		_ = m.bus.Send(m.cfg.CentralSite, types.MgrScheduling, types.MgrScheduling,
+			&wire.FramePush{Frame: f})
+		return
+	}
+	// Scatter: keep a couple of frames for the local processor, ship
+	// the rest to peers immediately. Critical-path frames stay local,
+	// and the central baseline distributes by pull only.
+	if allowScatter && !m.cfg.CentralSite.Valid() &&
+		(m.cfg.NoCriticalPinning || f.Prio < types.PriorityCritical) &&
+		m.executable.len()+len(m.ready) >= 2 {
+		if dst := m.scatterTargetLocked(); dst.Valid() {
+			m.mu.Unlock()
+			m.tr.Record(trace.EvGranted, f.ID, f.Thread, "scatter to "+dst.String())
+			if g, ok := m.adopter.(grantLogger); ok {
+				g.RecordGrant(dst, f)
+			}
+			m.mu.Lock()
+			m.stats.HelpServed++
+			m.mu.Unlock()
+			_ = m.bus.Send(dst, types.MgrScheduling, types.MgrScheduling,
+				&wire.FramePush{Frame: f})
+			return
+		}
+	}
+	m.executable.push(f, m.cfg.LocalPolicy)
+	m.stats.Enqueued++
+	push := m.feedParkedLocked()
+	m.mu.Unlock()
+	m.tr.Record(trace.EvEnqueued, f.ID, f.Thread, "")
+	m.notifyResolve()
+	if push != nil {
+		if g, ok := m.adopter.(grantLogger); ok {
+			g.RecordGrant(push.dst, push.frame)
+		}
+		m.mu.Lock()
+		m.stats.HelpServed++
+		m.mu.Unlock()
+		_ = m.bus.Send(push.dst, types.MgrScheduling, types.MgrScheduling,
+			&wire.FramePush{Frame: push.frame})
+	}
+}
+
+// scatterTargetLocked picks the next peer in round-robin order for a
+// proactive push. Caller holds m.mu.
+func (m *Manager) scatterTargetLocked() types.SiteID {
+	sites := m.cm.SiteIDs()
+	self := m.bus.Self()
+	if len(sites) < 2 {
+		return types.InvalidSite
+	}
+	for range sites {
+		m.scatterRR++
+		dst := sites[m.scatterRR%len(sites)]
+		if dst != self {
+			return dst
+		}
+	}
+	return types.InvalidSite
+}
+
+// pendingPush is a frame owed to a parked help requester.
+type pendingPush struct {
+	dst   types.SiteID
+	frame *wire.Microframe
+}
+
+// feedParkedLocked hands a surplus executable frame to one parked
+// requester, if any. Caller holds m.mu.
+func (m *Manager) feedParkedLocked() *pendingPush {
+	if len(m.parked) == 0 {
+		return nil
+	}
+	// Keep one frame for ourselves, as with help replies.
+	if m.executable.len()+len(m.ready) <= 1 {
+		return nil
+	}
+	now := time.Now()
+	var dst types.SiteID
+	for id, since := range m.parked {
+		if now.Sub(since) > parkedTTL {
+			delete(m.parked, id)
+			continue
+		}
+		dst = id
+		break
+	}
+	if dst == types.InvalidSite {
+		return nil
+	}
+	f := m.executable.popSurrender(m.cfg.HelpPolicy)
+	if f == nil {
+		if r := m.takeReadySurrenderLocked(m.cfg.HelpPolicy); r != nil {
+			f = r.Frame
+		}
+	}
+	if f == nil {
+		return nil
+	}
+	delete(m.parked, dst)
+	return &pendingPush{dst: dst, frame: f}
+}
+
+// resolveLoop drains the executable queue into the ready queue by
+// resolving code pointers. Resolution can block on the network (code
+// requests) and on simulated compiles, which is exactly why the paper
+// separates the two queues.
+func (m *Manager) resolveLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		f := m.executable.pop(m.cfg.LocalPolicy)
+		m.mu.Unlock()
+
+		if f == nil {
+			select {
+			case <-m.resolveKick:
+				continue
+			case <-m.done:
+				return
+			}
+		}
+
+		fn, err := m.resolver.Resolve(f.Thread)
+		if err != nil {
+			m.mu.Lock()
+			m.stats.ResolveErrs++
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Lock()
+		if m.dead[f.Thread.Program] {
+			m.mu.Unlock()
+			continue
+		}
+		m.ready = append(m.ready, &Ready{Frame: f, Fn: fn})
+		m.mu.Unlock()
+		m.tr.Record(trace.EvCodeResolved, f.ID, f.Thread, "")
+		m.notifyReady()
+	}
+}
+
+// GetWork blocks until a ready microframe is available and returns it,
+// issuing help requests to peers while idle. ok is false after Close.
+func (m *Manager) GetWork() (r *Ready, ok bool) {
+	backoff := m.cfg.HelpRetryMin
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, false
+		}
+		if len(m.ready) > 0 {
+			r := m.takeReadyLocked(m.cfg.LocalPolicy)
+			m.stats.Dispatched++
+			m.mu.Unlock()
+			m.tr.Record(trace.EvDispatched, r.Frame.ID, r.Frame.Thread, "")
+			return r, true
+		}
+		idle := m.executable.len() == 0
+		m.mu.Unlock()
+
+		if idle {
+			// Only one worker begs at a time: a site-wide storm of
+			// concurrent help requests would flood the cluster (and a
+			// single request suffices — any granted frame lands in the
+			// shared queues anyway).
+			m.mu.Lock()
+			beg := !m.begging
+			if beg {
+				m.begging = true
+			}
+			m.mu.Unlock()
+			if beg {
+				helped := m.askForHelp()
+				m.mu.Lock()
+				m.begging = false
+				m.mu.Unlock()
+				if helped {
+					backoff = m.cfg.HelpRetryMin
+					continue
+				}
+			}
+		}
+
+		timer := time.NewTimer(backoff)
+		select {
+		case <-m.readyKick:
+			timer.Stop()
+			backoff = m.cfg.HelpRetryMin
+		case <-timer.C:
+			backoff *= 2
+			if backoff > m.cfg.HelpRetryMax {
+				backoff = m.cfg.HelpRetryMax
+			}
+		case <-m.done:
+			timer.Stop()
+			return nil, false
+		}
+	}
+}
+
+// TryGetWork returns a ready frame if one is queued, without blocking or
+// asking peers.
+func (m *Manager) TryGetWork() (*Ready, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || len(m.ready) == 0 {
+		return nil, false
+	}
+	r := m.takeReadyLocked(m.cfg.LocalPolicy)
+	m.stats.Dispatched++
+	return r, true
+}
+
+// takeReadyLocked removes one entry from the ready queue per policy;
+// critical-path frames always dispatch first (paper §3.3). Caller holds
+// m.mu.
+func (m *Manager) takeReadyLocked(policy types.SchedulingClass) *Ready {
+	idx := -1
+	for i, r := range m.ready {
+		if r.Frame.Prio >= types.PriorityCritical {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = pickIndex(len(m.ready), policy, func(i int) types.Priority {
+			return m.ready[i].Frame.Prio
+		})
+	}
+	r := m.ready[idx]
+	m.ready = append(m.ready[:idx], m.ready[idx+1:]...)
+	return r
+}
+
+// takeReadySurrenderLocked removes the lowest-priority non-critical
+// ready entry for a help grant, or nil. Caller holds m.mu.
+func (m *Manager) takeReadySurrenderLocked(policy types.SchedulingClass) *Ready {
+	idx, lowest := -1, types.PriorityCritical
+	for i, r := range m.ready {
+		if r.Frame.Prio < lowest {
+			lowest = r.Frame.Prio
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	_ = policy // tie-break policy is irrelevant: lowest priority wins
+	r := m.ready[idx]
+	m.ready = append(m.ready[:idx], m.ready[idx+1:]...)
+	return r
+}
+
+// askForHelp runs one help-request round: ask up to MaxHelpFanout
+// distinct peers, stop at the first grant. Reports whether work arrived.
+// In central mode the only target is the central site.
+func (m *Manager) askForHelp() bool {
+	self := m.cm.Self()
+	exclude := make(map[types.SiteID]bool)
+	for i := 0; i < m.cfg.MaxHelpFanout; i++ {
+		var target types.SiteID
+		switch {
+		case m.cfg.CentralSite.Valid():
+			if i > 0 || m.cfg.CentralSite == self.ID {
+				return false
+			}
+			target = m.cfg.CentralSite
+		case i == 0 && m.grantorTarget(exclude) != types.InvalidSite:
+			target = m.grantorTarget(exclude)
+		default:
+			target = m.cm.PickHelpTarget(exclude)
+		}
+		if target == types.InvalidSite {
+			return false
+		}
+		exclude[target] = true
+
+		// Local work may have arrived (a parked push, a fired frame)
+		// while we were begging; stop immediately.
+		m.mu.Lock()
+		if len(m.ready) > 0 || m.executable.len() > 0 {
+			m.mu.Unlock()
+			return true
+		}
+		m.stats.HelpAsked++
+		m.mu.Unlock()
+
+		reply, err := m.bus.Request(target, types.MgrScheduling, types.MgrScheduling,
+			&wire.HelpRequest{Requester: self.ID, Load: self.Load, Speed: self.Speed}, 250*time.Millisecond)
+		if err != nil {
+			continue
+		}
+		hr, ok := reply.Payload.(*wire.HelpReply)
+		if !ok || hr.CantHelp || hr.Frame == nil {
+			m.mu.Lock()
+			m.stats.HelpDenied++
+			m.mu.Unlock()
+			continue
+		}
+
+		m.mu.Lock()
+		m.stats.HelpGranted++
+		m.mu.Unlock()
+		m.acceptForeignFrame(hr.Frame, reply.Src)
+		return true
+	}
+	return false
+}
+
+// acceptForeignFrame routes a frame received from a peer: executable
+// frames enter the local queues, incomplete ones (sign-off relocations)
+// go to the attraction memory.
+func (m *Manager) acceptForeignFrame(f *wire.Microframe, from types.SiteID) {
+	if from.Valid() && from != m.bus.Self() {
+		m.mu.Lock()
+		m.lastGrantor = from
+		m.mu.Unlock()
+		m.tr.Record(trace.EvReceived, f.ID, f.Thread, "from "+from.String())
+	}
+	if m.unknownProg != nil && !m.knownProg(f.Thread.Program) {
+		m.unknownProg(f.Thread.Program, from)
+	}
+	if f.Executable() {
+		m.enqueueForeign(f)
+		return
+	}
+	if m.adopter != nil {
+		m.adopter.AdoptFrame(f)
+	}
+}
+
+// grantorTarget returns the last grantor if it is usable as a target.
+func (m *Manager) grantorTarget(exclude map[types.SiteID]bool) types.SiteID {
+	m.mu.Lock()
+	g := m.lastGrantor
+	m.mu.Unlock()
+	if !g.Valid() || g == m.bus.Self() || exclude[g] {
+		return types.InvalidSite
+	}
+	if _, known := m.cm.Lookup(g); !known {
+		return types.InvalidSite
+	}
+	return g
+}
+
+// surrenderFrame picks a frame to give away per the help policy:
+// executable queue first (no code resolution invested yet), then the
+// ready queue (strip the code pointer; the peer resolves it again).
+func (m *Manager) surrenderFrame() *wire.Microframe {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Keep the last frame for ourselves: handing away our only work
+	// would just bounce the idleness to this site. (A central-mode
+	// master is a pure dispatcher and gives everything away.)
+	total := m.executable.len() + len(m.ready)
+	keep := 1
+	if m.cfg.CentralSite.Valid() && m.cfg.CentralSite == m.bus.Self() {
+		keep = 0
+	}
+	if total <= keep {
+		return nil
+	}
+	if m.cfg.NoCriticalPinning {
+		if f := m.executable.pop(m.cfg.HelpPolicy); f != nil {
+			m.stats.HelpServed++
+			return f
+		}
+		if len(m.ready) > 0 {
+			r := m.takeReadyLocked(m.cfg.HelpPolicy)
+			m.stats.HelpServed++
+			return r.Frame
+		}
+		return nil
+	}
+	if f := m.executable.popSurrender(m.cfg.HelpPolicy); f != nil {
+		m.stats.HelpServed++
+		return f
+	}
+	if r := m.takeReadySurrenderLocked(m.cfg.HelpPolicy); r != nil {
+		m.stats.HelpServed++
+		return r.Frame
+	}
+	return nil
+}
+
+// PushFrame proactively migrates an executable frame to another site
+// (sign-off relocation of queued work).
+func (m *Manager) PushFrame(dst types.SiteID, f *wire.Microframe) error {
+	if g, ok := m.adopter.(grantLogger); ok {
+		g.RecordGrant(dst, f)
+	}
+	return m.bus.Send(dst, types.MgrScheduling, types.MgrScheduling, &wire.FramePush{Frame: f})
+}
+
+// DrainAll removes and returns every queued frame (sign-off).
+func (m *Manager) DrainAll() []*wire.Microframe {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.executable.drain()
+	for _, r := range m.ready {
+		out = append(out, r.Frame)
+	}
+	m.ready = nil
+	return out
+}
+
+// DropProgram discards all queued frames of a terminated program.
+func (m *Manager) DropProgram(prog types.ProgramID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dead[prog] = true
+	m.executable.dropProgram(prog)
+	kept := m.ready[:0]
+	for _, r := range m.ready {
+		if r.Frame.Thread.Program != prog {
+			kept = append(kept, r)
+		}
+	}
+	m.ready = kept
+}
+
+// SnapshotFrames returns copies of all queued frames of one program
+// (checkpointing: queued frames are no longer in the attraction memory).
+func (m *Manager) SnapshotFrames(prog types.ProgramID) []*wire.Microframe {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*wire.Microframe
+	for _, f := range m.executable.all() {
+		if f.Thread.Program == prog {
+			out = append(out, f.Clone())
+		}
+	}
+	for _, r := range m.ready {
+		if r.Frame.Thread.Program == prog {
+			out = append(out, r.Frame.Clone())
+		}
+	}
+	return out
+}
+
+// HandleMessage implements msgbus.Handler.
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.HelpRequest:
+		// Refresh the requester's statistics while we are at it (the
+		// paper piggybacks status propagation on normal actions).
+		if f := m.surrenderFrame(); f != nil {
+			if g, ok := m.adopter.(grantLogger); ok {
+				g.RecordGrant(p.Requester, f)
+			}
+			m.tr.Record(trace.EvGranted, f.ID, f.Thread, "help reply to "+p.Requester.String())
+			_ = m.bus.Reply(msg, types.MgrScheduling, &wire.HelpReply{Frame: f})
+		} else {
+			m.mu.Lock()
+			m.stats.HelpRefused++
+			// Remember the hungry site: the next surplus frame goes to
+			// it without waiting for its next poll.
+			if p.Requester.Valid() && p.Requester != m.bus.Self() {
+				m.parked[p.Requester] = time.Now()
+			}
+			m.mu.Unlock()
+			_ = m.bus.Reply(msg, types.MgrScheduling, &wire.HelpReply{CantHelp: true})
+		}
+	case *wire.FramePush:
+		m.acceptForeignFrame(p.Frame, msg.Src)
+	}
+}

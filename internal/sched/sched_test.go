@@ -1,0 +1,418 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mthread"
+	"repro/internal/testnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// fakeResolver resolves every thread to a no-op function, optionally
+// with delay (to exercise the executable→ready pipeline).
+type fakeResolver struct {
+	delay time.Duration
+	fail  map[types.ThreadID]bool
+	mu    sync.Mutex
+	calls int
+}
+
+func (r *fakeResolver) Resolve(thread types.ThreadID) (mthread.Func, error) {
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	if r.fail[thread] {
+		return nil, types.ErrNoBinary
+	}
+	return func(mthread.Context) error { return nil }, nil
+}
+
+// fakeAdopter collects adopted frames and grant records.
+type fakeAdopter struct {
+	mu      sync.Mutex
+	adopted []*wire.Microframe
+	grants  map[types.SiteID]int
+}
+
+func newFakeAdopter() *fakeAdopter {
+	return &fakeAdopter{grants: make(map[types.SiteID]int)}
+}
+
+func (a *fakeAdopter) AdoptFrame(f *wire.Microframe) {
+	a.mu.Lock()
+	a.adopted = append(a.adopted, f)
+	a.mu.Unlock()
+}
+
+func (a *fakeAdopter) RecordGrant(grantee types.SiteID, f *wire.Microframe) {
+	a.mu.Lock()
+	a.grants[grantee]++
+	a.mu.Unlock()
+}
+
+// schedCluster builds n sites each with a scheduling manager.
+func schedCluster(t *testing.T, n int, cfg Config) ([]*testnet.Node, []*Manager) {
+	t.Helper()
+	mgrs := make([]*Manager, n)
+	nodes := testnet.NewCluster(t, n, func(i int, node *testnet.Node) {
+		mgrs[i] = New(node.Bus, node.CM, &fakeResolver{}, cfg)
+		mgrs[i].SetAdopter(newFakeAdopter())
+		mgrs[i].Start()
+	})
+	for _, m := range mgrs {
+		t.Cleanup(m.Close)
+	}
+	return nodes, mgrs
+}
+
+func frameFor(home types.SiteID, local uint64, prio types.Priority) *wire.Microframe {
+	f := wire.NewMicroframe(
+		types.GlobalAddr{Home: home, Local: local},
+		types.ThreadID{Program: types.MakeProgramID(1, 1), Index: 0},
+		0,
+	)
+	f.Prio = prio
+	return f
+}
+
+func TestEnqueueGetWork(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{})
+	m := mgrs[0]
+	f := frameFor(1, 1, types.PriorityNormal)
+	m.Enqueue(f)
+
+	r, ok := m.GetWork()
+	if !ok {
+		t.Fatal("GetWork failed")
+	}
+	if r.Frame.ID != f.ID || r.Fn == nil {
+		t.Fatal("wrong ready frame")
+	}
+	s := m.Stats()
+	if s.Enqueued != 1 || s.Dispatched != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLocalFIFOOrder(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{LocalPolicy: types.SchedFIFO})
+	m := mgrs[0]
+	for i := uint64(1); i <= 5; i++ {
+		m.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	for i := uint64(1); i <= 5; i++ {
+		r, ok := m.GetWork()
+		if !ok || r.Frame.ID.Local != i {
+			t.Fatalf("FIFO violated: got %v, want local %d", r.Frame.ID, i)
+		}
+	}
+}
+
+func TestLocalPriorityOrder(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{LocalPolicy: types.SchedPriority})
+	m := mgrs[0]
+	m.Enqueue(frameFor(1, 1, types.PriorityLow))
+	m.Enqueue(frameFor(1, 2, types.PriorityCritical))
+	m.Enqueue(frameFor(1, 3, types.PriorityNormal))
+	// Let the resolver drain everything into the ready queue first, so
+	// the priority pick sees all three.
+	testnet.WaitFor(t, "resolved", func() bool {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return len(m.ready) == 3
+	})
+
+	r, _ := m.GetWork()
+	if r.Frame.ID.Local != 2 {
+		t.Fatalf("priority pick = %v, want the critical frame", r.Frame.ID)
+	}
+}
+
+func TestTryGetWork(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{})
+	m := mgrs[0]
+	if _, ok := m.TryGetWork(); ok {
+		t.Fatal("TryGetWork on empty queue succeeded")
+	}
+	m.Enqueue(frameFor(1, 1, types.PriorityNormal))
+	testnet.WaitFor(t, "ready", func() bool {
+		_, ok := m.TryGetWork()
+		return ok
+	})
+}
+
+func TestHelpRequestMovesWork(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{})
+	busy, idle := mgrs[0], mgrs[1]
+
+	// Load the busy site with several frames (keep-one rule needs >1).
+	for i := uint64(1); i <= 6; i++ {
+		busy.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	// The idle site's GetWork should obtain one via a help request.
+	done := make(chan *Ready, 1)
+	go func() {
+		r, ok := idle.GetWork()
+		if ok {
+			done <- r
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("help request did not deliver work")
+	}
+	if s := idle.Stats(); s.HelpGranted == 0 {
+		t.Fatalf("idle stats = %+v", s)
+	}
+	if s := busy.Stats(); s.HelpServed == 0 {
+		t.Fatalf("busy stats = %+v", s)
+	}
+}
+
+func TestHelpReplyLIFO(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{HelpPolicy: types.SchedLIFO})
+	busy, idle := mgrs[0], mgrs[1]
+	for i := uint64(1); i <= 4; i++ {
+		busy.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	// Ask directly (bypassing PickHelpTarget randomness).
+	self := idle.cm.Self()
+	reply, err := idle.bus.Request(busy.bus.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: self.ID}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := reply.Payload.(*wire.HelpReply)
+	if hr.CantHelp {
+		t.Fatal("unexpected can't-help")
+	}
+	// LIFO must surrender the newest executable frame (local 4) —
+	// unless the resolver already moved some to ready; the newest
+	// still-queued frame is what LIFO yields. Accept local >= 2 but
+	// assert it is not the oldest.
+	if hr.Frame.ID.Local == 1 {
+		t.Fatalf("LIFO help reply returned the oldest frame")
+	}
+}
+
+func TestCantHelpWhenEmpty(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{})
+	a, b := mgrs[0], mgrs[1]
+	reply, err := a.bus.Request(b.bus.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: a.bus.Self()}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Payload.(*wire.HelpReply).CantHelp {
+		t.Fatal("empty site helped")
+	}
+}
+
+func TestKeepsLastFrame(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{})
+	a, b := mgrs[0], mgrs[1]
+	a.Enqueue(frameFor(1, 1, types.PriorityNormal))
+	reply, err := b.bus.Request(a.bus.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: b.bus.Self()}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Payload.(*wire.HelpReply).CantHelp {
+		t.Fatal("site gave away its only frame")
+	}
+}
+
+func TestFramePushAccepted(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{})
+	a, b := mgrs[0], mgrs[1]
+	f := frameFor(a.bus.Self(), 7, types.PriorityNormal)
+	if err := a.PushFrame(b.bus.Self(), f); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := b.GetWork()
+	if !ok || r.Frame.ID != f.ID {
+		t.Fatal("pushed frame not received")
+	}
+}
+
+func TestIncompleteFrameGoesToAdopter(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{})
+	a, b := mgrs[0], mgrs[1]
+	ad := newFakeAdopter()
+	b.SetAdopter(ad)
+
+	incomplete := wire.NewMicroframe(
+		types.GlobalAddr{Home: a.bus.Self(), Local: 9},
+		types.ThreadID{Program: types.MakeProgramID(1, 1), Index: 0},
+		2,
+	)
+	if err := a.PushFrame(b.bus.Self(), incomplete); err != nil {
+		t.Fatal(err)
+	}
+	testnet.WaitFor(t, "adoption", func() bool {
+		ad.mu.Lock()
+		defer ad.mu.Unlock()
+		return len(ad.adopted) == 1
+	})
+}
+
+func TestGrantsAreRecorded(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{})
+	a, b := mgrs[0], mgrs[1]
+	ad := newFakeAdopter()
+	a.SetAdopter(ad)
+	for i := uint64(1); i <= 3; i++ {
+		a.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	reply, err := b.bus.Request(a.bus.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: b.bus.Self()}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Payload.(*wire.HelpReply).CantHelp {
+		t.Fatal("no grant")
+	}
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	// At least one grant to b: the help reply itself, plus possibly a
+	// proactive scatter of the surplus third frame.
+	if ad.grants[b.bus.Self()] == 0 {
+		t.Fatalf("grants = %v", ad.grants)
+	}
+}
+
+func TestDropProgramDiscardsFrames(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{})
+	m := mgrs[0]
+	prog := types.MakeProgramID(1, 1)
+	m.Enqueue(frameFor(1, 1, types.PriorityNormal))
+	testnet.WaitFor(t, "queued", func() bool { return m.QueueLen() == 1 })
+	m.DropProgram(prog)
+	if m.QueueLen() != 0 {
+		t.Fatal("frames survived DropProgram")
+	}
+	// Frames of a dead program are rejected on arrival, too.
+	m.Enqueue(frameFor(1, 2, types.PriorityNormal))
+	if m.QueueLen() != 0 {
+		t.Fatal("dead program's frame enqueued")
+	}
+}
+
+func TestSnapshotFrames(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{})
+	m := mgrs[0]
+	m.Enqueue(frameFor(1, 1, types.PriorityNormal))
+	m.Enqueue(frameFor(1, 2, types.PriorityNormal))
+	testnet.WaitFor(t, "queued", func() bool { return m.QueueLen() == 2 })
+	snap := m.SnapshotFrames(types.MakeProgramID(1, 1))
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d frames", len(snap))
+	}
+	// Snapshot must be deep copies.
+	snap[0].Prio = types.PriorityCritical
+	again := m.SnapshotFrames(types.MakeProgramID(1, 1))
+	for _, f := range again {
+		if f.Prio == types.PriorityCritical {
+			t.Fatal("snapshot aliases queue frames")
+		}
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{})
+	m := mgrs[0]
+	for i := uint64(1); i <= 4; i++ {
+		m.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	testnet.WaitFor(t, "queued", func() bool { return m.QueueLen() == 4 })
+	frames := m.DrainAll()
+	if len(frames) != 4 {
+		t.Fatalf("DrainAll returned %d frames", len(frames))
+	}
+	if m.QueueLen() != 0 {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestCloseUnblocksGetWork(t *testing.T) {
+	_, mgrs := schedCluster(t, 1, Config{})
+	m := mgrs[0]
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := m.GetWork()
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("GetWork returned work after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetWork blocked after Close")
+	}
+}
+
+func TestResolveErrorDropsFrame(t *testing.T) {
+	res := &fakeResolver{fail: map[types.ThreadID]bool{
+		{Program: types.MakeProgramID(1, 1), Index: 0}: true,
+	}}
+	nodes := testnet.NewCluster(t, 1, nil)
+	m := New(nodes[0].Bus, nodes[0].CM, res, Config{})
+	m.Start()
+	t.Cleanup(m.Close)
+
+	m.Enqueue(frameFor(1, 1, types.PriorityNormal))
+	testnet.WaitFor(t, "resolve error", func() bool {
+		return m.Stats().ResolveErrs == 1
+	})
+	if _, ok := m.TryGetWork(); ok {
+		t.Fatal("unresolvable frame became ready")
+	}
+}
+
+func TestCentralModeForwardsFrames(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{CentralSite: 1})
+	master, worker := mgrs[0], mgrs[1] // bootstrap has id 1
+
+	// A frame enqueued at the worker must land in the master's queue.
+	worker.Enqueue(frameFor(worker.bus.Self(), 1, types.PriorityNormal))
+	testnet.WaitFor(t, "frame at master", func() bool {
+		return master.QueueLen() > 0 || master.Stats().Enqueued > 0
+	})
+	if worker.Stats().Enqueued != 0 {
+		t.Fatal("central mode queued locally at a worker")
+	}
+
+	// The master (pure dispatcher) surrenders even its only frame.
+	reply, err := worker.bus.Request(master.bus.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: worker.bus.Self()}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Payload.(*wire.HelpReply).CantHelp {
+		t.Fatal("central master refused its only frame")
+	}
+}
+
+func TestPickIndexPolicies(t *testing.T) {
+	prios := []types.Priority{0, 5, 5, 1}
+	at := func(i int) types.Priority { return prios[i] }
+	if pickIndex(4, types.SchedFIFO, at) != 0 {
+		t.Error("FIFO pick wrong")
+	}
+	if pickIndex(4, types.SchedLIFO, at) != 3 {
+		t.Error("LIFO pick wrong")
+	}
+	if pickIndex(4, types.SchedPriority, at) != 1 {
+		t.Error("priority pick must take first-highest (FIFO tie-break)")
+	}
+}

@@ -1,0 +1,126 @@
+// Package security implements the SDVM's security manager (paper §4).
+//
+// The security manager "is placed between the message manager and the
+// network manager": every outgoing serialized SDMessage passes through
+// Seal before the network manager transmits it, and every incoming
+// datagram passes through Open before the message manager parses it. The
+// paper's design — a key table of known communication partners, a first
+// contact secured by a hand-supplied start password, and the option to
+// disable encryption entirely inside trusted clusters "in favor of a
+// performance gain" — maps here onto AES-GCM with per-cluster keys
+// derived from a start secret, and a plaintext mode.
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Layer seals and opens datagrams. Implementations must be safe for
+// concurrent use — the network manager sends from many goroutines.
+type Layer interface {
+	// Seal protects a serialized message for transmission.
+	Seal(plaintext []byte) ([]byte, error)
+	// Open verifies and decrypts a received datagram.
+	Open(sealed []byte) ([]byte, error)
+	// Overhead returns the maximum number of bytes Seal adds.
+	Overhead() int
+}
+
+// Plaintext is the disabled security manager: datagrams pass through
+// untouched. For insular clusters the paper recommends exactly this.
+type Plaintext struct{}
+
+// Seal returns the input unchanged.
+func (Plaintext) Seal(p []byte) ([]byte, error) { return p, nil }
+
+// Open returns the input unchanged.
+func (Plaintext) Open(p []byte) ([]byte, error) { return p, nil }
+
+// Overhead returns 0.
+func (Plaintext) Overhead() int { return 0 }
+
+// AESGCM encrypts every datagram with AES-256-GCM under a key derived
+// from the cluster's start secret. GCM gives confidentiality and
+// integrity in one pass: a tampered or foreign datagram fails Open with
+// types.ErrCrypto, which is how "protection against spying and
+// corruption" (goal 12) is realized.
+type AESGCM struct {
+	aead cipher.AEAD
+
+	mu      sync.Mutex
+	counter uint64
+	prefix  [4]byte // random per-instance nonce prefix
+}
+
+// NewAESGCM derives a key from the start secret and returns the layer.
+// Every site of a cluster must be started with the same secret — the
+// paper's "supplying a start password by hand".
+func NewAESGCM(startSecret string) (*AESGCM, error) {
+	key := sha256.Sum256([]byte("sdvm-cluster-key/" + startSecret))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	l := &AESGCM{aead: aead}
+	if _, err := rand.Read(l.prefix[:]); err != nil {
+		return nil, fmt.Errorf("security: nonce prefix: %w", err)
+	}
+	return l, nil
+}
+
+// nonce returns a fresh unique nonce: 4 random prefix bytes (distinct per
+// site with overwhelming probability) plus a 64-bit counter.
+func (l *AESGCM) nonce() []byte {
+	l.mu.Lock()
+	l.counter++
+	c := l.counter
+	l.mu.Unlock()
+
+	n := make([]byte, 12)
+	copy(n, l.prefix[:])
+	for i := 0; i < 8; i++ {
+		n[4+i] = byte(c >> (8 * i))
+	}
+	return n
+}
+
+// Seal encrypts and authenticates plaintext. The nonce is prepended.
+func (l *AESGCM) Seal(plaintext []byte) ([]byte, error) {
+	n := l.nonce()
+	out := make([]byte, 0, len(n)+len(plaintext)+l.aead.Overhead())
+	out = append(out, n...)
+	return l.aead.Seal(out, n, plaintext, nil), nil
+}
+
+// Open decrypts and verifies a sealed datagram.
+func (l *AESGCM) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < 12 {
+		return nil, fmt.Errorf("%w: datagram shorter than nonce", types.ErrCrypto)
+	}
+	n, ct := sealed[:12], sealed[12:]
+	pt, err := l.aead.Open(nil, n, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", types.ErrCrypto, err)
+	}
+	return pt, nil
+}
+
+// Overhead returns nonce plus GCM tag size.
+func (l *AESGCM) Overhead() int { return 12 + l.aead.Overhead() }
+
+// Compile-time interface checks.
+var (
+	_ Layer = Plaintext{}
+	_ Layer = (*AESGCM)(nil)
+)

@@ -1,0 +1,145 @@
+package security
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestPlaintextPassthrough(t *testing.T) {
+	var l Plaintext
+	msg := []byte("hello")
+	sealed, err := l.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := l.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, msg) {
+		t.Fatal("plaintext mangled the message")
+	}
+	if l.Overhead() != 0 {
+		t.Errorf("Overhead = %d", l.Overhead())
+	}
+}
+
+func TestAESGCMRoundTrip(t *testing.T) {
+	l, err := NewAESGCM("start-password")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("secret SDMessage bytes")
+	sealed, err := l.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, msg) {
+		t.Error("ciphertext contains plaintext")
+	}
+	opened, err := l.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, msg) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestAESGCMRoundTripProperty(t *testing.T) {
+	l, err := NewAESGCM("pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte) bool {
+		sealed, err := l.Seal(msg)
+		if err != nil {
+			return false
+		}
+		if len(sealed) > len(msg)+l.Overhead() {
+			return false
+		}
+		opened, err := l.Open(sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(opened, msg) || (len(msg) == 0 && len(opened) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAESGCMTamperDetected(t *testing.T) {
+	l, _ := NewAESGCM("pw")
+	sealed, _ := l.Seal([]byte("authentic"))
+	for i := 0; i < len(sealed); i += 5 {
+		corrupt := append([]byte(nil), sealed...)
+		corrupt[i] ^= 0x01
+		if _, err := l.Open(corrupt); err == nil {
+			t.Fatalf("tampering at byte %d not detected", i)
+		} else if !errors.Is(err, types.ErrCrypto) {
+			t.Fatalf("tamper error %v does not wrap ErrCrypto", err)
+		}
+	}
+}
+
+func TestAESGCMWrongPasswordRejected(t *testing.T) {
+	a, _ := NewAESGCM("alpha")
+	b, _ := NewAESGCM("beta")
+	sealed, _ := a.Seal([]byte("for alpha peers only"))
+	if _, err := b.Open(sealed); !errors.Is(err, types.ErrCrypto) {
+		t.Fatalf("foreign cluster opened the message: %v", err)
+	}
+}
+
+func TestAESGCMSamePasswordInterops(t *testing.T) {
+	// Two sites of the same cluster (same start secret, different layer
+	// instances) must understand each other.
+	a, _ := NewAESGCM("shared")
+	b, _ := NewAESGCM("shared")
+	sealed, _ := a.Seal([]byte("site-to-site"))
+	opened, err := b.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(opened) != "site-to-site" {
+		t.Fatal("interop roundtrip mismatch")
+	}
+}
+
+func TestAESGCMNoncesUnique(t *testing.T) {
+	l, _ := NewAESGCM("pw")
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		sealed, _ := l.Seal([]byte("x"))
+		n := string(sealed[:12])
+		if seen[n] {
+			t.Fatal("nonce reuse detected")
+		}
+		seen[n] = true
+	}
+}
+
+func TestAESGCMShortDatagram(t *testing.T) {
+	l, _ := NewAESGCM("pw")
+	if _, err := l.Open([]byte("short")); !errors.Is(err, types.ErrCrypto) {
+		t.Fatalf("short datagram: %v", err)
+	}
+}
+
+func BenchmarkSealOpen1K(b *testing.B) {
+	l, _ := NewAESGCM("pw")
+	msg := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sealed, _ := l.Seal(msg)
+		if _, err := l.Open(sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

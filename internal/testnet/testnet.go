@@ -1,0 +1,102 @@
+// Package testnet assembles minimal multi-site SDVM stacks (virtual
+// network + network manager + message bus + cluster manager) for the
+// manager test suites. It is the shared scaffolding those tests hang
+// their manager-under-test onto.
+package testnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/msgbus"
+	"repro/internal/netmgr"
+	"repro/internal/security"
+	"repro/internal/transport/inproc"
+	"repro/internal/types"
+)
+
+// Node is one wired site without execution-layer managers.
+type Node struct {
+	Name string
+	Net  *netmgr.Manager
+	Bus  *msgbus.Bus
+	CM   *cluster.Manager
+}
+
+// Close tears the node down.
+func (n *Node) Close() {
+	n.Bus.Close()
+	n.Net.Close()
+}
+
+type forwardResolver struct{ m *cluster.Manager }
+
+func (f *forwardResolver) PhysAddr(id types.SiteID) (string, error) { return f.m.PhysAddr(id) }
+func (f *forwardResolver) SiteIDs() []types.SiteID                  { return f.m.SiteIDs() }
+
+// NewNode wires a single site onto fab. The bus is started; the caller
+// attaches its manager-under-test and then Bootstrap()s or Join()s.
+func NewNode(t testing.TB, fab *inproc.Fabric, name string, cfg cluster.Config) *Node {
+	t.Helper()
+	n := &Node{Name: name}
+	cfg.PhysAddr = name
+	fwd := &forwardResolver{}
+	n.Net = netmgr.New(fab, security.Plaintext{}, func(d []byte) { n.Bus.OnDatagram(d) })
+	n.Bus = msgbus.New(fwd, n.Net)
+	n.CM = cluster.New(n.Bus, cfg)
+	fwd.m = n.CM
+	if _, err := n.Net.Listen(name); err != nil {
+		t.Fatal(err)
+	}
+	n.Bus.Start()
+	t.Cleanup(n.Close)
+	return n
+}
+
+// NewCluster builds a fabric with n signed-on sites; nodes[0] is the
+// bootstrap. attach, if non-nil, runs on each node before it signs on —
+// this is where tests register their manager-under-test so it can observe
+// every message from the first sign-on onwards.
+func NewCluster(t testing.TB, n int, attach func(i int, node *Node)) []*Node {
+	t.Helper()
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(t, fab, fmt.Sprintf("site-%d", i), cluster.Config{})
+		if attach != nil {
+			attach(i, nodes[i])
+		}
+		if i == 0 {
+			nodes[0].CM.Bootstrap()
+		} else if err := nodes[i].CM.Join("site-0", 5*time.Second); err != nil {
+			t.Fatalf("site %d join: %v", i, err)
+		}
+	}
+	// Wait until every site knows every other (announcements are async).
+	WaitFor(t, "cluster lists complete", func() bool {
+		for _, nd := range nodes {
+			if nd.CM.Size() != n {
+				return false
+			}
+		}
+		return true
+	})
+	return nodes
+}
+
+// WaitFor polls cond until it holds or a 10s deadline expires.
+func WaitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,176 @@
+// Package trace records the life of microframes and microthreads — the
+// observable counterpart of the paper's Figure 4 (execution cycle) and
+// Figure 5 (the "career of microframes": incomplete → executable →
+// ready → executing, possibly detouring over other sites via help
+// requests).
+//
+// Each site keeps a bounded ring of events; the managers record into it
+// through nil-safe hooks so tracing costs nothing when disabled. The
+// Career query reassembles one frame's path through the machine.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// EventKind classifies one step in a microframe's career.
+type EventKind uint8
+
+// The stations of Figure 4/5.
+const (
+	EvFrameCreated EventKind = iota // allocated in the attraction memory
+	EvParamApplied                  // one parameter arrived
+	EvFrameFired                    // last parameter: incomplete → executable
+	EvEnqueued                      // entered the scheduling manager's queue
+	EvCodeResolved                  // executable → ready (microthread present)
+	EvDispatched                    // handed to the processing manager
+	EvExecuted                      // microthread ran to completion
+	EvGranted                       // given to another site (help/scatter/push)
+	EvReceived                      // arrived from another site
+	EvMigrated                      // memory object moved here
+	EvCheckpointed                  // captured in a checkpoint
+	EvRestored                      // restored from a checkpoint
+)
+
+var kindNames = map[EventKind]string{
+	EvFrameCreated: "created",
+	EvParamApplied: "param-applied",
+	EvFrameFired:   "fired",
+	EvEnqueued:     "enqueued",
+	EvCodeResolved: "code-resolved",
+	EvDispatched:   "dispatched",
+	EvExecuted:     "executed",
+	EvGranted:      "granted",
+	EvReceived:     "received",
+	EvMigrated:     "migrated",
+	EvCheckpointed: "checkpointed",
+	EvRestored:     "restored",
+}
+
+func (k EventKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one recorded step.
+type Event struct {
+	At     time.Time
+	Site   types.SiteID
+	Kind   EventKind
+	Frame  types.FrameID
+	Thread types.ThreadID
+	Detail string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %v %v %v", e.At.Format("15:04:05.000"), e.Site, e.Kind, e.Frame)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Tracer is a bounded per-site event ring. A nil *Tracer is valid and
+// records nothing, so managers can hold one unconditionally.
+type Tracer struct {
+	site func() types.SiteID
+
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// New returns a tracer holding up to capacity events (FIFO eviction).
+func New(capacity int, site func() types.SiteID) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if site == nil {
+		site = func() types.SiteID { return types.InvalidSite }
+	}
+	return &Tracer{site: site, ring: make([]Event, capacity)}
+}
+
+// Record appends one event. Safe on a nil tracer.
+func (t *Tracer) Record(kind EventKind, frame types.FrameID, thread types.ThreadID, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = Event{
+		At:     time.Now(),
+		Site:   t.site(),
+		Kind:   kind,
+		Frame:  frame,
+		Thread: thread,
+		Detail: detail,
+	}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Career returns the retained events of one frame, oldest first — the
+// paper's Figure 5 for a concrete microframe.
+func (t *Tracer) Career(frame types.FrameID) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Frame == frame {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MergeCareers combines the careers of one frame across several sites'
+// tracers into one time-ordered sequence — a frame's cluster-wide path.
+func MergeCareers(frame types.FrameID, tracers ...*Tracer) []Event {
+	var out []Event
+	for _, t := range tracers {
+		out = append(out, t.Career(frame)...)
+	}
+	// Insertion sort: careers are short and mostly ordered already.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].At.Before(out[j-1].At); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func tid() types.ThreadID {
+	return types.ThreadID{Program: types.MakeProgramID(1, 1), Index: 0}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(EvFrameCreated, types.GlobalAddr{Home: 1, Local: 1}, tid(), "x")
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	if tr.Career(types.GlobalAddr{Home: 1, Local: 1}) != nil {
+		t.Fatal("nil tracer career not empty")
+	}
+}
+
+func TestRecordAndEventsOrder(t *testing.T) {
+	tr := New(16, func() types.SiteID { return 3 })
+	for i := 0; i < 5; i++ {
+		tr.Record(EvEnqueued, types.GlobalAddr{Home: 1, Local: uint64(i)}, tid(), "")
+	}
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Frame.Local != uint64(i) {
+			t.Fatalf("order wrong at %d: %v", i, e.Frame)
+		}
+		if e.Site != 3 {
+			t.Fatalf("site = %v", e.Site)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Record(EvEnqueued, types.GlobalAddr{Home: 1, Local: uint64(i)}, tid(), "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Frame.Local != 6 || evs[3].Frame.Local != 9 {
+		t.Fatalf("eviction kept wrong window: %v..%v", evs[0].Frame, evs[3].Frame)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestCareerFilters(t *testing.T) {
+	tr := New(64, nil)
+	target := types.GlobalAddr{Home: 1, Local: 42}
+	tr.Record(EvFrameCreated, target, tid(), "")
+	tr.Record(EvEnqueued, types.GlobalAddr{Home: 1, Local: 7}, tid(), "")
+	tr.Record(EvFrameFired, target, tid(), "")
+	tr.Record(EvExecuted, target, tid(), "")
+
+	career := tr.Career(target)
+	if len(career) != 3 {
+		t.Fatalf("career = %d events", len(career))
+	}
+	want := []EventKind{EvFrameCreated, EvFrameFired, EvExecuted}
+	for i, k := range want {
+		if career[i].Kind != k {
+			t.Fatalf("career[%d] = %v, want %v", i, career[i].Kind, k)
+		}
+	}
+}
+
+func TestMergeCareersOrdersByTime(t *testing.T) {
+	a := New(8, func() types.SiteID { return 1 })
+	b := New(8, func() types.SiteID { return 2 })
+	frame := types.GlobalAddr{Home: 1, Local: 1}
+
+	a.Record(EvFrameCreated, frame, tid(), "")
+	time.Sleep(2 * time.Millisecond)
+	a.Record(EvGranted, frame, tid(), "to site(2)")
+	time.Sleep(2 * time.Millisecond)
+	b.Record(EvReceived, frame, tid(), "from site(1)")
+	time.Sleep(2 * time.Millisecond)
+	b.Record(EvExecuted, frame, tid(), "")
+
+	merged := MergeCareers(frame, a, b)
+	if len(merged) != 4 {
+		t.Fatalf("merged = %d", len(merged))
+	}
+	wantKinds := []EventKind{EvFrameCreated, EvGranted, EvReceived, EvExecuted}
+	wantSites := []types.SiteID{1, 1, 2, 2}
+	for i := range merged {
+		if merged[i].Kind != wantKinds[i] || merged[i].Site != wantSites[i] {
+			t.Fatalf("merged[%d] = %v@%v", i, merged[i].Kind, merged[i].Site)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(1024, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(EvEnqueued, types.GlobalAddr{Home: types.SiteID(g), Local: uint64(i)}, tid(), "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 800 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	if len(tr.Events()) != 800 {
+		t.Fatalf("retained = %d", len(tr.Events()))
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for k := EvFrameCreated; k <= EvRestored; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("unknown kind should format")
+	}
+	e := Event{At: time.Now(), Site: 1, Kind: EvExecuted,
+		Frame: types.GlobalAddr{Home: 1, Local: 2}, Detail: "fast"}
+	if e.String() == "" {
+		t.Fatal("empty event string")
+	}
+	_ = fmt.Sprintf("%v", e)
+}

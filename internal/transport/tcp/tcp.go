@@ -1,0 +1,141 @@
+// Package tcp carries SDVM datagrams over real TCP connections.
+//
+// The 2005 prototype settled on TCP after rejecting UDP (no ordering or
+// delivery guarantee) and experimenting with T/TCP (paper §4, network
+// manager). This implementation keeps one long-lived connection per peer
+// pair — amortizing TCP's setup cost that the paper complains about — and
+// frames datagrams with a 4-byte big-endian length prefix.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Net is the TCP implementation of transport.Network. The zero value is
+// ready to use.
+type Net struct{}
+
+// New returns a TCP network.
+func New() *Net { return &Net{} }
+
+// Listen binds a TCP listener on addr (e.g. "127.0.0.1:0").
+func (*Net) Listen(addr string) (transport.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp listen %s: %w", addr, err)
+	}
+	return &listener{l: l}, nil
+}
+
+// Dial connects to a listening SDVM site.
+func (*Net) Dial(addr string) (transport.Endpoint, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", transport.ErrNoListener, addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Small protocol messages must not sit in Nagle buffers; the
+		// SDVM's help-request latency is end-to-end visible.
+		_ = tc.SetNoDelay(true)
+	}
+	return newEndpoint(c), nil
+}
+
+type listener struct {
+	l net.Listener
+}
+
+func (l *listener) Accept() (transport.Endpoint, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, transport.ErrClosed
+		}
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return newEndpoint(c), nil
+}
+
+func (l *listener) Addr() string { return l.l.Addr().String() }
+
+func (l *listener) Close() error { return l.l.Close() }
+
+type endpoint struct {
+	c      net.Conn
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	lenBuf [4]byte
+}
+
+func newEndpoint(c net.Conn) *endpoint { return &endpoint{c: c} }
+
+func (e *endpoint) Send(datagram []byte) error {
+	if len(datagram) > transport.MaxDatagram {
+		return transport.ErrTooLarge
+	}
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(datagram)))
+	if _, err := e.c.Write(hdr[:]); err != nil {
+		return mapNetErr(err)
+	}
+	if _, err := e.c.Write(datagram); err != nil {
+		return mapNetErr(err)
+	}
+	return nil
+}
+
+func (e *endpoint) Recv() ([]byte, error) {
+	e.recvMu.Lock()
+	defer e.recvMu.Unlock()
+	if _, err := io.ReadFull(e.c, e.lenBuf[:]); err != nil {
+		return nil, mapNetErr(err)
+	}
+	n := binary.BigEndian.Uint32(e.lenBuf[:])
+	if n > transport.MaxDatagram {
+		return nil, transport.ErrTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(e.c, buf); err != nil {
+		return nil, mapNetErr(err)
+	}
+	return buf, nil
+}
+
+func (e *endpoint) Close() error { return e.c.Close() }
+
+func (e *endpoint) RemoteAddr() string { return e.c.RemoteAddr().String() }
+
+// mapNetErr folds the various ways a TCP connection reports teardown into
+// transport.ErrClosed so callers handle one error.
+func mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return transport.ErrClosed
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return fmt.Errorf("%w: %v", transport.ErrClosed, err)
+	}
+	return err
+}
+
+// Compile-time interface checks.
+var (
+	_ transport.Network  = (*Net)(nil)
+	_ transport.Listener = (*listener)(nil)
+	_ transport.Endpoint = (*endpoint)(nil)
+)

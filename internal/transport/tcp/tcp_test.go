@@ -1,0 +1,26 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+)
+
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) (transport.Network, func() string) {
+		return New(), func() string { return "127.0.0.1:0" }
+	})
+}
+
+func TestAddrResolvesEphemeralPort(t *testing.T) {
+	n := New()
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() == "127.0.0.1:0" {
+		t.Error("Addr did not resolve the ephemeral port")
+	}
+}

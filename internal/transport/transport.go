@@ -1,0 +1,76 @@
+// Package transport abstracts the byte-level links between SDVM sites.
+//
+// The paper's network manager "represents the lowest layer of the SDVM,
+// working with physical (ip) addresses only" (§4). This package is that
+// layer's substrate: it moves opaque datagrams (already-serialized,
+// possibly encrypted SDMessages) between physical addresses. Two
+// implementations exist:
+//
+//   - tcp: real TCP sockets with length-prefixed framing — what the 2005
+//     prototype used.
+//   - inproc: a virtual network inside one process with configurable
+//     latency and bandwidth, plus fault injection (site kill, partition).
+//     It lets one machine host large deterministic clusters for the
+//     benchmark harness.
+//
+// Both speak the same interface, so every layer above is identical no
+// matter which network carries the bytes.
+package transport
+
+import (
+	"errors"
+)
+
+// Common transport errors.
+var (
+	// ErrClosed reports use of a closed endpoint, listener or network.
+	ErrClosed = errors.New("transport: closed")
+	// ErrNoListener reports a dial to an address nobody listens on.
+	ErrNoListener = errors.New("transport: no listener at address")
+	// ErrPartitioned reports a dial or send across an injected network
+	// partition.
+	ErrPartitioned = errors.New("transport: network partitioned")
+	// ErrTooLarge reports a datagram exceeding MaxDatagram.
+	ErrTooLarge = errors.New("transport: datagram too large")
+)
+
+// MaxDatagram bounds a single framed message (16 MiB). Large payloads
+// (checkpoints, migrations) stay far below this; the bound protects the
+// receiver from corrupt length prefixes.
+const MaxDatagram = 16 << 20
+
+// Endpoint is one side of an established bidirectional link. Send and
+// Recv move whole datagrams; Send is safe for concurrent use, Recv is not
+// (one receive loop per endpoint, as in the paper's listener threads).
+type Endpoint interface {
+	// Send transmits one datagram. It may block for flow control.
+	Send(datagram []byte) error
+	// Recv returns the next datagram. It blocks until data arrives or
+	// the endpoint closes, in which case it returns ErrClosed.
+	Recv() ([]byte, error)
+	// Close tears the link down; pending Recv calls return ErrClosed.
+	Close() error
+	// RemoteAddr returns the peer's physical address as dialed/accepted.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound links at one physical address.
+type Listener interface {
+	// Accept blocks for the next inbound link.
+	Accept() (Endpoint, error)
+	// Addr returns the physical address the listener is bound to.
+	Addr() string
+	// Close stops accepting; blocked Accepts return ErrClosed.
+	Close() error
+}
+
+// Network creates listeners and dials peers. Implementations must allow
+// concurrent use.
+type Network interface {
+	// Listen binds a listener. For tcp, addr is "host:port" (":0" picks
+	// a free port — read the actual address from Listener.Addr). For
+	// inproc, addr is any unique name.
+	Listen(addr string) (Listener, error)
+	// Dial establishes a link to a listening address.
+	Dial(addr string) (Endpoint, error)
+}

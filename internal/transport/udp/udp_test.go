@@ -1,0 +1,177 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+)
+
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) (transport.Network, func() string) {
+		return New(), func() string { return "127.0.0.1:0" }
+	})
+}
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	n := New()
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan transport.Endpoint, 1)
+	go func() {
+		ep, err := l.Accept()
+		if err == nil {
+			accepted <- ep
+		}
+	}()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 5x the fragment size: forces multi-fragment reassembly.
+	big := make([]byte, 5*maxPayload+1234)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Send(big) }()
+	s := <-accepted
+	defer s.Close()
+	got, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("fragmented datagram corrupted")
+	}
+}
+
+func TestManySmallMessagesOrdered(t *testing.T) {
+	// The SDVM's complaint about UDP was ordering; this layer must fix
+	// it even under load.
+	n := New()
+	l, _ := n.Listen("127.0.0.1:0")
+	defer l.Close()
+	accepted := make(chan transport.Endpoint, 1)
+	go func() {
+		ep, _ := l.Accept()
+		accepted <- ep
+	}()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const count = 1000
+	go func() {
+		for i := 0; i < count; i++ {
+			msg := []byte{byte(i), byte(i >> 8)}
+			if err := c.Send(msg); err != nil {
+				return
+			}
+		}
+	}()
+	s := <-accepted
+	defer s.Close()
+	for i := 0; i < count; i++ {
+		got, err := s.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if int(got[0])|int(got[1])<<8 != i {
+			t.Fatalf("message %d out of order: % x", i, got)
+		}
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	// Two dialers to one listener must not interleave datagrams.
+	n := New()
+	l, _ := n.Listen("127.0.0.1:0")
+	defer l.Close()
+
+	go func() {
+		for {
+			ep, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(ep transport.Endpoint) {
+				for {
+					m, err := ep.Recv()
+					if err != nil {
+						return
+					}
+					if err := ep.Send(m); err != nil { // echo
+						return
+					}
+				}
+			}(ep)
+		}
+	}()
+
+	for _, tag := range []string{"alpha", "beta"} {
+		tag := tag
+		c, err := n.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 20; i++ {
+			if err := c.Send([]byte(tag)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tag {
+				t.Fatalf("stream cross-talk: got %q want %q", got, tag)
+			}
+		}
+	}
+}
+
+func TestPeerDeathDetectedByRetransmitGiveup(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("127.0.0.1:0")
+	accepted := make(chan transport.Endpoint, 1)
+	go func() {
+		ep, _ := l.Accept()
+		accepted <- ep
+	}()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	s := <-accepted
+	if _, err := s.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the listener (no FIN reaches anyone new); keep sending.
+	l.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := c.Send([]byte("into the void")); err != nil {
+			return // sender noticed the dead peer
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("sender never detected the dead peer")
+}

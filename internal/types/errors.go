@@ -1,0 +1,73 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors shared across managers. Wrapping (fmt.Errorf with %w)
+// preserves them for errors.Is checks at the call sites.
+var (
+	// ErrSiteUnknown reports a logical site id with no cluster-list entry.
+	ErrSiteUnknown = errors.New("sdvm: unknown site")
+	// ErrSiteLeft reports a message for a site that has signed off.
+	ErrSiteLeft = errors.New("sdvm: site has left the cluster")
+	// ErrNoSuchObject reports a global address that resolves nowhere.
+	ErrNoSuchObject = errors.New("sdvm: no such memory object")
+	// ErrNoSuchFrame reports an unknown (or already consumed) microframe.
+	ErrNoSuchFrame = errors.New("sdvm: no such microframe")
+	// ErrNoSuchThread reports an unknown microthread id.
+	ErrNoSuchThread = errors.New("sdvm: no such microthread")
+	// ErrNoBinary reports that no executable artifact exists for the
+	// requesting platform and no source is available to compile.
+	ErrNoBinary = errors.New("sdvm: no binary artifact for platform")
+	// ErrSlotFilled reports a parameter applied twice to the same slot.
+	ErrSlotFilled = errors.New("sdvm: microframe parameter slot already filled")
+	// ErrSlotRange reports a parameter slot outside the frame's arity.
+	ErrSlotRange = errors.New("sdvm: microframe parameter slot out of range")
+	// ErrCantHelp is a scheduling manager's reply when its queues are
+	// empty too (paper §4: "can't-help-message").
+	ErrCantHelp = errors.New("sdvm: can't help, queues empty")
+	// ErrShutdown reports use of a manager after its site shut down.
+	ErrShutdown = errors.New("sdvm: site is shut down")
+	// ErrTimeout reports an expired request/reply exchange.
+	ErrTimeout = errors.New("sdvm: request timed out")
+	// ErrBadMessage reports a wire message that failed to decode.
+	ErrBadMessage = errors.New("sdvm: malformed message")
+	// ErrCrypto reports an authentication/decryption failure in the
+	// security manager.
+	ErrCrypto = errors.New("sdvm: message failed authentication")
+	// ErrNoProgram reports an unknown program id.
+	ErrNoProgram = errors.New("sdvm: unknown program")
+	// ErrTerminated reports an operation on a terminated program.
+	ErrTerminated = errors.New("sdvm: program has terminated")
+	// ErrIDExhausted reports an id-allocation strategy that ran out of
+	// ids and could not replenish (contingent strategy, paper §4).
+	ErrIDExhausted = errors.New("sdvm: logical id contingent exhausted")
+)
+
+// AddrError decorates a sentinel error with the global address involved.
+type AddrError struct {
+	Err  error
+	Addr GlobalAddr
+}
+
+func (e *AddrError) Error() string {
+	return fmt.Sprintf("%v (%s)", e.Err, e.Addr)
+}
+
+// Unwrap supports errors.Is/errors.As.
+func (e *AddrError) Unwrap() error { return e.Err }
+
+// SiteError decorates a sentinel error with the site involved.
+type SiteError struct {
+	Err  error
+	Site SiteID
+}
+
+func (e *SiteError) Error() string {
+	return fmt.Sprintf("%v (%s)", e.Err, e.Site)
+}
+
+// Unwrap supports errors.Is/errors.As.
+func (e *SiteError) Unwrap() error { return e.Err }

@@ -1,0 +1,254 @@
+// Package wire implements the SDVM's on-the-wire message format, the
+// SDMessage (paper §4, message manager).
+//
+// An SDMessage is addressed manager-to-manager: its header carries the
+// source and destination site ids and manager ids, a sequence number for
+// request/reply correlation, and a payload kind tag. Payloads are encoded
+// with an explicit little-endian binary codec — no reflection — so the
+// format is deterministic, platform-independent, and cheap enough that
+// serialization does not dominate the small messages the SDVM exchanges
+// (the paper notes TCP setup overhead already dominates; the encoding must
+// not add to it).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// maxSliceLen bounds decoded slice lengths to keep a corrupt or malicious
+// length prefix from provoking a huge allocation.
+const maxSliceLen = 1 << 28
+
+// Writer serializes values into a growing byte buffer. The zero value is
+// ready to use. Writer never fails; the buffer grows as needed.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice aliases the Writer's
+// internal storage and is invalidated by further writes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset clears the buffer, retaining capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uint8 appends one byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Uint8(1)
+	} else {
+		w.Uint8(0)
+	}
+}
+
+// Uint16 appends a little-endian uint16.
+func (w *Writer) Uint16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// Uint32 appends a little-endian uint32.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// Uint64 appends a little-endian uint64.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Int16 appends a little-endian int16.
+func (w *Writer) Int16(v int16) { w.Uint16(uint16(v)) }
+
+// Int32 appends a little-endian int32.
+func (w *Writer) Int32(v int32) { w.Uint32(uint32(v)) }
+
+// Int64 appends a little-endian int64.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Float64 appends an IEEE-754 double.
+func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// Bytes32 appends a uint32 length prefix followed by the bytes. A nil
+// slice and an empty slice encode identically.
+func (w *Writer) Bytes32(b []byte) {
+	w.Uint32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a uint32 length prefix followed by the string bytes.
+func (w *Writer) String(s string) {
+	w.Uint32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// SiteID appends a logical site id.
+func (w *Writer) SiteID(s types.SiteID) { w.Uint32(uint32(s)) }
+
+// ProgramID appends a program id.
+func (w *Writer) ProgramID(p types.ProgramID) { w.Uint64(uint64(p)) }
+
+// ThreadID appends a microthread id.
+func (w *Writer) ThreadID(t types.ThreadID) {
+	w.ProgramID(t.Program)
+	w.Uint32(t.Index)
+}
+
+// Addr appends a global memory address.
+func (w *Writer) Addr(a types.GlobalAddr) {
+	w.SiteID(a.Home)
+	w.Uint64(a.Local)
+}
+
+// Reader decodes values from a byte buffer. Errors are sticky: after the
+// first failure every subsequent read returns the zero value and Err()
+// keeps reporting the failure, so calling code can decode a whole struct
+// and check the error once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", types.ErrBadMessage, what, r.off)
+	}
+}
+
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) || n < 0 {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() uint8 {
+	b := r.take(1, "uint8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+// Uint16 reads a little-endian uint16.
+func (r *Reader) Uint16() uint16 {
+	b := r.take(2, "uint16")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// Uint32 reads a little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	b := r.take(4, "uint32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Uint64 reads a little-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	b := r.take(8, "uint64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int16 reads a little-endian int16.
+func (r *Reader) Int16() int16 { return int16(r.Uint16()) }
+
+// Int32 reads a little-endian int32.
+func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
+
+// Int64 reads a little-endian int64.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Float64 reads an IEEE-754 double.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Bytes32 reads a uint32-length-prefixed byte slice. The result is a copy
+// and safe to retain. An empty slice decodes as nil.
+func (r *Reader) Bytes32() []byte {
+	n := r.Uint32()
+	if n == 0 {
+		return nil
+	}
+	if n > maxSliceLen {
+		r.fail("bytes length")
+		return nil
+	}
+	b := r.take(int(n), "bytes body")
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a uint32-length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uint32()
+	if n == 0 {
+		return ""
+	}
+	if n > maxSliceLen {
+		r.fail("string length")
+		return ""
+	}
+	b := r.take(int(n), "string body")
+	return string(b)
+}
+
+// SiteID reads a logical site id.
+func (r *Reader) SiteID() types.SiteID { return types.SiteID(r.Uint32()) }
+
+// ProgramID reads a program id.
+func (r *Reader) ProgramID() types.ProgramID { return types.ProgramID(r.Uint64()) }
+
+// ThreadID reads a microthread id.
+func (r *Reader) ThreadID() types.ThreadID {
+	return types.ThreadID{Program: r.ProgramID(), Index: r.Uint32()}
+}
+
+// Addr reads a global memory address.
+func (r *Reader) Addr() types.GlobalAddr {
+	return types.GlobalAddr{Home: r.SiteID(), Local: r.Uint64()}
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestWriterReaderScalars(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint16(0xBEEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(0x0123456789ABCDEF)
+	w.Int16(-7)
+	w.Int32(-70000)
+	w.Int64(-7e15)
+	w.Float64(3.14159)
+	w.Float64(math.Inf(-1))
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool roundtrip failed")
+	}
+	if got := r.Uint16(); got != 0xBEEF {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 0x0123456789ABCDEF {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Int16(); got != -7 {
+		t.Errorf("Int16 = %d", got)
+	}
+	if got := r.Int32(); got != -70000 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := r.Int64(); got != -7e15 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := r.Float64(); got != 3.14159 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 inf = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestBytesAndString(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte{1, 2, 3})
+	w.Bytes32(nil)
+	w.Bytes32([]byte{})
+	w.String("hello, SDVM")
+	w.String("")
+
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("nil Bytes32 = %v", got)
+	}
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("empty Bytes32 = %v, want nil", got)
+	}
+	if got := r.String(); got != "hello, SDVM" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytes32CopyIsIndependent(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte{9, 9, 9})
+	buf := append([]byte(nil), w.Bytes()...)
+	r := NewReader(buf)
+	got := r.Bytes32()
+	buf[4] = 0 // mutate the source buffer
+	if got[0] != 9 {
+		t.Error("Bytes32 result aliases the input buffer")
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint64(42)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uint64()
+		if r.Err() == nil {
+			t.Errorf("cut=%d: expected truncation error", cut)
+		}
+		if !errors.Is(r.Err(), types.ErrBadMessage) {
+			t.Errorf("cut=%d: error %v does not wrap ErrBadMessage", cut, r.Err())
+		}
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.Uint32() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	r.Uint64()
+	_ = r.String()
+	if r.Err() != first {
+		t.Error("error not sticky")
+	}
+}
+
+func TestReaderBogusLength(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint32(math.MaxUint32) // absurd length prefix
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("Bytes32 with bogus length = %v", got)
+	}
+	if r.Err() == nil {
+		t.Error("expected error for bogus length")
+	}
+}
+
+func TestIDRoundTrips(t *testing.T) {
+	f := func(site uint32, prog uint64, idx uint32, home uint32, local uint64) bool {
+		w := NewWriter(0)
+		w.SiteID(types.SiteID(site))
+		w.ProgramID(types.ProgramID(prog))
+		w.ThreadID(types.ThreadID{Program: types.ProgramID(prog), Index: idx})
+		w.Addr(types.GlobalAddr{Home: types.SiteID(home), Local: local})
+		r := NewReader(w.Bytes())
+		okSite := r.SiteID() == types.SiteID(site)
+		okProg := r.ProgramID() == types.ProgramID(prog)
+		tid := r.ThreadID()
+		okThread := tid.Program == types.ProgramID(prog) && tid.Index == idx
+		addr := r.Addr()
+		okAddr := addr.Home == types.SiteID(home) && addr.Local == local
+		return r.Err() == nil && okSite && okProg && okThread && okAddr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		w := NewWriter(0)
+		for _, c := range chunks {
+			w.Bytes32(c)
+		}
+		r := NewReader(w.Bytes())
+		for _, c := range chunks {
+			got := r.Bytes32()
+			if len(c) == 0 {
+				if got != nil {
+					return false
+				}
+			} else if !bytes.Equal(got, c) {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(16)
+	w.Uint64(1)
+	if w.Len() != 8 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.Uint8(5)
+	if w.Bytes()[0] != 5 {
+		t.Error("write after Reset wrong")
+	}
+}

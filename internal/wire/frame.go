@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Target is one pre-wired result destination of a microframe: when the
+// microthread produces result i, the processing manager sends it to
+// Targets[i] — the parameter slot Slot of the microframe at Addr
+// (paper §3.1: "addresses to microframes where the results of the
+// microthread have to be applied to").
+type Target struct {
+	Addr types.GlobalAddr // destination microframe
+	Slot int32            // parameter slot in the destination
+}
+
+// IsNil reports whether the target is unset.
+func (t Target) IsNil() bool { return t.Addr.IsNil() }
+
+func (t Target) String() string {
+	return fmt.Sprintf("%v[%d]", t.Addr, t.Slot)
+}
+
+func (t *Target) marshal(w *Writer) {
+	w.Addr(t.Addr)
+	w.Int32(t.Slot)
+}
+
+func (t *Target) unmarshal(r *Reader) {
+	t.Addr = r.Addr()
+	t.Slot = r.Int32()
+}
+
+// Microframe is the SDVM's dataflow argument container (paper §3.1). It
+// holds the input parameters for one execution of its microthread, the
+// pre-wired destinations for the results, and scheduling metadata. A frame
+// is allocated with all slots empty, fills up as results arrive through
+// the attraction memory, becomes *executable* when the last slot fills,
+// and is consumed by the execution.
+//
+// Microframes are global memory objects: ID is a global address and the
+// frame can migrate between sites (help requests, sign-off relocation),
+// so it carries full wire encoding.
+type Microframe struct {
+	ID     types.FrameID  // global identity (home-site encoded)
+	Thread types.ThreadID // the microthread to run
+	Params [][]byte       // parameter values; meaningful only where Filled
+	Filled []bool         // slot i has received its parameter
+	Target []Target       // result destinations (may be empty; threads may Send explicitly)
+	Prio   types.Priority // scheduling hint: priority (CDAG critical path or programmer)
+	Hint   uint32         // opaque scheduling hint (paper §3.3)
+}
+
+// NewMicroframe returns a frame for thread with arity empty parameter
+// slots and the given result targets.
+func NewMicroframe(id types.FrameID, thread types.ThreadID, arity int, targets ...Target) *Microframe {
+	return &Microframe{
+		ID:     id,
+		Thread: thread,
+		Params: make([][]byte, arity),
+		Filled: make([]bool, arity),
+		Target: targets,
+	}
+}
+
+// Arity returns the number of parameter slots.
+func (f *Microframe) Arity() int { return len(f.Params) }
+
+// Missing returns the number of unfilled parameter slots.
+func (f *Microframe) Missing() int {
+	n := 0
+	for _, filled := range f.Filled {
+		if !filled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executable reports whether every parameter slot has been filled
+// (paper §3.1: "as soon as a microframe has all its parameters, it
+// becomes executable").
+func (f *Microframe) Executable() bool { return f.Missing() == 0 }
+
+// Apply fills parameter slot with data. It returns true when this was the
+// last missing parameter, i.e. the frame just became executable. Applying
+// to a filled slot or out-of-range slot is an error: dataflow programs
+// must produce each parameter exactly once.
+func (f *Microframe) Apply(slot int, data []byte) (nowExecutable bool, err error) {
+	if slot < 0 || slot >= len(f.Params) {
+		return false, &types.AddrError{Err: types.ErrSlotRange, Addr: f.ID}
+	}
+	if f.Filled[slot] {
+		return false, &types.AddrError{Err: types.ErrSlotFilled, Addr: f.ID}
+	}
+	f.Params[slot] = data
+	f.Filled[slot] = true
+	return f.Executable(), nil
+}
+
+// Clone returns a deep copy of the frame. Parameter byte slices are
+// copied, so mutating the clone never aliases the original.
+func (f *Microframe) Clone() *Microframe {
+	c := &Microframe{
+		ID:     f.ID,
+		Thread: f.Thread,
+		Params: make([][]byte, len(f.Params)),
+		Filled: make([]bool, len(f.Filled)),
+		Target: make([]Target, len(f.Target)),
+		Prio:   f.Prio,
+		Hint:   f.Hint,
+	}
+	for i, p := range f.Params {
+		if p != nil {
+			c.Params[i] = append([]byte(nil), p...)
+		}
+	}
+	copy(c.Filled, f.Filled)
+	copy(c.Target, f.Target)
+	return c
+}
+
+func (f *Microframe) String() string {
+	return fmt.Sprintf("frame(%v %v %d/%d filled)", f.ID, f.Thread, f.Arity()-f.Missing(), f.Arity())
+}
+
+// MarshalWire encodes the frame.
+func (f *Microframe) MarshalWire(w *Writer) {
+	w.Addr(f.ID)
+	w.ThreadID(f.Thread)
+	w.Int16(int16(f.Prio))
+	w.Uint32(f.Hint)
+	w.Uint32(uint32(len(f.Params)))
+	for i := range f.Params {
+		w.Bool(f.Filled[i])
+		if f.Filled[i] {
+			w.Bytes32(f.Params[i])
+		}
+	}
+	w.Uint32(uint32(len(f.Target)))
+	for i := range f.Target {
+		f.Target[i].marshal(w)
+	}
+}
+
+// UnmarshalWire decodes the frame.
+func (f *Microframe) UnmarshalWire(r *Reader) {
+	f.ID = r.Addr()
+	f.Thread = r.ThreadID()
+	f.Prio = types.Priority(r.Int16())
+	f.Hint = r.Uint32()
+	arity := r.Uint32()
+	if arity > maxSliceLen {
+		r.fail("frame arity")
+		return
+	}
+	f.Params = make([][]byte, arity)
+	f.Filled = make([]bool, arity)
+	for i := 0; i < int(arity) && r.Err() == nil; i++ {
+		f.Filled[i] = r.Bool()
+		if f.Filled[i] {
+			f.Params[i] = r.Bytes32()
+		}
+	}
+	ntgt := r.Uint32()
+	if ntgt > maxSliceLen {
+		r.fail("frame targets")
+		return
+	}
+	if ntgt == 0 {
+		f.Target = nil
+		return
+	}
+	f.Target = make([]Target, ntgt)
+	for i := 0; i < int(ntgt) && r.Err() == nil; i++ {
+		f.Target[i].unmarshal(r)
+	}
+}
+
+// MemObject is one migratable object in the attraction memory: a chunk of
+// application global memory (paper §4: "if an SDVM application requests a
+// certain amount of memory ... it will receive a global memory address").
+type MemObject struct {
+	Addr    types.GlobalAddr
+	Program types.ProgramID // owning program (for checkpointing and GC)
+	Data    []byte
+	Version uint64 // incremented on every write; used by checkpointing
+}
+
+// Clone returns a deep copy of the object.
+func (o *MemObject) Clone() *MemObject {
+	return &MemObject{
+		Addr:    o.Addr,
+		Program: o.Program,
+		Data:    append([]byte(nil), o.Data...),
+		Version: o.Version,
+	}
+}
+
+func (o *MemObject) marshal(w *Writer) {
+	w.Addr(o.Addr)
+	w.ProgramID(o.Program)
+	w.Uint64(o.Version)
+	w.Bytes32(o.Data)
+}
+
+func (o *MemObject) unmarshal(r *Reader) {
+	o.Addr = r.Addr()
+	o.Program = r.ProgramID()
+	o.Version = r.Uint64()
+	o.Data = r.Bytes32()
+}
+
+// SiteInfo wire helpers (cluster list entries travel in sign-on replies
+// and announcements).
+
+func marshalSiteInfo(w *Writer, s *types.SiteInfo) {
+	w.SiteID(s.ID)
+	w.String(s.PhysAddr)
+	w.Uint16(uint16(s.Platform))
+	w.Float64(s.Speed)
+	w.Float64(s.Load)
+	w.Int32(s.QueueLen)
+	w.Int32(s.Programs)
+	w.Bool(s.IsCodeDist)
+	w.Bool(s.Reliable)
+}
+
+func unmarshalSiteInfo(r *Reader) types.SiteInfo {
+	return types.SiteInfo{
+		ID:         r.SiteID(),
+		PhysAddr:   r.String(),
+		Platform:   types.PlatformID(r.Uint16()),
+		Speed:      r.Float64(),
+		Load:       r.Float64(),
+		QueueLen:   r.Int32(),
+		Programs:   r.Int32(),
+		IsCodeDist: r.Bool(),
+		Reliable:   r.Bool(),
+	}
+}

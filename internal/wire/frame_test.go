@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func testFrame() *Microframe {
+	prog := types.MakeProgramID(1, 1)
+	return NewMicroframe(
+		types.GlobalAddr{Home: 1, Local: 10},
+		types.ThreadID{Program: prog, Index: 2},
+		3,
+		Target{Addr: types.GlobalAddr{Home: 2, Local: 20}, Slot: 1},
+	)
+}
+
+func TestMicroframeApplyFiresOnce(t *testing.T) {
+	f := testFrame()
+	if f.Executable() {
+		t.Fatal("fresh frame must not be executable")
+	}
+	if f.Missing() != 3 {
+		t.Fatalf("Missing = %d, want 3", f.Missing())
+	}
+
+	fire, err := f.Apply(0, []byte("a"))
+	if err != nil || fire {
+		t.Fatalf("Apply(0): fire=%v err=%v", fire, err)
+	}
+	fire, err = f.Apply(2, []byte("c"))
+	if err != nil || fire {
+		t.Fatalf("Apply(2): fire=%v err=%v", fire, err)
+	}
+	fire, err = f.Apply(1, []byte("b"))
+	if err != nil {
+		t.Fatalf("Apply(1): %v", err)
+	}
+	if !fire {
+		t.Fatal("last Apply must report executable")
+	}
+	if !f.Executable() {
+		t.Fatal("frame should be executable")
+	}
+}
+
+func TestMicroframeApplyErrors(t *testing.T) {
+	f := testFrame()
+	if _, err := f.Apply(-1, nil); !errors.Is(err, types.ErrSlotRange) {
+		t.Errorf("Apply(-1) err = %v", err)
+	}
+	if _, err := f.Apply(3, nil); !errors.Is(err, types.ErrSlotRange) {
+		t.Errorf("Apply(3) err = %v", err)
+	}
+	if _, err := f.Apply(0, []byte("x")); err != nil {
+		t.Fatalf("Apply(0): %v", err)
+	}
+	if _, err := f.Apply(0, []byte("y")); !errors.Is(err, types.ErrSlotFilled) {
+		t.Errorf("double Apply err = %v", err)
+	}
+	// The original value must survive the rejected second application.
+	if !bytes.Equal(f.Params[0], []byte("x")) {
+		t.Error("rejected Apply clobbered the slot")
+	}
+}
+
+func TestMicroframeNilParamCountsAsFilled(t *testing.T) {
+	// A nil []byte is a legitimate parameter value (e.g. a pure trigger
+	// token); Filled, not Params, tracks arrival.
+	f := NewMicroframe(types.GlobalAddr{Home: 1, Local: 1}, types.ThreadID{}, 1)
+	fire, err := f.Apply(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fire {
+		t.Fatal("nil parameter must still fire the frame")
+	}
+}
+
+func TestMicroframeZeroArityExecutableImmediately(t *testing.T) {
+	f := NewMicroframe(types.GlobalAddr{Home: 1, Local: 1}, types.ThreadID{}, 0)
+	if !f.Executable() {
+		t.Fatal("zero-arity frame must be executable at once")
+	}
+}
+
+func TestMicroframeWireRoundTrip(t *testing.T) {
+	f := testFrame()
+	if _, err := f.Apply(1, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Prio = types.PriorityCritical
+	f.Hint = 0xABCD
+
+	w := NewWriter(0)
+	f.MarshalWire(w)
+	var g Microframe
+	r := NewReader(w.Bytes())
+	g.UnmarshalWire(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&g, f) {
+		t.Errorf("roundtrip mismatch:\n got %#v\nwant %#v", &g, f)
+	}
+}
+
+func TestMicroframeWireProperty(t *testing.T) {
+	f := func(home uint32, local uint64, idx uint32, prio int16, hint uint32, params [][]byte) bool {
+		if len(params) > 32 {
+			params = params[:32]
+		}
+		fr := NewMicroframe(
+			types.GlobalAddr{Home: types.SiteID(home), Local: local},
+			types.ThreadID{Program: types.MakeProgramID(1, 1), Index: idx},
+			len(params),
+		)
+		fr.Prio = types.Priority(prio)
+		fr.Hint = hint
+		for i, p := range params {
+			if i%2 == 0 {
+				if _, err := fr.Apply(i, p); err != nil {
+					return false
+				}
+			}
+		}
+		w := NewWriter(0)
+		fr.MarshalWire(w)
+		var g Microframe
+		r := NewReader(w.Bytes())
+		g.UnmarshalWire(r)
+		if r.Err() != nil || r.Remaining() != 0 {
+			return false
+		}
+		if g.Missing() != fr.Missing() || g.Arity() != fr.Arity() {
+			return false
+		}
+		for i := range params {
+			if g.Filled[i] != fr.Filled[i] {
+				return false
+			}
+			if g.Filled[i] && !bytes.Equal(normalize(g.Params[i]), normalize(fr.Params[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalize maps empty and nil slices to nil for comparison, matching the
+// codec's empty==nil convention.
+func normalize(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+func TestMicroframeCloneIndependence(t *testing.T) {
+	f := testFrame()
+	if _, err := f.Apply(0, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	c := f.Clone()
+	c.Params[0][0] = 9
+	if _, err := c.Apply(1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Target[0].Slot = 99
+
+	if f.Params[0][0] != 7 {
+		t.Error("clone aliases parameter data")
+	}
+	if f.Filled[1] {
+		t.Error("clone aliases Filled")
+	}
+	if f.Target[0].Slot == 99 {
+		t.Error("clone aliases Target")
+	}
+}
+
+func TestMemObjectClone(t *testing.T) {
+	o := &MemObject{Addr: types.GlobalAddr{Home: 1, Local: 2}, Data: []byte{1, 2}, Version: 5}
+	c := o.Clone()
+	c.Data[0] = 9
+	if o.Data[0] != 1 {
+		t.Error("MemObject clone aliases data")
+	}
+	if c.Version != 5 || c.Addr != o.Addr {
+		t.Error("MemObject clone lost fields")
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	tg := Target{Addr: types.GlobalAddr{Home: 1, Local: 2}, Slot: 3}
+	if tg.String() == "" || tg.IsNil() {
+		t.Error("target formatting / IsNil wrong")
+	}
+	if !(Target{}).IsNil() {
+		t.Error("zero Target should be nil")
+	}
+}

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Kind tags the payload type of an SDMessage.
+type Kind uint16
+
+// Payload kinds, grouped by owning manager. The numbering is part of the
+// wire format; append only.
+const (
+	KindInvalid Kind = iota
+
+	// Cluster manager (sign-on, cluster list, id allocation, liveness).
+	KindSignOnRequest
+	KindSignOnReply
+	KindSiteAnnounce
+	KindSignOffNotice
+	KindLoadReport
+	KindIDBlockRequest
+	KindIDBlockReply
+	KindPing
+	KindPong
+
+	// Scheduling manager (help requests, frame migration).
+	KindHelpRequest
+	KindHelpReply
+	KindFramePush
+
+	// Attraction memory (parameter application, object migration).
+	KindApplyParam
+	KindMemRead
+	KindMemReadReply
+	KindMemWrite
+	KindMemWriteAck
+	KindMemMigrate
+	KindHomeUpdate
+	KindFrameRelocate
+
+	// Code manager (artifact distribution, on-the-fly compilation).
+	KindCodeRequest
+	KindCodeReply
+	KindCodePublish
+
+	// I/O manager (remote files, frontend).
+	KindIORequest
+	KindIOReply
+	KindFrontendOutput
+
+	// Program manager (registration, termination).
+	KindProgramRegister
+	KindProgramTerminated
+	KindProgramQuery
+	KindProgramInfo
+
+	// Checkpoint / crash management.
+	KindCheckpointStore
+	KindCheckpointAck
+	KindCrashNotice
+	KindRecoverRequest
+	KindRecoverReply
+
+	// Generic.
+	KindError
+	KindBarrier
+
+	// Accounting manager (paper §2.2/§6: renting out cluster time).
+	KindUsageQuery
+	KindUsageReply
+
+	// Site manager status queries (paper §4: "query the status of the
+	// local site").
+	KindStatusQuery
+	KindStatusReply
+
+	// Frontend input (paper §4: "the I/O manager sends all output and
+	// input requests to the front end").
+	KindInputRequest
+	KindInputReply
+
+	// Attraction memory read replication (COMA copies, paper §4: the
+	// memory object "can then migrate or even be copied to other
+	// sites").
+	KindMemInvalidate
+
+	kindCount
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:           "invalid",
+	KindSignOnRequest:     "sign-on-request",
+	KindSignOnReply:       "sign-on-reply",
+	KindSiteAnnounce:      "site-announce",
+	KindSignOffNotice:     "sign-off-notice",
+	KindLoadReport:        "load-report",
+	KindIDBlockRequest:    "id-block-request",
+	KindIDBlockReply:      "id-block-reply",
+	KindPing:              "ping",
+	KindPong:              "pong",
+	KindHelpRequest:       "help-request",
+	KindHelpReply:         "help-reply",
+	KindFramePush:         "frame-push",
+	KindApplyParam:        "apply-param",
+	KindMemRead:           "mem-read",
+	KindMemReadReply:      "mem-read-reply",
+	KindMemWrite:          "mem-write",
+	KindMemWriteAck:       "mem-write-ack",
+	KindMemMigrate:        "mem-migrate",
+	KindHomeUpdate:        "home-update",
+	KindFrameRelocate:     "frame-relocate",
+	KindCodeRequest:       "code-request",
+	KindCodeReply:         "code-reply",
+	KindCodePublish:       "code-publish",
+	KindIORequest:         "io-request",
+	KindIOReply:           "io-reply",
+	KindFrontendOutput:    "frontend-output",
+	KindProgramRegister:   "program-register",
+	KindProgramTerminated: "program-terminated",
+	KindProgramQuery:      "program-query",
+	KindProgramInfo:       "program-info",
+	KindCheckpointStore:   "checkpoint-store",
+	KindCheckpointAck:     "checkpoint-ack",
+	KindCrashNotice:       "crash-notice",
+	KindRecoverRequest:    "recover-request",
+	KindRecoverReply:      "recover-reply",
+	KindError:             "error",
+	KindBarrier:           "barrier",
+	KindUsageQuery:        "usage-query",
+	KindUsageReply:        "usage-reply",
+	KindStatusQuery:       "status-query",
+	KindStatusReply:       "status-reply",
+	KindInputRequest:      "input-request",
+	KindInputReply:        "input-reply",
+	KindMemInvalidate:     "mem-invalidate",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
+}
+
+// Payload is one SDMessage body. Implementations marshal themselves with
+// the explicit codec; decoding goes through the kind registry.
+type Payload interface {
+	Kind() Kind
+	MarshalWire(w *Writer)
+	UnmarshalWire(r *Reader)
+}
+
+// payloadFactories maps each kind to a constructor for decoding.
+var payloadFactories [kindCount]func() Payload
+
+// register installs the factory for a payload kind. Called from init;
+// panics on duplicates to catch wiring errors at startup.
+func register(k Kind, f func() Payload) {
+	if payloadFactories[k] != nil {
+		panic(fmt.Sprintf("wire: duplicate payload registration for %v", k))
+	}
+	payloadFactories[k] = f
+}
+
+// NewPayload returns a zero payload value for kind k, or nil if k is not a
+// registered payload kind.
+func NewPayload(k Kind) Payload {
+	if int(k) >= len(payloadFactories) || payloadFactories[k] == nil {
+		return nil
+	}
+	return payloadFactories[k]()
+}
+
+// Message is a complete SDMessage: routing header plus payload. All
+// inter-site (and, through the message manager, inter-manager)
+// communication in the SDVM is carried by values of this type.
+type Message struct {
+	Src    types.SiteID    // logical source site
+	Dst    types.SiteID    // logical destination site (may be Broadcast)
+	SrcMgr types.ManagerID // sending manager
+	DstMgr types.ManagerID // receiving manager
+	Seq    uint64          // sender-unique sequence number
+	Reply  uint64          // sequence number this message answers; 0 = unsolicited
+
+	Payload Payload
+}
+
+func (m *Message) String() string {
+	k := KindInvalid
+	if m.Payload != nil {
+		k = m.Payload.Kind()
+	}
+	return fmt.Sprintf("msg(%v %v→%v %v→%v seq=%d reply=%d)",
+		k, m.Src, m.SrcMgr, m.Dst, m.DstMgr, m.Seq, m.Reply)
+}
+
+// headerSize is the fixed encoded size of the message header:
+// src(4) dst(4) srcMgr(1) dstMgr(1) seq(8) reply(8) kind(2).
+const headerSize = 4 + 4 + 1 + 1 + 8 + 8 + 2
+
+// Encode serializes m into w.
+func (m *Message) Encode(w *Writer) {
+	w.SiteID(m.Src)
+	w.SiteID(m.Dst)
+	w.Uint8(uint8(m.SrcMgr))
+	w.Uint8(uint8(m.DstMgr))
+	w.Uint64(m.Seq)
+	w.Uint64(m.Reply)
+	if m.Payload == nil {
+		w.Uint16(uint16(KindInvalid))
+		return
+	}
+	w.Uint16(uint16(m.Payload.Kind()))
+	m.Payload.MarshalWire(w)
+}
+
+// EncodeBytes serializes m into a fresh buffer.
+func (m *Message) EncodeBytes() []byte {
+	w := NewWriter(headerSize + 64)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// Decode parses one message from r.
+func Decode(r *Reader) (*Message, error) {
+	m := &Message{
+		Src:    r.SiteID(),
+		Dst:    r.SiteID(),
+		SrcMgr: types.ManagerID(r.Uint8()),
+		DstMgr: types.ManagerID(r.Uint8()),
+		Seq:    r.Uint64(),
+		Reply:  r.Uint64(),
+	}
+	kind := Kind(r.Uint16())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if kind == KindInvalid {
+		return m, nil
+	}
+	p := NewPayload(kind)
+	if p == nil {
+		return nil, fmt.Errorf("%w: unknown payload kind %d", types.ErrBadMessage, kind)
+	}
+	p.UnmarshalWire(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m.Payload = p
+	return m, nil
+}
+
+// DecodeBytes parses one message from buf.
+func DecodeBytes(buf []byte) (*Message, error) {
+	return Decode(NewReader(buf))
+}

@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/daemon"
+	"repro/internal/mthread"
+	"repro/internal/wire"
+)
+
+// The fib workload computes Fibonacci numbers by naive dataflow
+// recursion: every call spawns two child microframes plus an adder.
+// It stresses exactly what primes does not — a dynamically unfolding
+// frame graph of unknown size (paper §3.2: "the execution of loops of
+// unknown length"), thousands of tiny frames, and heavy frame-creation
+// churn on whichever sites the recursion lands on.
+
+// Thread indices of the fib application.
+const (
+	FibStart uint32 = iota
+	FibNode
+	FibAdd
+	FibExit
+)
+
+// FibApp describes the fib application for submission.
+func FibApp() daemon.App {
+	return daemon.App{
+		Name: "fib",
+		Threads: []daemon.AppThread{
+			{Index: FibStart, FuncName: "fib.start", SrcSize: 300},
+			{Index: FibNode, FuncName: "fib.node", SrcSize: 500},
+			{Index: FibAdd, FuncName: "fib.add", SrcSize: 200},
+			{Index: FibExit, FuncName: "fib.exit", SrcSize: 150},
+		},
+	}
+}
+
+// FibArgs builds the submission arguments: compute fib(n) with nodeCost
+// Work units spent in every recursion node.
+func FibArgs(n int, nodeCost float64) [][]byte {
+	return [][]byte{mthread.U64(uint64(n)), mthread.F64(nodeCost)}
+}
+
+// SeqFib is the sequential baseline with the same cost model.
+func SeqFib(n int, nodeCost float64, work func(float64)) uint64 {
+	work(nodeCost)
+	if n < 2 {
+		return uint64(n)
+	}
+	return SeqFib(n-1, nodeCost, work) + SeqFib(n-2, nodeCost, work)
+}
+
+func fibStart(ctx mthread.Context) error {
+	n := mthread.ParseU64(ctx.Param(0))
+	cost := ctx.Param(1)
+
+	exit := ctx.NewFrame(FibExit, 1)
+	node := ctx.NewFrame(FibNode, 2, wire.Target{Addr: exit, Slot: 0})
+	if err := ctx.Send(wire.Target{Addr: node, Slot: 0}, mthread.U64(n)); err != nil {
+		return err
+	}
+	return ctx.Send(wire.Target{Addr: node, Slot: 1}, cost)
+}
+
+// fibNode computes fib for its argument: leaves answer directly, inner
+// nodes unfold into two children joined by an adder wired to this node's
+// own result target.
+func fibNode(ctx mthread.Context) error {
+	n := mthread.ParseU64(ctx.Param(0))
+	costB := ctx.Param(1)
+	ctx.Work(mthread.ParseF64(costB))
+
+	if n < 2 {
+		return ctx.Send(ctx.Target(0), mthread.U64(n))
+	}
+
+	add := ctx.NewFrame(FibAdd, 2, ctx.Target(0))
+	for i, arg := range []uint64{n - 1, n - 2} {
+		child := ctx.NewFrame(FibNode, 2, wire.Target{Addr: add, Slot: int32(i)})
+		if err := ctx.Send(wire.Target{Addr: child, Slot: 0}, mthread.U64(arg)); err != nil {
+			return err
+		}
+		if err := ctx.Send(wire.Target{Addr: child, Slot: 1}, costB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fibAdd(ctx mthread.Context) error {
+	sum := mthread.ParseU64(ctx.Param(0)) + mthread.ParseU64(ctx.Param(1))
+	return ctx.Send(ctx.Target(0), mthread.U64(sum))
+}
+
+func fibExit(ctx mthread.Context) error {
+	v := mthread.ParseU64(ctx.Param(0))
+	ctx.Output(fmt.Sprintf("fib: result %d", v))
+	ctx.Exit(mthread.U64(v))
+	return nil
+}
+
+func init() {
+	RegisterFib(mthread.Global)
+}
+
+// RegisterFib installs the fib microthreads into a registry.
+func RegisterFib(r *mthread.Registry) {
+	r.Register("fib.start", fibStart)
+	r.Register("fib.node", fibNode)
+	r.Register("fib.add", fibAdd)
+	r.Register("fib.exit", fibExit)
+}

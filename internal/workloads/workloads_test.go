@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/daemon"
+	"repro/internal/mthread"
+)
+
+func noWork(float64) {}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{2: true, 3: true, 5: true, 7: true, 11: true, 13: true, 97: true, 7919: true}
+	for n := uint64(0); n <= 100; n++ {
+		want := primes[n] || isPrimeSlow(n)
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v", n, got)
+		}
+	}
+}
+
+func isPrimeSlow(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint64(2); d < n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsPrimeProperty(t *testing.T) {
+	f := func(n uint16) bool { return IsPrime(uint64(n)) == isPrimeSlow(uint64(n)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNthPrime(t *testing.T) {
+	cases := map[int]uint64{1: 2, 2: 3, 3: 5, 10: 29, 100: 541, 1000: 7919}
+	for n, want := range cases {
+		if got := NthPrime(n); got != want {
+			t.Errorf("NthPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSeqPrimesMatchesNthPrime(t *testing.T) {
+	for _, p := range []int{1, 10, 100} {
+		for _, w := range []int{1, 7, 10} {
+			got := SeqPrimes(p, w, 0, noWork)
+			if len(got) != p {
+				t.Fatalf("SeqPrimes(%d,%d) returned %d primes", p, w, len(got))
+			}
+			if got[p-1] != NthPrime(p) {
+				t.Errorf("SeqPrimes(%d,%d) last = %d, want %d", p, w, got[p-1], NthPrime(p))
+			}
+		}
+	}
+}
+
+func TestSeqPrimesCountsWork(t *testing.T) {
+	calls := 0
+	SeqPrimes(10, 5, 1.5, func(c float64) {
+		if c != 1.5 {
+			t.Fatalf("work cost = %v", c)
+		}
+		calls++
+	})
+	// 10th prime is 29; rounds of 5 cover 2..31 → 30 tests.
+	if calls != 30 {
+		t.Errorf("work calls = %d, want 30", calls)
+	}
+}
+
+func TestPrimesStateRoundTrip(t *testing.T) {
+	st := &primesState{p: 100, width: 10, next: 42, cost: 2.5, found: []uint64{2, 3, 5}}
+	got := decodePrimesState(st.encode())
+	if got.p != st.p || got.width != st.width || got.next != st.next || got.cost != st.cost {
+		t.Fatalf("state roundtrip: %+v", got)
+	}
+	if len(got.found) != 3 || got.found[2] != 5 {
+		t.Fatalf("found roundtrip: %v", got.found)
+	}
+	// Corrupt/short input degrades to a zero state, not a panic.
+	if decodePrimesState(nil).p != 0 {
+		t.Fatal("short state not zeroed")
+	}
+}
+
+func TestSeqFib(t *testing.T) {
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		if got := SeqFib(n, 0, noWork); got != w {
+			t.Errorf("SeqFib(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSeqPiConvergesAndIsDeterministic(t *testing.T) {
+	a := SeqPi(16, 5000, 0, 7, noWork)
+	b := SeqPi(16, 5000, 0, 7, noWork)
+	if a != b {
+		t.Fatal("SeqPi not deterministic for equal seeds")
+	}
+	if math.Abs(a-math.Pi) > 0.05 {
+		t.Fatalf("SeqPi = %v, too far from π", a)
+	}
+	c := SeqPi(16, 5000, 0, 8, noWork)
+	if a == c {
+		t.Fatal("different seeds gave identical estimates (suspicious)")
+	}
+}
+
+func TestSeqPipeline(t *testing.T) {
+	// items tokens 0..n-1, each +1 per stage: sum = Σi + items*stages.
+	items, stages := 7, 4
+	want := uint64(0)
+	for i := 0; i < items; i++ {
+		want += uint64(i + stages)
+	}
+	if got := SeqPipeline(items, stages, 0, noWork); got != want {
+		t.Fatalf("SeqPipeline = %d, want %d", got, want)
+	}
+}
+
+func TestSeqMatMulAgainstDirect(t *testing.T) {
+	n := 8
+	// Direct full multiply checksum.
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = matElem(0, i, j, n)
+			b[i*n+j] = matElem(1, i, j, n)
+		}
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += a[i*n+k] * b[k*n+j]
+			}
+			want += dot
+		}
+	}
+	for _, grid := range []int{1, 2, 4, 8} {
+		got := SeqMatMul(n, grid, 0, noWork)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("SeqMatMul(grid=%d) = %v, want %v", grid, got, want)
+		}
+	}
+}
+
+func TestMatrixEncodingRoundTrip(t *testing.T) {
+	n := 5
+	m := decodeMatrix(encodeMatrix(0, n))
+	if len(m) != n*n {
+		t.Fatalf("matrix size %d", len(m))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m[i*n+j] != matElem(0, i, j, n) {
+				t.Fatalf("matrix[%d,%d] = %v", i, j, m[i*n+j])
+			}
+		}
+	}
+}
+
+func TestAppDescriptorsConsistent(t *testing.T) {
+	reg := mthread.NewRegistry()
+	RegisterPrimes(reg)
+	RegisterFib(reg)
+	RegisterPi(reg)
+	RegisterPipeline(reg)
+	RegisterMatMul(reg)
+
+	apps := []struct {
+		name    string
+		threads []string
+	}{
+		{"primes", funcNames(PrimesApp().Threads)},
+		{"fib", funcNames(FibApp().Threads)},
+		{"pi", funcNames(PiApp().Threads)},
+		{"pipe", funcNames(PipeApp().Threads)},
+		{"mm", funcNames(MatMulApp().Threads)},
+	}
+	for _, app := range apps {
+		for _, fn := range app.threads {
+			if _, ok := reg.Lookup(fn); !ok {
+				t.Errorf("%s: thread func %q not registered", app.name, fn)
+			}
+		}
+	}
+}
+
+func funcNames(ts []daemon.AppThread) []string {
+	var out []string
+	for _, t := range ts {
+		out = append(out, t.FuncName)
+	}
+	return out
+}
+
+func TestPiSampleDeterministic(t *testing.T) {
+	i1, t1 := piSample(5, 1000)
+	i2, t2 := piSample(5, 1000)
+	if i1 != i2 || t1 != t2 {
+		t.Fatal("piSample not deterministic")
+	}
+	if t1 != 1000 || i1 == 0 || i1 > 1000 {
+		t.Fatalf("piSample counts: in=%d total=%d", i1, t1)
+	}
+	// Zero seed must not collapse the generator.
+	iz, _ := piSample(0, 1000)
+	if iz == 0 {
+		t.Fatal("zero seed produced no in-circle hits")
+	}
+}
+
+func TestPrimesArgsEncoding(t *testing.T) {
+	args := PrimesArgs(100, 10, 2.5)
+	if len(args) != 3 {
+		t.Fatalf("args len = %d", len(args))
+	}
+	if mthread.ParseU64(args[0]) != 100 || mthread.ParseU64(args[1]) != 10 || mthread.ParseF64(args[2]) != 2.5 {
+		t.Fatal("args encode wrong")
+	}
+}
