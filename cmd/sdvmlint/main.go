@@ -1,0 +1,72 @@
+// Command sdvmlint runs the SDVM static-analysis suite over the
+// repository's production packages and exits nonzero on any finding.
+//
+// Usage, from anywhere inside the module:
+//
+//	go run ./cmd/sdvmlint ./...
+//
+// The package pattern argument is accepted for familiarity but the suite
+// always analyzes the whole module: the wiredispatch analyzer needs the
+// complete picture (a payload's sender and handler live in different
+// packages), and partial runs would report spurious protocol holes.
+// Findings can be suppressed per line with
+//
+//	//sdvmlint:allow <analyzer> -- <reason>
+//
+// See internal/analysis and DESIGN.md ("Static analysis & race policy").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print findings only, no summary")
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdvmlint:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdvmlint:", err)
+		os.Exit(2)
+	}
+	findings := analysis.Run(prog, analysis.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sdvmlint: %d finding(s) in %d packages\n",
+			len(findings), len(prog.Pkgs))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sdvmlint: clean (%d packages)\n", len(prog.Pkgs))
+	}
+}
+
+// moduleRoot walks from the working directory up to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 
 	// Two latecomers join through site-0 while the program runs — "new
 	// sites can be added at runtime, which will quickly get work".
+	//sdvmlint:allow sleepfree -- demo scenario pacing, not daemon code
 	time.Sleep(300 * time.Millisecond)
 	var late []*sdvm.Site
 	for i := 0; i < 2; i++ {
@@ -57,6 +58,7 @@ func main() {
 
 	// A little later one of the founding sites leaves — controlled
 	// sign-off with full state relocation.
+	//sdvmlint:allow sleepfree -- demo scenario pacing, not daemon code
 	time.Sleep(300 * time.Millisecond)
 	leaving := cluster.Sites[1]
 	if err := leaving.SignOff(); err != nil {

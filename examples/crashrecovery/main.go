@@ -39,6 +39,7 @@ func main() {
 
 	// Let work spread and checkpoints replicate, then pull the plug on
 	// site 2 — a real crash, not a sign-off.
+	//sdvmlint:allow sleepfree -- demo scenario pacing, not daemon code
 	time.Sleep(500 * time.Millisecond)
 	victim := cluster.Sites[2]
 	fmt.Printf("t=%v: killing site %v (no goodbye)\n", time.Since(start).Round(time.Millisecond), victim.ID())

@@ -40,7 +40,8 @@ type Manager struct {
 	bus *msgbus.Bus
 	cm  *cluster.Manager
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// accounts is the per-program meter. guarded by mu
 	accounts map[types.ProgramID]*wire.Usage
 }
 

@@ -1,0 +1,134 @@
+// Package analysis implements sdvmlint, the SDVM repository's static
+// analysis suite. It is built only on the standard library's go/ast,
+// go/parser, go/token and go/types packages (the repo's stdlib-only rule)
+// and machine-checks the concurrency and protocol invariants the Go
+// compiler cannot see:
+//
+//   - lockhold: no sync.Mutex/RWMutex held across a blocking operation
+//     (channel send/receive, bus request, transport send, time.Sleep);
+//   - wiredispatch: every wire payload type has a codec registration, a
+//     kind name, and a consumer (dispatch case or reply assertion);
+//   - sleepfree: no bare time.Sleep in production packages outside an
+//     explicit allowlist;
+//   - golifecycle: no goroutine running an unbounded loop that can
+//     neither terminate nor observe a stop/done channel;
+//   - guardedby: struct fields annotated "// guarded by <mu>" are only
+//     touched while that mutex is held.
+//
+// A finding can be suppressed with a line directive — on the offending
+// line or the line above it:
+//
+//	//sdvmlint:allow sleepfree -- simulated compile cost is the model
+//
+// The driver (cmd/sdvmlint) exits nonzero on any unsuppressed finding.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one pass over a loaded program.
+type Analyzer interface {
+	Name() string
+	Run(prog *Program) []Finding
+}
+
+// All returns the full suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		newLockhold(),
+		newWiredispatch(),
+		newSleepfree(defaultSleepAllowlist),
+		newGolifecycle(),
+		newGuardedby(),
+	}
+}
+
+// Run executes the analyzers and filters findings through the
+// //sdvmlint:allow directives, returning the survivors sorted by
+// position.
+func Run(prog *Program, analyzers []Analyzer) []Finding {
+	allow := collectAllows(prog)
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			if allow.allowed(a.Name(), f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowSet records, per file and line, which analyzers are suppressed. A
+// directive covers its own line and the next one, so it can sit at the
+// end of the offending line or on a comment line directly above it.
+type allowSet map[string]map[int]map[string]bool
+
+var allowRe = regexp.MustCompile(`sdvmlint:allow\s+([a-z, ]+)`)
+
+func collectAllows(prog *Program) allowSet {
+	set := make(allowSet)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					names := m[1]
+					if i := strings.Index(names, "--"); i >= 0 {
+						names = names[:i]
+					}
+					pos := prog.Fset.Position(c.Pos())
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						set[pos.Filename] = lines
+					}
+					for _, name := range strings.FieldsFunc(names, func(r rune) bool {
+						return r == ',' || r == ' ' || r == '\t'
+					}) {
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							if lines[line] == nil {
+								lines[line] = make(map[string]bool)
+							}
+							lines[line][name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) allowed(analyzer string, pos token.Position) bool {
+	return s[pos.Filename][pos.Line][analyzer]
+}

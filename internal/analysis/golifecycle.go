@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// golifecycle flags goroutine launches whose body spins in an unbounded
+// `for {}` loop that can neither terminate (no return, no break) nor
+// observe a shutdown signal (no receive from a channel whose name smells
+// like done/stop/quit/ctx). Such a goroutine outlives its owner — the
+// classic leak pattern in long-running daemons, and in the SDVM a leaked
+// manager loop keeps a signed-off site half-alive.
+//
+// Loops that exit on a condition (`for cond {}`), loops with a return or
+// break, `for range ch` (terminates when the channel closes), and loops
+// selecting on a stop channel are all accepted.
+type golifecycle struct{}
+
+func newGolifecycle() *golifecycle { return &golifecycle{} }
+
+func (a *golifecycle) Name() string { return "golifecycle" }
+
+var stopChanRe = regexp.MustCompile(`(?i)(done|stop|quit|exit|close|closing|shutdown|ctx|die)`)
+
+func (a *golifecycle) Run(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		decls := methodBodies(pkg)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := goBody(pkg, decls, g)
+				if body == nil {
+					return true
+				}
+				for _, loop := range unstoppableLoops(pkg.Info, body) {
+					out = append(out, Finding{
+						Pos:      prog.Fset.Position(g.Pos()),
+						Analyzer: "golifecycle",
+						Message: fmt.Sprintf("goroutine runs an unbounded for-loop (line %d) "+
+							"with no return, break, or stop/done-channel receive",
+							prog.Fset.Position(loop.Pos()).Line),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// methodBodies indexes the package's function declarations by their
+// types.Func object so `go m.loop()` can be resolved to a body.
+func methodBodies(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				m[fn] = fd
+			}
+		}
+	}
+	return m
+}
+
+// goBody resolves the body of the function a go statement launches:
+// either the literal itself or a same-package declaration.
+func goBody(pkg *Package, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// unstoppableLoops returns the `for {}` loops in body (not descending
+// into nested function literals) that have no exit and no stop-channel
+// receive.
+func unstoppableLoops(info *types.Info, body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if loopCanStop(loop) {
+			return true
+		}
+		out = append(out, loop)
+		return true
+	})
+	return out
+}
+
+func loopCanStop(loop *ast.ForStmt) bool {
+	stop := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if stop {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			stop = true
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" || n.Tok.String() == "goto" {
+				stop = true
+			}
+		case *ast.UnaryExpr:
+			// A receive from a stop-ish channel: `<-done`, `<-m.done`,
+			// `<-ctx.Done()`, in a select or standalone.
+			if n.Op.String() == "<-" && stopChanRe.MatchString(types.ExprString(n.X)) {
+				stop = true
+			}
+		}
+		return true
+	})
+	return stop
+}

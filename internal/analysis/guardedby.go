@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedby enforces `// guarded by <mu>` field annotations: a struct
+// field so annotated may only be read or written while the named mutex
+// (on the same receiver) is held in the accessing function. Two escape
+// hatches reflect the repository's conventions:
+//
+//   - functions whose name ends in "Locked" document that the caller
+//     holds the lock and are exempt;
+//   - accesses through a variable declared in the same function (a
+//     freshly constructed value that has not escaped yet, e.g. inside a
+//     New constructor) are exempt.
+//
+// The analysis is intraprocedural and conservative: the lock must be
+// provably held on every path reaching the access.
+type guardedby struct{}
+
+func newGuardedby() *guardedby { return &guardedby{} }
+
+func (a *guardedby) Name() string { return "guardedby" }
+
+var guardedRe = regexp.MustCompile(`guarded by\s+([A-Za-z_][A-Za-z0-9_]*)`)
+
+func (a *guardedby) Run(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		fields := annotatedFields(pkg)
+		if len(fields) == 0 {
+			continue
+		}
+		v := &guardedbyVisitor{prog: prog, pkg: pkg, fields: fields, out: &out}
+		s := &lockScanner{info: pkg.Info, v: v}
+		s.scanPackage(pkg)
+	}
+	return out
+}
+
+// annotatedFields maps each annotated field object to its mutex name.
+func annotatedFields(pkg *Package) map[*types.Var]string {
+	fields := make(map[*types.Var]string)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				mu := annotationOf(f)
+				if mu == "" {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						fields[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+func annotationOf(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+type guardedbyVisitor struct {
+	prog   *Program
+	pkg    *Package
+	fields map[*types.Var]string
+	out    *[]Finding
+
+	// stack of nested functions being scanned; the innermost is last.
+	stack []guardedbyFrame
+}
+
+type guardedbyFrame struct {
+	body   *ast.BlockStmt
+	exempt bool
+}
+
+func (v *guardedbyVisitor) enterFunc(node ast.Node) {
+	frame := guardedbyFrame{}
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		frame.body = n.Body
+		frame.exempt = strings.HasSuffix(n.Name.Name, "Locked")
+	case *ast.FuncLit:
+		frame.body = n.Body
+	}
+	v.stack = append(v.stack, frame)
+}
+
+func (v *guardedbyVisitor) exitFunc(ast.Node) {
+	v.stack = v.stack[:len(v.stack)-1]
+}
+
+func (v *guardedbyVisitor) frame() guardedbyFrame {
+	return v.stack[len(v.stack)-1]
+}
+
+func (v *guardedbyVisitor) visitStmt(s ast.Stmt, held heldSet) {
+	if len(v.stack) == 0 || v.frame().exempt {
+		return
+	}
+	for _, e := range shallowExprs(s) {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v.checkAccess(sel, held)
+			return true
+		})
+	}
+}
+
+func (v *guardedbyVisitor) checkAccess(sel *ast.SelectorExpr, held heldSet) {
+	selection := v.pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mu, annotated := v.fields[field]
+	if !annotated {
+		return
+	}
+	// Freshly constructed value: base variable declared in this function's
+	// body. The range check deliberately uses the body, not the whole
+	// declaration — a method receiver or parameter is NOT exempt.
+	if base, ok := sel.X.(*ast.Ident); ok {
+		body := v.frame().body
+		if obj := v.pkg.Info.ObjectOf(base); obj != nil && body != nil &&
+			obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+			return
+		}
+	}
+	key := types.ExprString(sel.X) + "." + mu
+	if _, ok := held[key]; ok {
+		return
+	}
+	*v.out = append(*v.out, Finding{
+		Pos:      v.prog.Fset.Position(sel.Pos()),
+		Analyzer: "guardedby",
+		Message: fmt.Sprintf("field %s.%s (guarded by %s) accessed without holding %s",
+			types.ExprString(sel.X), sel.Sel.Name, mu, key),
+	})
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockhold flags blocking operations executed while a sync.Mutex or
+// sync.RWMutex is held. In the SDVM a manager that blocks under its lock
+// stalls every goroutine contending for that manager — and because
+// msgbus handlers run on the bus dispatcher, a lock held across a bus
+// request is one hop away from a cross-site deadlock. Blocking operations
+// are: channel sends and receives (unless inside a select with a default
+// clause), selects without default, time.Sleep, sync.WaitGroup.Wait,
+// msgbus.Bus calls that touch the network
+// (Send/SendMsg/Reply/ReplyErr/Request/RequestAddr), and the transport
+// interfaces' Send/Recv/Accept/Dial. sync.Cond.Wait is deliberately NOT
+// flagged: the condition-variable contract requires holding c.L at the
+// call, and Wait releases it for the duration of the block.
+type lockhold struct {
+	findings []Finding
+	prog     *Program
+}
+
+func newLockhold() *lockhold { return &lockhold{} }
+
+func (a *lockhold) Name() string { return "lockhold" }
+
+func (a *lockhold) Run(prog *Program) []Finding {
+	a.prog = prog
+	a.findings = nil
+	for _, pkg := range prog.Pkgs {
+		s := &lockScanner{info: pkg.Info, v: &lockholdVisitor{a: a, pkg: pkg}}
+		s.scanPackage(pkg)
+	}
+	return a.findings
+}
+
+type lockholdVisitor struct {
+	a   *lockhold
+	pkg *Package
+}
+
+func (v *lockholdVisitor) enterFunc(ast.Node) {}
+func (v *lockholdVisitor) exitFunc(ast.Node)  {}
+
+func (v *lockholdVisitor) visitStmt(s ast.Stmt, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	switch st := s.(type) {
+	case *ast.SendStmt:
+		v.reportAt(st.Pos(), held, "channel send")
+		return
+	case *ast.SelectStmt:
+		if !selectHasDefault(st) {
+			v.reportAt(st.Pos(), held, "select without default")
+		}
+		return
+	}
+	for _, e := range shallowExprs(s) {
+		v.inspectExpr(e, held)
+	}
+}
+
+// inspectExpr hunts blocking operations in one expression, staying out of
+// nested function literals (their bodies run under their own lock state).
+func (v *lockholdVisitor) inspectExpr(e ast.Expr, held heldSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				v.reportAt(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCall(v.pkg.Info, n); ok {
+				v.reportAt(n.Pos(), held, what)
+			}
+		}
+		return true
+	})
+}
+
+func (v *lockholdVisitor) reportAt(p token.Pos, held heldSet, what string) {
+	for key, l := range held {
+		lockPos := v.a.prog.Fset.Position(l.at)
+		kind := "Lock"
+		if l.reader {
+			kind = "RLock"
+		}
+		v.a.findings = append(v.a.findings, Finding{
+			Pos:      v.a.prog.Fset.Position(p),
+			Analyzer: "lockhold",
+			Message: fmt.Sprintf("%s while holding %s.%s() (acquired at line %d)",
+				what, key, kind, lockPos.Line),
+		})
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingMethods names methods that block, by receiver package base
+// name + type name. Matching by base name keeps the analyzer testable
+// against fixture modules that mirror the real package layout.
+var blockingMethods = map[string]map[string]bool{
+	"msgbus.Bus": {
+		"Send": true, "SendMsg": true, "Reply": true, "ReplyErr": true,
+		"Request": true, "RequestAddr": true,
+	},
+	"transport.Endpoint": {"Send": true, "Recv": true},
+	"transport.Listener": {"Accept": true},
+	"transport.Network":  {"Dial": true, "Listen": true},
+	"sync.WaitGroup":     {"Wait": true},
+}
+
+// blockingCall classifies a call as blocking.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	// Package-level time.Sleep.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+		return "time.Sleep", true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return "", false
+	}
+	key := pkgBase(tn.Pkg().Path()) + "." + tn.Name()
+	if blockingMethods[key][fn.Name()] {
+		return key + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// shallowExprs returns the expressions evaluated directly by a statement,
+// excluding nested blocks (which the lock scanner walks itself).
+func shallowExprs(s ast.Stmt) []ast.Expr {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{st.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, st.Rhs...), st.Lhs...)
+	case *ast.ReturnStmt:
+		return st.Results
+	case *ast.IfStmt:
+		return []ast.Expr{st.Cond}
+	case *ast.ForStmt:
+		if st.Cond != nil {
+			return []ast.Expr{st.Cond}
+		}
+	case *ast.RangeStmt:
+		return []ast.Expr{st.X}
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			return []ast.Expr{st.Tag}
+		}
+	case *ast.IncDecStmt:
+		return []ast.Expr{st.X}
+	case *ast.SendStmt:
+		return []ast.Expr{st.Chan, st.Value}
+	case *ast.DeferStmt:
+		return append([]ast.Expr{st.Call.Fun}, st.Call.Args...)
+	case *ast.GoStmt:
+		return st.Call.Args
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			var out []ast.Expr
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}

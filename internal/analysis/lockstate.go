@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockstate.go is the shared conservative lock tracker behind lockhold
+// and guardedby. It walks a function body in source order and maintains
+// the set of sync.Mutex/RWMutex values known to be held at each
+// statement, keyed by the printed receiver expression ("m.mu"). Control
+// flow is approximated: branches are scanned with a copy of the state and
+// merged by intersection (a lock counts as held after an if/switch/select
+// only if every surviving path holds it); branches that end in
+// return/break/continue don't contribute to the merge. A deferred Unlock
+// leaves the mutex held to the end of the function, which is exactly what
+// both analyzers want to see. Function literals are scanned as fresh
+// functions: a goroutine does not inherit its creator's locks.
+
+// heldLock records one held mutex.
+type heldLock struct {
+	at     token.Pos // position of the Lock call
+	reader bool      // RLock rather than Lock
+}
+
+type heldSet map[string]heldLock
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only locks held in both sets.
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// lockVisitor observes every scanned statement with the lock state in
+// force when the statement begins executing.
+type lockVisitor interface {
+	// visitStmt sees each leaf statement (and the header of each control
+	// statement) together with the current held set. Implementations must
+	// inspect only the statement's own expressions — nested blocks and
+	// function literals are walked by the engine itself.
+	visitStmt(s ast.Stmt, held heldSet)
+	// enterFunc/exitFunc bracket the scan of one function (FuncDecl or
+	// FuncLit); literals nested in a function are scanned inline, so
+	// visitors needing the innermost function must keep a stack.
+	enterFunc(node ast.Node)
+	exitFunc(node ast.Node)
+}
+
+// lockScanner drives the walk for one package.
+type lockScanner struct {
+	info *types.Info
+	v    lockVisitor
+}
+
+// scanPackage walks every function declaration in the package.
+func (s *lockScanner) scanPackage(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.scanFunc(fd, fd.Body)
+		}
+	}
+}
+
+func (s *lockScanner) scanFunc(node ast.Node, body *ast.BlockStmt) {
+	s.v.enterFunc(node)
+	s.scanStmts(body.List, make(heldSet))
+	s.v.exitFunc(node)
+}
+
+// scanStmts walks stmts updating held in place; it reports whether the
+// block definitely terminates (return / break / continue / goto).
+func (s *lockScanner) scanStmts(stmts []ast.Stmt, held heldSet) bool {
+	for _, stmt := range stmts {
+		if s.scanStmt(stmt, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockScanner) scanStmt(stmt ast.Stmt, held heldSet) bool {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		return s.scanStmts(st.List, held)
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		s.v.visitStmt(st, held)
+		s.scanFuncLits(st.Cond)
+		thenHeld := held.clone()
+		thenTerm := s.scanStmts(st.Body.List, thenHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = s.scanStmt(st.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replace(held, elseHeld)
+		case elseTerm:
+			replace(held, thenHeld)
+		default:
+			replace(held, intersect(thenHeld, elseHeld))
+		}
+		return false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		s.v.visitStmt(st, held)
+		body := held.clone()
+		s.scanStmts(st.Body.List, body)
+		if st.Post != nil {
+			s.scanStmt(st.Post, body)
+		}
+		replace(held, intersect(held, body))
+		return false
+	case *ast.RangeStmt:
+		s.v.visitStmt(st, held)
+		s.scanFuncLits(st.X)
+		body := held.clone()
+		s.scanStmts(st.Body.List, body)
+		replace(held, intersect(held, body))
+		return false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		s.v.visitStmt(st, held)
+		s.scanCases(st.Body.List, held, false)
+		return false
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		s.v.visitStmt(st, held)
+		s.scanCases(st.Body.List, held, false)
+		return false
+	case *ast.SelectStmt:
+		s.v.visitStmt(st, held)
+		// A select without default still always runs one branch.
+		s.scanCases(st.Body.List, held, true)
+		return false
+	case *ast.GoStmt:
+		s.v.visitStmt(st, held)
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.scanFunc(fl, fl.Body)
+		}
+		for _, arg := range st.Call.Args {
+			s.scanFuncLits(arg)
+		}
+		return false
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end; do not
+		// clear it. Other defers are visited like calls.
+		if _, meth, ok := mutexMethod(s.info, st.Call); !ok || !isUnlockMethod(meth) {
+			s.v.visitStmt(st, held)
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.scanFunc(fl, fl.Body)
+		}
+		for _, arg := range st.Call.Args {
+			s.scanFuncLits(arg)
+		}
+		return false
+	case *ast.ReturnStmt:
+		s.v.visitStmt(st, held)
+		for _, r := range st.Results {
+			s.scanFuncLits(r)
+		}
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO
+	default:
+		s.v.visitStmt(stmt, held)
+		s.applyTransitions(stmt, held)
+		s.scanStmtFuncLits(stmt)
+		return false
+	}
+}
+
+// scanCases merges the branches of a switch/select body into held.
+// alwaysRuns says some branch always executes even without a default
+// clause (true for select, which blocks until a case fires).
+func (s *lockScanner) scanCases(clauses []ast.Stmt, held heldSet, alwaysRuns bool) {
+	var merged heldSet
+	haveMerged := false
+	sawDefault := false
+	for _, c := range clauses {
+		var comm ast.Stmt
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+			if cc.List == nil {
+				sawDefault = true
+			}
+		case *ast.CommClause:
+			body = cc.Body
+			comm = cc.Comm
+			if comm == nil {
+				sawDefault = true
+			}
+		default:
+			continue
+		}
+		branch := held.clone()
+		if comm != nil {
+			// The comm op is not visited as a statement: whether it
+			// blocks is a property of the whole select (a default clause
+			// makes it non-blocking), which visitors judge from the
+			// SelectStmt itself. Lock transitions in it still count.
+			s.applyTransitions(comm, branch)
+		}
+		if s.scanStmts(body, branch) {
+			continue // terminating branch: no contribution
+		}
+		if !haveMerged {
+			merged = branch
+			haveMerged = true
+		} else {
+			merged = intersect(merged, branch)
+		}
+	}
+	if !haveMerged {
+		return // every branch terminated (or no branches): state unchanged
+	}
+	if !sawDefault && !alwaysRuns {
+		// The no-case-taken path keeps the incoming state.
+		merged = intersect(merged, held)
+	}
+	replace(held, merged)
+}
+
+// applyTransitions records Lock/Unlock calls appearing in stmt.
+func (s *lockScanner) applyTransitions(stmt ast.Stmt, held heldSet) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, meth, ok := mutexMethod(s.info, call)
+		if !ok {
+			return true
+		}
+		switch meth {
+		case "Lock":
+			held[key] = heldLock{at: call.Pos()}
+		case "RLock":
+			held[key] = heldLock{at: call.Pos(), reader: true}
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return true
+	})
+}
+
+// scanStmtFuncLits scans function literals nested anywhere in a leaf
+// statement (assignment right-hand sides, call arguments, …) as fresh
+// functions.
+func (s *lockScanner) scanStmtFuncLits(stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			s.scanFunc(fl, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (s *lockScanner) scanFuncLits(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			s.scanFunc(fl, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func replace(dst, src heldSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// mutexMethod reports whether call is a method call on a sync.Mutex or
+// sync.RWMutex value, returning the printed receiver expression and the
+// method name.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, okNamed := t.(*types.Named)
+	if !okNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func isUnlockMethod(name string) bool {
+	return name == "Unlock" || name == "RUnlock"
+}

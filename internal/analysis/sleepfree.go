@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// defaultSleepAllowlist names package-path suffixes where bare time.Sleep
+// is part of the package's job rather than a polling smell:
+//
+//   - transport/inproc simulates link latency and bandwidth by sleeping;
+//   - transport/transporttest paces its conformance scenarios;
+//   - testnet is the in-process cluster harness for tests;
+//   - internal/bench paces benchmark phases and simulated workloads.
+//
+// Everywhere else a sleep in production code is either a polling loop
+// (replace with a channel, cond, or timer select that also observes
+// shutdown) or needs an explicit //sdvmlint:allow sleepfree directive
+// stating why the delay models something real.
+var defaultSleepAllowlist = []string{
+	"internal/transport/inproc",
+	"internal/transport/transporttest",
+	"internal/testnet",
+	"internal/bench",
+}
+
+// sleepfree forbids bare time.Sleep in production packages.
+type sleepfree struct {
+	allow []string
+}
+
+func newSleepfree(allow []string) *sleepfree { return &sleepfree{allow: allow} }
+
+func (a *sleepfree) Name() string { return "sleepfree" }
+
+func (a *sleepfree) Run(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		if a.allowedPkg(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Sleep" {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:      prog.Fset.Position(call.Pos()),
+					Analyzer: "sleepfree",
+					Message: "bare time.Sleep in production code: use a timer select that " +
+						"observes shutdown, or annotate //sdvmlint:allow sleepfree -- <why>",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func (a *sleepfree) allowedPkg(path string) bool {
+	for _, suffix := range a.allow {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}

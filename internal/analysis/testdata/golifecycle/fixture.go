@@ -1,0 +1,74 @@
+// Package fixture seeds golifecycle violations (goroutines spinning in
+// unstoppable loops) next to the accepted lifecycle patterns.
+package fixture
+
+type worker struct {
+	done chan struct{}
+	jobs chan int
+}
+
+func work() {}
+
+func (w *worker) startBadSpin() {
+	go func() { // want "unbounded for-loop"
+		for {
+			work()
+		}
+	}()
+}
+
+func (w *worker) startBadNamed() {
+	go w.spin() // want "unbounded for-loop"
+}
+
+// spin is only dangerous when launched as a goroutine; the finding is
+// reported at the go statement.
+func (w *worker) spin() {
+	for {
+		work()
+	}
+}
+
+// startGoodSelect is the canonical manager loop: every iteration can
+// observe the stop channel.
+func (w *worker) startGoodSelect() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// startGoodRange terminates when the jobs channel closes.
+func (w *worker) startGoodRange() {
+	go func() {
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+// startGoodReturn exits the loop on a failed receive.
+func (w *worker) startGoodReturn() {
+	go func() {
+		for {
+			if _, ok := <-w.jobs; !ok {
+				return
+			}
+		}
+	}()
+}
+
+// startGoodBounded runs a conditional loop, not `for {}`.
+func (w *worker) startGoodBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}

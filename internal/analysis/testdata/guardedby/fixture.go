@@ -1,0 +1,63 @@
+// Package fixture seeds guardedby violations (annotated fields touched
+// without their mutex) next to the sanctioned access patterns.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	// guarded by mu
+	items map[string]int
+	// hits counts lookups. guarded by mu
+	hits int
+	// clean has no annotation and may be accessed freely.
+	clean int
+}
+
+// newStore touches the fields of a value that has not escaped yet.
+func newStore() *store {
+	s := &store{}
+	s.items = make(map[string]int)
+	return s
+}
+
+func (s *store) getBad(k string) int {
+	return s.items[k] // want "s.items (guarded by mu) accessed without holding s.mu"
+}
+
+func (s *store) countBad() {
+	s.hits++ // want "s.hits (guarded by mu) accessed without holding s.mu"
+}
+
+func (s *store) getGood(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.items[k]
+}
+
+func (s *store) putGood(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+}
+
+// sizeLocked follows the repo convention: the suffix documents that the
+// caller holds s.mu.
+func (s *store) sizeLocked() int {
+	return len(s.items)
+}
+
+func (s *store) halfBad(k string, cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return s.items[k] // want "s.items (guarded by mu) accessed without holding s.mu"
+	}
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+func (s *store) bumpClean() {
+	s.clean++
+}

@@ -1,0 +1,96 @@
+// Package fixture seeds lockhold violations (flagged) next to the fixed
+// forms (quiet). The marker comments name the finding the analyzer must
+// produce on each flagged line.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+	ch   chan int
+}
+
+func (s *server) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu.Lock()"
+	s.mu.Unlock()
+}
+
+func (s *server) badSendUnderDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want "channel send while holding s.mu.Lock()"
+}
+
+func (s *server) badRecvUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want "channel receive while holding s.rw.RLock()"
+}
+
+func (s *server) badBlockingSelect() {
+	s.mu.Lock()
+	select { // want "select without default while holding s.mu.Lock()"
+	case v := <-s.ch:
+		s.data["v"] = v
+	}
+	s.mu.Unlock()
+}
+
+// goodUnlockFirst releases before blocking — the fixed form of
+// badSendUnderDefer.
+func (s *server) goodUnlockFirst() {
+	s.mu.Lock()
+	v := s.data["v"]
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// goodNonBlockingSelect holds the lock across a select with a default
+// clause, which cannot block.
+func (s *server) goodNonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// goodBranchRelease unlocks on one path and blocks only there.
+func (s *server) goodBranchRelease(flag bool) {
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+		<-s.ch
+		return
+	}
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// goodCondWait holds the condition variable's own locker across Wait,
+// which is the required sync.Cond contract (Wait releases the lock while
+// blocked) and must stay quiet.
+func (s *server) goodCondWait(cond *sync.Cond, ready func() bool) {
+	s.mu.Lock()
+	for !ready() {
+		cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// goodGoroutine launches a goroutine under the lock; the goroutine body
+// runs with its own (empty) lock state.
+func (s *server) goodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}

@@ -1,0 +1,33 @@
+// Package fixture seeds sleepfree violations (flagged) next to the two
+// sanctioned forms: a timer select that observes shutdown, and an
+// explicit //sdvmlint:allow directive with a reason.
+package fixture
+
+import "time"
+
+func flaggedSleep() {
+	time.Sleep(time.Millisecond) // want "bare time.Sleep"
+}
+
+func flaggedPollingLoop(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond) // want "bare time.Sleep"
+	}
+}
+
+func allowedByDirective() {
+	//sdvmlint:allow sleepfree -- fixture: modeled propagation delay
+	time.Sleep(time.Millisecond)
+}
+
+// goodTimerSelect is the fixed form: the wait is interruptible.
+func goodTimerSelect(done chan struct{}) bool {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-done:
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,17 @@
+// Package mgr is the fixture's dispatching manager: it consumes Ping and
+// nothing else.
+package mgr
+
+import "fixture/wire"
+
+// Msg mimics the bus message envelope.
+type Msg struct {
+	Payload wire.Payload
+}
+
+// Handle dispatches on the payload type.
+func Handle(m *Msg) {
+	switch m.Payload.(type) {
+	case *wire.Ping:
+	}
+}

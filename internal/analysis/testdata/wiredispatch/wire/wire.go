@@ -1,0 +1,46 @@
+// Package wire is a miniature copy of the SDVM protocol package's
+// structure — Kind enum, kindNames, Payload interface, register calls —
+// with deliberate holes for the wiredispatch analyzer to find.
+package wire
+
+// Kind identifies a payload type on the wire.
+type Kind uint16
+
+const (
+	KindInvalid Kind = iota
+	KindPing
+	KindOrphan // want "never registered" "no kindNames entry"
+	KindGhost
+)
+
+var kindNames = map[Kind]string{
+	KindPing:  "Ping",
+	KindGhost: "Ghost",
+}
+
+// Payload is one decodable message body.
+type Payload interface {
+	Kind() Kind
+}
+
+func register(k Kind, f func() Payload) {}
+
+// Ping is registered and handled: fully wired.
+type Ping struct{}
+
+func (*Ping) Kind() Kind { return KindPing }
+
+// Ghost is registered but no manager dispatches or asserts it.
+type Ghost struct{}
+
+func (*Ghost) Kind() Kind { return KindGhost }
+
+// Unregistered implements Payload but was never given to register.
+type Unregistered struct{} // want "has no register"
+
+func (*Unregistered) Kind() Kind { return KindInvalid }
+
+func init() {
+	register(KindPing, func() Payload { return &Ping{} })
+	register(KindGhost, func() Payload { return &Ghost{} }) // want "no consumer outside the wire package"
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wiredispatch cross-checks the wire protocol's three registries, which
+// ordinary compilation cannot connect:
+//
+//  1. every payload type (a type implementing wire.Payload) must be
+//     registered with the codec (a register(KindX, factory) call), or
+//     NewPayload returns nil and the message fails to decode at the
+//     receiver;
+//  2. every kind constant must have a registration and a kindNames
+//     entry, so decode and diagnostics cover the whole enum;
+//  3. every payload type must be consumed somewhere outside the wire
+//     package — a `case *wire.T:` in a manager's dispatch switch or a
+//     `reply.Payload.(*wire.T)` assertion at a requester — otherwise the
+//     message is sent (or replied) into the void.
+//
+// The wire package is located structurally: a package named "wire"
+// declaring a Kind type, a Payload interface, and a register function.
+// That keeps the analyzer honest on fixture modules too.
+type wiredispatch struct{}
+
+func newWiredispatch() *wiredispatch { return &wiredispatch{} }
+
+func (a *wiredispatch) Name() string { return "wiredispatch" }
+
+func (a *wiredispatch) Run(prog *Program) []Finding {
+	wirePkg := findWirePkg(prog)
+	if wirePkg == nil {
+		return nil
+	}
+	var out []Finding
+
+	payloads := payloadTypes(wirePkg)
+	regs, regPos := registrations(wirePkg)
+	names := kindNameEntries(wirePkg)
+	kinds := kindConstants(wirePkg)
+	consumed := consumedTypes(prog, wirePkg)
+
+	registeredTypes := make(map[string]bool)
+	for _, t := range regs {
+		registeredTypes[t] = true
+	}
+
+	// 1. Payload types without a codec registration.
+	for _, p := range payloads {
+		if !registeredTypes[p.name] {
+			out = append(out, Finding{
+				Pos:      prog.Fset.Position(p.pos),
+				Analyzer: "wiredispatch",
+				Message: fmt.Sprintf("payload type %s implements Payload but has no "+
+					"register(Kind..., ...) call: messages of this type cannot be decoded", p.name),
+			})
+		}
+	}
+	// 2. Kind constants without registration or name.
+	for _, k := range kinds {
+		if _, ok := regs[k.name]; !ok {
+			out = append(out, Finding{
+				Pos:      prog.Fset.Position(k.pos),
+				Analyzer: "wiredispatch",
+				Message: fmt.Sprintf("wire kind %s is never registered: NewPayload(%s) "+
+					"returns nil and decoding fails", k.name, k.name),
+			})
+		}
+		if !names[k.name] {
+			out = append(out, Finding{
+				Pos:      prog.Fset.Position(k.pos),
+				Analyzer: "wiredispatch",
+				Message:  fmt.Sprintf("wire kind %s has no kindNames entry", k.name),
+			})
+		}
+	}
+	// 3. Payload types nobody consumes.
+	for _, p := range payloads {
+		if !registeredTypes[p.name] {
+			continue // already reported above
+		}
+		if !consumed[p.name] {
+			out = append(out, Finding{
+				Pos:      prog.Fset.Position(regPos[p.name]),
+				Analyzer: "wiredispatch",
+				Message: fmt.Sprintf("payload type %s has no consumer outside the wire "+
+					"package: no dispatch case *wire.%s and no .(*wire.%s) assertion",
+					p.name, p.name, p.name),
+			})
+		}
+	}
+	return out
+}
+
+// findWirePkg locates the protocol package.
+func findWirePkg(prog *Program) *Package {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Pkg.Name() != "wire" {
+			continue
+		}
+		scope := pkg.Pkg.Scope()
+		if scope.Lookup("Kind") != nil && scope.Lookup("Payload") != nil &&
+			scope.Lookup("register") != nil {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// wireSym is one named symbol of the wire package.
+type wireSym struct {
+	name string
+	pos  token.Pos
+}
+
+// payloadTypes lists the named types in the wire package whose pointer
+// implements the Payload interface.
+func payloadTypes(pkg *Package) []wireSym {
+	iface, _ := pkg.Pkg.Scope().Lookup("Payload").Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return nil
+	}
+	var out []wireSym
+	for _, name := range pkg.Pkg.Scope().Names() {
+		tn, ok := pkg.Pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		if types.Implements(types.NewPointer(named), iface) {
+			out = append(out, wireSym{name, tn.Pos()})
+		}
+	}
+	return out
+}
+
+// registrations parses register(KindX, func() Payload { return &T{} })
+// calls, returning kind-name → type-name and type-name → call position.
+func registrations(pkg *Package) (map[string]string, map[string]token.Pos) {
+	regs := make(map[string]string)
+	pos := make(map[string]token.Pos)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "register" {
+				return true
+			}
+			kind := types.ExprString(call.Args[0])
+			typeName := factoryTypeName(call.Args[1])
+			if typeName != "" {
+				regs[kind] = typeName
+				pos[typeName] = call.Pos()
+			} else {
+				regs[kind] = "?"
+			}
+			return true
+		})
+	}
+	return regs, pos
+}
+
+// factoryTypeName digs the composite-literal type out of a payload
+// factory like `func() Payload { return &SignOnRequest{} }` or
+// `func() Payload { return new(SignOnRequest) }`.
+func factoryTypeName(e ast.Expr) string {
+	name := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if id, ok := n.Type.(*ast.Ident); ok {
+				name = id.Name
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+				if t, ok := n.Args[0].(*ast.Ident); ok {
+					name = t.Name
+				}
+			}
+		}
+		return true
+	})
+	return name
+}
+
+// kindNameEntries collects the keys of the kindNames map literal.
+func kindNameEntries(pkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "kindNames" || i >= len(vs.Values) {
+					continue
+				}
+				if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+					for _, elt := range cl.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							out[types.ExprString(kv.Key)] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// kindConstants lists the exported constants of type Kind, minus
+// KindInvalid (the zero sentinel is deliberately unregistered).
+func kindConstants(pkg *Package) []wireSym {
+	kindType := pkg.Pkg.Scope().Lookup("Kind").Type()
+	var out []wireSym
+	for _, name := range pkg.Pkg.Scope().Names() {
+		c, ok := pkg.Pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Name() == "KindInvalid" {
+			continue
+		}
+		if types.Identical(c.Type(), kindType) {
+			out = append(out, wireSym{c.Name(), c.Pos()})
+		}
+	}
+	return out
+}
+
+// consumedTypes walks every package except wire itself and records which
+// wire types appear in a type-switch case or type assertion.
+func consumedTypes(prog *Program, wirePkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	record := func(pkg *Package, typeExpr ast.Expr) {
+		if typeExpr == nil {
+			return // x.(type) in a switch header
+		}
+		t := pkg.Info.TypeOf(typeExpr)
+		if t == nil {
+			return
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		if obj := named.Obj(); obj.Pkg() == wirePkg.Pkg {
+			out[obj.Name()] = true
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		if pkg == wirePkg {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.TypeAssertExpr:
+					record(pkg, n.Type)
+				case *ast.TypeSwitchStmt:
+					for _, c := range n.Body.List {
+						if cc, ok := c.(*ast.CaseClause); ok {
+							for _, t := range cc.List {
+								record(pkg, t)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

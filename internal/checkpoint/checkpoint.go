@@ -47,6 +47,10 @@ type Config struct {
 	MissLimit int
 }
 
+// ackTimeout bounds the wait for a remote CheckpointAck; a missed ack
+// only costs one interval — the next checkpoint supersedes the epoch.
+const ackTimeout = time.Second
+
 // stored is one replicated checkpoint: origin site's state for a program.
 type stored struct {
 	epoch   uint64
@@ -75,6 +79,7 @@ type Manager struct {
 
 	recovered uint64 // programs restored after crashes
 	taken     uint64 // checkpoints taken
+	acked     uint64 // checkpoints confirmed stored by the remote site
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -130,6 +135,13 @@ func (m *Manager) Start() {
 func (m *Manager) Close() {
 	m.once.Do(func() { close(m.done) })
 	m.wg.Wait()
+}
+
+// Acked returns the number of checkpoints confirmed stored remotely.
+func (m *Manager) Acked() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acked
 }
 
 // Taken returns the number of checkpoints this site has taken.
@@ -196,13 +208,25 @@ func (m *Manager) checkpointProgram(prog types.ProgramID) {
 	m.taken++
 	m.mu.Unlock()
 
-	_ = m.bus.Send(dst, types.MgrCheckpoint, types.MgrCheckpoint, &wire.CheckpointStore{
+	// Request, not Send: a checkpoint that never reached the replica is
+	// worthless, so wait (bounded) for the CheckpointAck and count only
+	// confirmed epochs. A timeout is tolerable — the next interval
+	// re-ships a fresher snapshot anyway.
+	reply, err := m.bus.Request(dst, types.MgrCheckpoint, types.MgrCheckpoint, &wire.CheckpointStore{
 		Program: prog,
 		Epoch:   epoch,
 		Origin:  m.bus.Self(),
 		Frames:  frames,
 		Objects: objects,
-	})
+	}, ackTimeout)
+	if err != nil {
+		return
+	}
+	if ack, ok := reply.Payload.(*wire.CheckpointAck); ok && ack.Program == prog && ack.Epoch == epoch {
+		m.mu.Lock()
+		m.acked++
+		m.mu.Unlock()
+	}
 }
 
 // checkpointSite picks where this site's checkpoints go. Reliable-core

@@ -77,9 +77,9 @@ type Manager struct {
 	codeHome func(types.ProgramID) types.SiteID
 
 	mu sync.Mutex
-	// binaries by thread, then platform.
+	// binaries by thread, then platform. guarded by mu
 	binaries map[types.ThreadID]map[types.PlatformID]*Artifact
-	// sources by thread (PlatformAny artifacts).
+	// sources by thread (PlatformAny artifacts). guarded by mu
 	sources map[types.ThreadID]*Artifact
 	stats   Stats
 }
@@ -248,6 +248,7 @@ func (m *Manager) compileAndPublish(src *Artifact) (mthread.Func, error) {
 		return nil, err
 	}
 	if m.cfg.CompileCost > 0 {
+		//sdvmlint:allow sleepfree -- the sleep IS the model: simulated JIT compile cost (paper §3.2)
 		time.Sleep(m.cfg.CompileCost)
 	}
 	bin := &Artifact{

@@ -465,12 +465,43 @@ func (d *Daemon) SignOff() error {
 	d.mu.Unlock()
 
 	d.Ckpt.Close()
+	peers := d.CM.SiteIDs() // capture before SignOff empties the roster
 	err := d.Site.SignOff()
-	// Give the goodbye broadcast a moment to drain before cutting links.
-	time.Sleep(20 * time.Millisecond)
+	// Flush the goodbye broadcast before cutting links: a Ping/Pong
+	// round-trip per peer proves (FIFO per connection, FIFO bus inbox)
+	// that everything sent earlier has been dispatched there.
+	d.flushPeers(peers)
+	d.Mem.Close()
 	d.Bus.Close()
 	d.Net.Close()
 	return err
+}
+
+// flushPeers performs a bounded Ping round-trip to every given peer and
+// reports how many answered. Both transports deliver in order per
+// connection and the bus inbox preserves arrival order, so a matching
+// Pong guarantees the peer has already dispatched every message this
+// site sent before the Ping — the sign-off broadcast included. An
+// unreachable or garbled peer is skipped: it gets the goodbye (or a
+// crash declaration) through the normal paths.
+func (d *Daemon) flushPeers(peers []types.SiteID) int {
+	self := d.Bus.Self()
+	flushed := 0
+	for i, id := range peers {
+		if id == self {
+			continue
+		}
+		nonce := uint64(i) + 1
+		reply, err := d.Bus.Request(id, types.MgrCluster, types.MgrCluster,
+			&wire.Ping{Nonce: nonce}, 250*time.Millisecond)
+		if err != nil {
+			continue
+		}
+		if pong, ok := reply.Payload.(*wire.Pong); ok && pong.Nonce == nonce {
+			flushed++
+		}
+	}
+	return flushed
 }
 
 // Kill stops the daemon abruptly — no relocation, no goodbye — to
@@ -486,6 +517,7 @@ func (d *Daemon) Kill() {
 
 	d.Net.Close()
 	d.Bus.Close()
+	d.Mem.Close()
 	d.Sched.Close()
 	d.Exec.Wait()
 	d.Site.Close()

@@ -240,6 +240,7 @@ func (m *Manager) spend(cost float64) {
 		m.cpuBusy = true
 		m.cpuMu.Unlock()
 
+		//sdvmlint:allow sleepfree -- the sleep IS the model: simulated work occupies the virtual CPU for d
 		time.Sleep(d)
 
 		m.cpuMu.Lock()

@@ -33,7 +33,8 @@ type Manager struct {
 	// frontendSite resolves a program's frontend site (program manager).
 	frontendSite func(types.ProgramID) types.SiteID
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// files maps IO handles to open descriptors. guarded by mu
 	files     map[types.GlobalAddr]*os.File
 	nextLocal uint64
 	sink      FrontendSink

@@ -23,6 +23,7 @@ package memory
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/msgbus"
@@ -102,6 +103,11 @@ type Manager struct {
 	grantLog map[types.SiteID][]*wire.Microframe
 
 	stats Stats
+
+	// done unblocks retry pauses when the daemon shuts down, so a
+	// SendFor or fetch backoff never outlives the site.
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // loggedParam is one replayable remote parameter application.
@@ -112,16 +118,17 @@ type loggedParam struct {
 
 // Stats counts attraction-memory activity for the site manager.
 type Stats struct {
-	Allocs        uint64
-	LocalReads    uint64
-	RemoteReads   uint64
-	LocalWrites   uint64
-	RemoteWrites  uint64
-	ParamsApplied uint64
-	FramesFired   uint64
-	Migrations    uint64
-	CacheHits     uint64 // reads served from a local replica
-	Invalidates   uint64 // replicas dropped after a remote write
+	Allocs         uint64
+	LocalReads     uint64
+	RemoteReads    uint64
+	LocalWrites    uint64
+	RemoteWrites   uint64
+	ParamsApplied  uint64
+	FramesFired    uint64
+	Migrations     uint64
+	CacheHits      uint64 // reads served from a local replica
+	Invalidates    uint64 // replicas dropped after a remote write
+	InvalidateAcks uint64 // invalidation round-trips confirmed by a Barrier reply
 }
 
 // New returns an attraction memory bound to bus, delivering executable
@@ -143,6 +150,7 @@ func New(bus *msgbus.Bus, fire FireFunc) *Manager {
 		copies:         make(map[types.GlobalAddr]map[types.SiteID]bool),
 		cacheEnabled:   true,
 		fetching:       make(map[types.GlobalAddr]chan struct{}),
+		done:           make(chan struct{}),
 	}
 	m.traffic = func(types.ProgramID, int) {}
 	bus.Register(types.MgrMemory, m)
@@ -151,6 +159,25 @@ func New(bus *msgbus.Bus, fire FireFunc) *Manager {
 
 // SetTracer installs the event tracer (nil = off).
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// Close interrupts every in-flight retry pause. Idempotent; called by
+// the daemon on SignOff and Kill.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() { close(m.done) })
+}
+
+// pause sleeps for d unless the manager is closed first; it reports
+// whether the caller should keep retrying.
+func (m *Manager) pause(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-m.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
 
 // SetReadReplication toggles COMA read replication (default on); the
 // A-6 ablation measures its effect.
@@ -279,7 +306,9 @@ func (m *Manager) SendFor(prog types.ProgramID, target wire.Target, data []byte)
 			return err
 		}
 		lastErr = err
-		time.Sleep(time.Duration(10*(attempt+1)) * time.Millisecond)
+		if !m.pause(time.Duration(10*(attempt+1)) * time.Millisecond) {
+			break // shutting down: the send can never succeed now
+		}
 	}
 	return fmt.Errorf("memory: apply %v: %w", target, lastErr)
 }
@@ -474,7 +503,9 @@ func (m *Manager) fetch(addr types.GlobalAddr, migrate bool) (*wire.MemObject, e
 			return nil, err
 		}
 		lastErr = err
-		time.Sleep(time.Duration(10*(round+1)) * time.Millisecond)
+		if !m.pause(time.Duration(10*(round+1)) * time.Millisecond) {
+			break // shutting down: stop chasing the directory
+		}
 	}
 	return nil, lastErr
 }
@@ -538,16 +569,26 @@ func (m *Manager) sendInvalidates(addr types.GlobalAddr, sites []types.SiteID) {
 		return
 	}
 	var wg sync.WaitGroup
+	var acked atomic.Uint64
 	for _, id := range sites {
 		id := id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = m.bus.Request(id, types.MgrMemory, types.MgrMemory,
+			reply, err := m.bus.Request(id, types.MgrMemory, types.MgrMemory,
 				&wire.MemInvalidate{Addr: addr}, 500*time.Millisecond)
+			if err != nil {
+				return // bounded wait: a dead replica holder cannot ack
+			}
+			if _, ok := reply.Payload.(*wire.Barrier); ok {
+				acked.Add(1)
+			}
 		}()
 	}
 	wg.Wait()
+	m.mu.Lock()
+	m.stats.InvalidateAcks += acked.Load()
+	m.mu.Unlock()
 }
 
 // routeObjectLocked picks the first site to ask about addr. Caller holds

@@ -60,10 +60,12 @@ type Bus struct {
 	resolver Resolver
 	sender   Sender
 
-	seq     atomic.Uint64
-	mu      sync.Mutex
+	seq atomic.Uint64
+	mu  sync.Mutex
+	// waiters holds one reply channel per in-flight request. guarded by mu
 	waiters map[uint64]chan *wire.Message
-	closed  bool
+	// closed marks the bus shut down for new requests. guarded by mu
+	closed bool
 
 	handlersMu sync.RWMutex
 	handlers   [types.ManagerCount]Handler

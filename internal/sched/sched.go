@@ -520,19 +520,30 @@ func (m *Manager) takeReadyLocked(policy types.SchedulingClass) *Ready {
 }
 
 // takeReadySurrenderLocked removes the lowest-priority non-critical
-// ready entry for a help grant, or nil. Caller holds m.mu.
+// ready entry for a help grant, or nil. Ties break by the help policy,
+// mirroring frameQueue.popSurrender — a LIFO help reply surrenders the
+// newest equal-priority frame regardless of which queue the resolver
+// has moved it to. Caller holds m.mu.
 func (m *Manager) takeReadySurrenderLocked(policy types.SchedulingClass) *Ready {
-	idx, lowest := -1, types.PriorityCritical
-	for i, r := range m.ready {
-		if r.Frame.Prio < lowest {
-			lowest = r.Frame.Prio
-			idx = i
-		}
-	}
-	if idx < 0 {
+	if len(m.ready) == 0 {
 		return nil
 	}
-	_ = policy // tie-break policy is irrelevant: lowest priority wins
+	lowest := m.ready[0].Frame.Prio
+	for _, r := range m.ready[1:] {
+		if r.Frame.Prio < lowest {
+			lowest = r.Frame.Prio
+		}
+	}
+	if lowest >= types.PriorityCritical {
+		return nil
+	}
+	var idxs []int
+	for i, r := range m.ready {
+		if r.Frame.Prio == lowest {
+			idxs = append(idxs, i)
+		}
+	}
+	idx := idxs[pickIndex(len(idxs), policy, func(int) types.Priority { return 0 })]
 	r := m.ready[idx]
 	m.ready = append(m.ready[:idx], m.ready[idx+1:]...)
 	return r

@@ -47,6 +47,7 @@ func init() {
 	register(KindCheckpointAck, func() Payload { return &CheckpointAck{} })
 	register(KindCrashNotice, func() Payload { return &CrashNotice{} })
 	register(KindRecoverRequest, func() Payload { return &RecoverRequest{} })
+	//sdvmlint:allow wiredispatch -- pull-path reply: production recovery is push-based (the checkpoint holder restores); the pull protocol is exercised by the recovery tests
 	register(KindRecoverReply, func() Payload { return &RecoverReply{} })
 
 	register(KindError, func() Payload { return &ErrorReply{} })
