@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -33,113 +34,147 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|all")
-		full  = flag.Bool("full", false, "table1: run every published row (p up to 1000); slow")
-		scale = flag.Int("scale", 1000, "wall-clock microseconds per Work unit")
-		cost  = flag.Float64("cost", 2.0, "Work units per prime-candidate test")
+		exp     = flag.String("exp", "all", "experiment: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|all")
+		full    = flag.Bool("full", false, "table1: run every published row (p up to 1000); slow")
+		scale   = flag.Int("scale", 1000, "wall-clock microseconds per Work unit")
+		cost    = flag.Float64("cost", 2.0, "Work units per prime-candidate test")
+		jsonOut = flag.Bool("json", false, "also write a machine-readable report (see -out)")
+		outPath = flag.String("out", "BENCH_1.json", "report path for -json")
 	)
 	flag.Parse()
 
 	unit := time.Duration(*scale) * time.Microsecond
 	spec := bench.Spec{WorkUnit: unit}
 
-	run := func(name string, f func() error) {
+	var report *bench.Report
+	if *jsonOut {
+		report = bench.NewReport()
+	}
+
+	// run executes one experiment. Without -json an error aborts the
+	// whole command; with -json it is recorded in the report and the
+	// remaining experiments still run (the command exits 1 at the end).
+	run := func(key, name string, f func(s *bench.Summary) error) {
 		fmt.Printf("==> %s\n", name)
-		start := time.Now()
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "sdvmbench: %s: %v\n", name, err)
-			os.Exit(1)
+		sum := bench.Timed(key, f)
+		if sum.Err != "" {
+			fmt.Fprintf(os.Stderr, "sdvmbench: %s: %s\n", key, sum.Err)
+			if report == nil {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("    (experiment took %v)\n\n",
+				time.Duration(sum.WallClockMS*float64(time.Millisecond)).Round(time.Millisecond))
 		}
-		fmt.Printf("    (experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if report != nil {
+			report.Add(sum)
+		}
+	}
+	// plain adapts experiments that only report wall-clock.
+	plain := func(f func() error) func(*bench.Summary) error {
+		return func(*bench.Summary) error { return f() }
 	}
 
 	all := *exp == "all"
 	any := false
 	if all || *exp == "table1" {
 		any = true
-		run("Table 1 — speedup of the parallel prime computation", func() error {
+		run("table1", "Table 1 — speedup of the parallel prime computation", plain(func() error {
 			return expTable1(spec, *cost, *full)
-		})
+		}))
 	}
 	if all || *exp == "overhead" {
 		any = true
-		run("O-1 — SDVM overhead vs stand-alone sequential ([5]: ≈3 %)", func() error {
-			return expOverhead(spec, *cost)
+		run("overhead", "O-1 — SDVM overhead vs stand-alone sequential ([5]: ≈3 %)", func(s *bench.Summary) error {
+			if report == nil {
+				s = nil // plain mode: run uninstrumented, like the seed did
+			}
+			return expOverhead(spec, *cost, s)
 		})
 	}
 	if all || *exp == "churn" {
 		any = true
-		run("§3.4 — dynamic entry and exit at runtime", func() error {
+		run("churn", "§3.4 — dynamic entry and exit at runtime", plain(func() error {
 			return expChurn(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "crash" {
 		any = true
-		run("§2.2/§6 — crash detection and recovery", func() error {
+		run("crash", "§2.2/§6 — crash detection and recovery", plain(func() error {
 			return expCrash(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "hetero" {
 		any = true
-		run("§3.4 — heterogeneous cluster, on-the-fly compilation", func() error {
+		run("hetero", "§3.4 — heterogeneous cluster, on-the-fly compilation", plain(func() error {
 			return expHetero(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "sched" {
 		any = true
-		run("A-1 — scheduling policies (paper: FIFO local, LIFO help)", func() error {
+		run("sched", "A-1 — scheduling policies (paper: FIFO local, LIFO help)", plain(func() error {
 			return expSched(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "window" {
 		any = true
-		run("A-2 — latency-hiding window (paper: ≈5)", func() error {
+		run("window", "A-2 — latency-hiding window (paper: ≈5)", plain(func() error {
 			return expWindow(spec)
-		})
+		}))
 	}
 	if all || *exp == "security" {
 		any = true
-		run("A-3 — security manager on/off", func() error {
+		run("security", "A-3 — security manager on/off", plain(func() error {
 			return expSecurity(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "idalloc" {
 		any = true
-		run("A-4 — logical-id allocation strategies", expIDAlloc)
+		run("idalloc", "A-4 — logical-id allocation strategies", plain(expIDAlloc))
 	}
 	if all || *exp == "replication" {
 		any = true
-		run("A-6 — COMA read replication on/off (matmul)", func() error {
+		run("replication", "A-6 — COMA read replication on/off (matmul)", plain(func() error {
 			return expReplication(spec)
-		})
+		}))
 	}
 	if all || *exp == "scale" {
 		any = true
-		run("goal 5 — scalability curve", func() error {
+		run("scale", "goal 5 — scalability curve", plain(func() error {
 			return expScale(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "speeds" {
 		any = true
-		run("§3.5 — load balancing across heterogeneous speeds", func() error {
+		run("speeds", "§3.5 — load balancing across heterogeneous speeds", plain(func() error {
 			return expSpeeds(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "pinning" {
 		any = true
-		run("A-7 — critical-path scheduling hints on/off (§3.3)", func() error {
+		run("pinning", "A-7 — critical-path scheduling hints on/off (§3.3)", plain(func() error {
 			return expPinning(spec, *cost)
-		})
+		}))
 	}
 	if all || *exp == "central" {
 		any = true
-		run("A-5 — decentralized vs central scheduling", func() error {
+		run("central", "A-5 — decentralized vs central scheduling", plain(func() error {
 			return expCentral(spec, *cost)
-		})
+		}))
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "sdvmbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if report != nil {
+		if err := report.Write(*outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "sdvmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sdvmbench: wrote %s (%d experiments)\n", *outPath, len(report.Experiments))
+		if report.Failed() {
+			os.Exit(1)
+		}
 	}
 }
 
@@ -163,13 +198,33 @@ func expTable1(spec bench.Spec, cost float64, full bool) error {
 	return nil
 }
 
-func expOverhead(spec bench.Spec, cost float64) error {
-	res, err := bench.Overhead(spec, 100, 10, cost)
+func expOverhead(spec bench.Spec, cost float64, sum *bench.Summary) error {
+	var (
+		res    bench.OverheadResult
+		totals map[string]int64
+		err    error
+	)
+	if sum != nil {
+		// JSON mode instruments the 1-site run so the report pairs
+		// wall-clock with the metric totals behind it.
+		res, totals, err = bench.OverheadWithMetrics(spec, 100, 10, cost)
+	} else {
+		res, err = bench.Overhead(spec, 100, 10, cost)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("    sequential: %v   1-site SDVM: %v   overhead: %.1f%%   (paper: ≈3%%)\n",
 		res.Seq.Round(time.Millisecond), res.SDVM.Round(time.Millisecond), 100*res.Overhead)
+	if sum != nil {
+		sum.Values = map[string]float64{
+			"seq_ms":        float64(res.Seq) / float64(time.Millisecond),
+			"sdvm_ms":       float64(res.SDVM) / float64(time.Millisecond),
+			"overhead_frac": res.Overhead,
+		}
+		sum.Metrics = totals
+		fmt.Printf("    top metrics: %s\n", strings.Join(bench.TopMetrics(totals, 8), " "))
+	}
 	return nil
 }
 

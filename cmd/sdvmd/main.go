@@ -45,6 +45,8 @@ func main() {
 		status     = flag.Duration("status", 5*time.Second, "status print interval (0 = quiet)")
 		simulated  = flag.Bool("simwork", false, "simulate Work by sleeping instead of burning CPU")
 		useUDP     = flag.Bool("udp", false, "use the reliable-UDP transport instead of TCP")
+		metrics    = flag.Bool("metrics", false, "enable the metrics registry (queryable via sdvmstat -metrics)")
+		metricsAt  = flag.String("metrics-addr", "", "also serve metrics as JSON over HTTP at host:port (implies -metrics)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,8 @@ func main() {
 		CheckpointEvery: *checkpoint,
 		HeartbeatEvery:  *heartbeat,
 		SimulatedWork:   *simulated,
+		Metrics:         *metrics,
+		MetricsAddr:     *metricsAt,
 	}
 
 	var (

@@ -7,12 +7,14 @@
 //	sdvmstat -join 192.168.1.10:7000
 //	sdvmstat -join 192.168.1.10:7000 -watch 2s
 //	sdvmstat -join 192.168.1.10:7000 -usage
+//	sdvmstat -join 192.168.1.10:7000 -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	sdvm "repro"
@@ -21,10 +23,11 @@ import (
 
 func main() {
 	var (
-		join   = flag.String("join", "127.0.0.1:7000", "address of any current cluster member")
-		secret = flag.String("secret", "", "cluster start password (must match the cluster)")
-		watch  = flag.Duration("watch", 0, "refresh interval; 0 prints once and exits")
-		usage  = flag.Bool("usage", false, "also print per-program accounting")
+		join    = flag.String("join", "127.0.0.1:7000", "address of any current cluster member")
+		secret  = flag.String("secret", "", "cluster start password (must match the cluster)")
+		watch   = flag.Duration("watch", 0, "refresh interval; 0 prints once and exits")
+		usage   = flag.Bool("usage", false, "also print per-program accounting")
+		metrics = flag.Bool("metrics", false, "aggregate and print every member's metrics registry")
 	)
 	flag.Parse()
 
@@ -44,7 +47,14 @@ func main() {
 			if id == d.Self() {
 				continue // the observer itself is uninteresting
 			}
-			info, _ := d.CM.Lookup(id)
+			// A member can sign off between the roster snapshot above and
+			// this query; surface the error on its row and keep going —
+			// one departed site must not kill a -watch session.
+			info, known := d.CM.Lookup(id)
+			if !known {
+				fmt.Printf("%-10v %-24s (departed)\n", id, "-")
+				continue
+			}
 			sr, err := d.Site.QueryStatus(id)
 			if err != nil {
 				fmt.Printf("%-10v %-24s (unreachable: %v)\n", id, info.PhysAddr, err)
@@ -54,6 +64,11 @@ func main() {
 				id, info.PhysAddr, sr.Load, sr.QueueLen, sr.Programs,
 				sr.Executed, sr.Running, sr.Frames, sr.Objects,
 				time.Duration(sr.UptimeNs).Round(time.Second))
+		}
+
+		if *metrics {
+			fmt.Println()
+			printMetrics(site)
 		}
 
 		if *usage {
@@ -82,5 +97,40 @@ func main() {
 	for range ticker.C {
 		fmt.Println()
 		printOnce()
+	}
+}
+
+// printMetrics queries every member's registry over the bus and prints
+// the cluster-wide totals (sum over sites, per metric name).
+func printMetrics(site *sdvm.Site) {
+	d := site.Daemon
+	totals := map[string]int64{}
+	reported := 0
+	for _, id := range d.CM.SiteIDs() {
+		if id == d.Self() {
+			continue
+		}
+		mr, err := d.Site.QueryMetrics(id)
+		if err != nil {
+			fmt.Printf("metrics %v: (unreachable: %v)\n", id, err)
+			continue
+		}
+		reported++
+		for _, s := range mr.Samples {
+			totals[s.Name] += s.Value
+		}
+	}
+	fmt.Printf("cluster metrics (%d sites reporting):\n", reported)
+	if len(totals) == 0 {
+		fmt.Println("  (none — start sites with -metrics or -metrics-addr)")
+		return
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-44s %12d\n", n, totals[n])
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/daemon"
 	"repro/internal/exec"
+	"repro/internal/metrics"
 	"repro/internal/mthread"
 	"repro/internal/security"
 	"repro/internal/transport/inproc"
@@ -58,6 +59,9 @@ type Spec struct {
 	// NoCriticalPinning disables §3.3 critical-path scheduling hints
 	// (A-7 ablation).
 	NoCriticalPinning bool
+	// Metrics enables every daemon's metrics registry so an experiment
+	// can report counter deltas next to wall-clock (see MetricsTotals).
+	Metrics bool
 }
 
 func (s Spec) workUnit() time.Duration {
@@ -91,6 +95,7 @@ func NewCluster(spec Spec) (*Cluster, error) {
 			RestartGrace:      spec.RestartGrace,
 			NoReadReplication: spec.NoReadReplication,
 			NoCriticalPinning: spec.NoCriticalPinning,
+			Metrics:           spec.Metrics,
 			Seed:              int64(i + 1),
 		}
 		if spec.Secret != "" {
@@ -132,6 +137,23 @@ func (c *Cluster) Close() {
 		d.Kill()
 	}
 	c.Fabric.Close()
+}
+
+// MetricsTotals sums every daemon's metrics snapshot by name — the
+// cluster-wide view `sdvmstat -metrics` prints, without the bus hop.
+// Returns nil unless the cluster was built with Spec.Metrics.
+func (c *Cluster) MetricsTotals() map[string]int64 {
+	var totals map[string]int64
+	for _, d := range c.Daemons {
+		if d.Metrics == nil {
+			continue
+		}
+		if totals == nil {
+			totals = map[string]int64{}
+		}
+		metrics.Merge(totals, d.Metrics.Snapshot())
+	}
+	return totals
 }
 
 // Run submits app on site 0 and returns the wall-clock time to the
@@ -260,6 +282,34 @@ func Overhead(spec Spec, p, width int, cost float64) (OverheadResult, error) {
 		SDVM:     sdvm,
 		Overhead: float64(sdvm-seq) / float64(seq),
 	}, nil
+}
+
+// OverheadWithMetrics runs the O-1 experiment with the metrics registry
+// enabled and also returns the 1-site cluster's metric totals, so the
+// JSON report can pair wall-clock with the work the machinery did.
+func OverheadWithMetrics(spec Spec, p, width int, cost float64) (OverheadResult, map[string]int64, error) {
+	seq := RunSeqPrimes(p, width, cost, spec.workUnit())
+	s := spec
+	s.Sites = 1
+	s.Metrics = true
+	c, err := NewCluster(s)
+	if err != nil {
+		return OverheadResult{}, nil, err
+	}
+	defer c.Close()
+	elapsed, raw, err := c.Run(workloads.PrimesApp(), workloads.PrimesArgs(p, width, cost)...)
+	if err != nil {
+		return OverheadResult{}, nil, err
+	}
+	primes := workloads.ParsePrimesResult(raw)
+	if len(primes) != p || primes[p-1] != workloads.NthPrime(p) {
+		return OverheadResult{}, nil, fmt.Errorf("bench: wrong primes result (%d found)", len(primes))
+	}
+	return OverheadResult{
+		Seq:      seq,
+		SDVM:     elapsed,
+		Overhead: float64(elapsed-seq) / float64(seq),
+	}, c.MetricsTotals(), nil
 }
 
 // ChurnResult is the dynamic-entry/exit experiment outcome.

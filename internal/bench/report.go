@@ -1,0 +1,109 @@
+// Machine-readable experiment reports. cmd/sdvmbench -json funnels every
+// experiment it ran through a Report and writes BENCH_1.json, giving CI a
+// stable artifact to archive and compare across commits.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Summary is one experiment's machine-readable outcome.
+type Summary struct {
+	// Experiment names the run ("overhead", "speedup", ...).
+	Experiment string `json:"experiment"`
+	// WallClockMS is the harness-side duration of the whole experiment.
+	WallClockMS float64 `json:"wall_clock_ms"`
+	// Err is the experiment's failure, empty on success.
+	Err string `json:"error,omitempty"`
+	// Values holds the experiment's headline numbers (speedups,
+	// overhead fraction, ...), keyed by a stable name.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Metrics holds cluster-wide metric totals for instrumented runs.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level BENCH_1.json document.
+type Report struct {
+	Schema      string    `json:"schema"`
+	Paper       string    `json:"paper"`
+	GoVersion   string    `json:"go_version"`
+	NumCPU      int       `json:"num_cpu"`
+	Experiments []Summary `json:"experiments"`
+}
+
+// NewReport returns an empty report with the environment stamped in.
+func NewReport() *Report {
+	return &Report{
+		Schema:    "sdvm-bench/1",
+		Paper:     "The SDVM: an approach for future adaptive computer clusters (IPPS 2005)",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Add records one experiment outcome.
+func (r *Report) Add(s Summary) { r.Experiments = append(r.Experiments, s) }
+
+// Failed reports whether any recorded experiment errored.
+func (r *Report) Failed() bool {
+	for _, s := range r.Experiments {
+		if s.Err != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Write marshals the report to path as indented JSON. Experiments keep
+// insertion order; map keys are sorted by encoding/json already.
+func (r *Report) Write(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}
+
+// Timed runs f, stamping its wall-clock and error into a Summary.
+func Timed(name string, f func(s *Summary) error) Summary {
+	s := Summary{Experiment: name}
+	start := time.Now()
+	err := f(&s)
+	s.WallClockMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		s.Err = err.Error()
+	}
+	return s
+}
+
+// TopMetrics picks the n largest metric totals — a readable slice of an
+// instrumented run for logs (the full map still goes into the JSON).
+func TopMetrics(totals map[string]int64, n int) []string {
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if n > len(names) {
+		n = len(names)
+	}
+	out := make([]string, 0, n)
+	for _, name := range names[:n] {
+		out = append(out, fmt.Sprintf("%s=%d", name, totals[name]))
+	}
+	return out
+}

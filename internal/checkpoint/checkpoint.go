@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/memory"
+	"repro/internal/metrics"
 	"repro/internal/msgbus"
 	"repro/internal/program"
 	"repro/internal/sched"
@@ -80,6 +81,10 @@ type Manager struct {
 	recovered uint64 // programs restored after crashes
 	taken     uint64 // checkpoints taken
 	acked     uint64 // checkpoints confirmed stored by the remote site
+
+	// met holds the metrics instruments. The zero value is inert; written
+	// once by SetMetrics before Start.
+	met ckptMetrics
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -158,6 +163,29 @@ func (m *Manager) Recovered() uint64 {
 	return m.recovered
 }
 
+// ckptMetrics bundles the crash manager's instruments; the zero value
+// (nil pointers) disables collection.
+type ckptMetrics struct {
+	taken     *metrics.Counter
+	acked     *metrics.Counter
+	recovered *metrics.Counter
+	stored    *metrics.Counter // checkpoints accepted from peers
+}
+
+// SetMetrics installs the instruments. Must be called before Start; a nil
+// registry leaves metrics disabled.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = ckptMetrics{
+		taken:     reg.Counter("ckpt.taken"),
+		acked:     reg.Counter("ckpt.acked"),
+		recovered: reg.Counter("ckpt.recovered"),
+		stored:    reg.Counter("ckpt.stored"),
+	}
+}
+
 // StoredFor reports whether this site holds a checkpoint of origin's
 // state for prog (test/diagnostic hook).
 func (m *Manager) StoredFor(prog types.ProgramID, origin types.SiteID) bool {
@@ -207,6 +235,7 @@ func (m *Manager) checkpointProgram(prog types.ProgramID) {
 	epoch := m.epoch
 	m.taken++
 	m.mu.Unlock()
+	m.met.taken.Inc()
 
 	// Request, not Send: a checkpoint that never reached the replica is
 	// worthless, so wait (bounded) for the CheckpointAck and count only
@@ -226,6 +255,7 @@ func (m *Manager) checkpointProgram(prog types.ProgramID) {
 		m.mu.Lock()
 		m.acked++
 		m.mu.Unlock()
+		m.met.acked.Inc()
 	}
 }
 
@@ -331,6 +361,7 @@ func (m *Manager) recover(dead types.SiteID) {
 	}
 	if len(restores) > 0 {
 		m.recovered += uint64(len(restores))
+		m.met.recovered.Add(uint64(len(restores)))
 	}
 	m.mu.Unlock()
 
@@ -371,6 +402,7 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 			m.store[key] = &stored{epoch: p.Epoch, frames: p.Frames, objects: p.Objects}
 		}
 		m.mu.Unlock()
+		m.met.stored.Inc()
 		_ = m.bus.Reply(msg, types.MgrCheckpoint, &wire.CheckpointAck{Program: p.Program, Epoch: p.Epoch})
 	case *wire.RecoverRequest:
 		key := storeKey{p.Program, p.Dead}

@@ -13,6 +13,8 @@ package daemon
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/iomgr"
 	"repro/internal/memory"
+	"repro/internal/metrics"
 	"repro/internal/msgbus"
 	"repro/internal/mthread"
 	"repro/internal/netmgr"
@@ -94,6 +97,13 @@ type Config struct {
 	// events per site (0 = tracing off). The tracer records the career
 	// of every microframe (paper Figures 4/5).
 	TraceCapacity int
+	// Metrics enables the per-daemon metrics registry (counters, gauges,
+	// latency histograms across every manager). Off by default: a site
+	// without a registry pays only a nil check per event.
+	Metrics bool
+	// MetricsAddr optionally serves the registry as expvar-style JSON
+	// over HTTP ("host:port"). A non-empty address implies Metrics.
+	MetricsAddr string
 	// Registry resolves microthread names; nil means mthread.Global.
 	Registry *mthread.Registry
 	// Seed makes scheduling tie-breaks deterministic in tests.
@@ -117,6 +127,12 @@ type Daemon struct {
 	Ckpt  *checkpoint.Manager
 	Acct  *accounting.Manager
 	Trace *trace.Tracer
+	// Metrics is the site's registry; nil unless Config.Metrics (or
+	// MetricsAddr) enabled it.
+	Metrics *metrics.Registry
+
+	// metricsSrv serves the registry over HTTP when MetricsAddr is set.
+	metricsSrv *http.Server
 
 	mu          sync.Mutex
 	outSubs     map[types.ProgramID][]chan string
@@ -158,9 +174,15 @@ func New(cfg Config) *Daemon {
 		submissions: make(map[types.ProgramID]submission),
 	}
 
+	if cfg.Metrics || cfg.MetricsAddr != "" {
+		d.Metrics = metrics.NewRegistry()
+	}
+
 	resolver := &busResolver{}
 	d.Net = netmgr.New(cfg.Network, cfg.Security, func(datagram []byte) { d.Bus.OnDatagram(datagram) })
 	d.Bus = msgbus.New(resolver, d.Net)
+	d.Net.SetMetrics(d.Metrics)
+	d.Bus.SetMetrics(d.Metrics)
 	d.CM = cluster.New(d.Bus, cluster.Config{
 		PhysAddr: cfg.PhysAddr,
 		Platform: cfg.Platform,
@@ -215,6 +237,14 @@ func New(cfg Config) *Daemon {
 		d.Sched.SetTracer(d.Trace)
 		d.Exec.SetTracer(d.Trace)
 	}
+
+	// Metrics wiring mirrors the tracer: every manager receives the same
+	// per-daemon registry (a nil registry disables collection everywhere).
+	d.Sched.SetMetrics(d.Metrics)
+	d.Mem.SetMetrics(d.Metrics)
+	d.Exec.SetMetrics(d.Metrics)
+	d.Ckpt.SetMetrics(d.Metrics)
+	d.Site.SetMetrics(d.Metrics)
 
 	// Accounting (paper §2.2/§6): meter execution, Work, parameter
 	// traffic, and frontend output per program.
@@ -272,7 +302,35 @@ func (d *Daemon) listenAndRun() error {
 	// cluster list must carry the reachable address.
 	d.CM.SetPhysAddr(addr)
 	d.Bus.Start()
+	if d.cfg.MetricsAddr != "" {
+		if err := d.serveMetrics(d.cfg.MetricsAddr); err != nil {
+			d.Bus.Close()
+			d.Net.Close()
+			return err
+		}
+	}
 	return nil
+}
+
+// serveMetrics exposes the registry as JSON over HTTP, for scraping a
+// live daemon without going through the bus.
+func (d *Daemon) serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("daemon: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(d.Metrics))
+	d.metricsSrv = &http.Server{Handler: mux}
+	go func() { _ = d.metricsSrv.Serve(ln) }()
+	return nil
+}
+
+// closeMetricsSrv stops the HTTP endpoint, if one was started.
+func (d *Daemon) closeMetricsSrv() {
+	if d.metricsSrv != nil {
+		_ = d.metricsSrv.Close()
+	}
 }
 
 // Bootstrap starts this daemon as the first site of a new cluster.
@@ -464,6 +522,7 @@ func (d *Daemon) SignOff() error {
 	d.stopped = true
 	d.mu.Unlock()
 
+	d.closeMetricsSrv()
 	d.Ckpt.Close()
 	peers := d.CM.SiteIDs() // capture before SignOff empties the roster
 	err := d.Site.SignOff()
@@ -515,6 +574,7 @@ func (d *Daemon) Kill() {
 	d.stopped = true
 	d.mu.Unlock()
 
+	d.closeMetricsSrv()
 	d.Net.Close()
 	d.Bus.Close()
 	d.Mem.Close()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/memory"
+	"repro/internal/metrics"
 	"repro/internal/mthread"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -77,6 +78,10 @@ type Manager struct {
 	busyNanos atomic.Int64
 	running   atomic.Int32
 
+	// met holds the metrics instruments. The zero value is inert; written
+	// once by SetMetrics before Start.
+	met execMetrics
+
 	// cpuMu/cpuFree serialize simulated Work per site: a site models
 	// one processor, so the latency-hiding window may overlap
 	// computation with *blocked* siblings (remote reads, parameter
@@ -129,6 +134,30 @@ func New(s *sched.Manager, mem *memory.Manager, site func() types.SiteID,
 // SetTracer installs the event tracer (nil = off).
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
 
+// execMetrics bundles the processing manager's instruments; the zero value
+// (nil pointers) disables collection.
+type execMetrics struct {
+	executed *metrics.Counter
+	errors   *metrics.Counter
+	runTime  *metrics.Histogram // microthread execution time
+	waitTime *metrics.Histogram // worker idle time between microthreads
+}
+
+// SetMetrics installs the instruments. Must be called before Start; a nil
+// registry leaves metrics disabled.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = execMetrics{
+		executed: reg.Counter("exec.executed"),
+		errors:   reg.Counter("exec.errors"),
+		runTime:  reg.Histogram("exec.run_time", nil),
+		waitTime: reg.Histogram("exec.wait_time", nil),
+	}
+	reg.GaugeFunc("exec.running", func() int64 { return int64(m.running.Load()) })
+}
+
 // SetAccountant wires the accounting manager's per-execution hook.
 func (m *Manager) SetAccountant(f func(prog types.ProgramID, busy time.Duration, workUnits float64)) {
 	if f != nil {
@@ -169,11 +198,19 @@ func (m *Manager) BusyNanos() int64 { return m.busyNanos.Load() }
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
+	measureWait := m.met.waitTime != nil
 	for {
 		m.waitCPUFree()
+		var idleStart time.Time
+		if measureWait {
+			idleStart = time.Now()
+		}
 		r, ok := m.sched.GetWork()
 		if !ok {
 			return
+		}
+		if measureWait {
+			m.met.waitTime.Observe(time.Since(idleStart))
 		}
 		m.run(r)
 	}
@@ -202,6 +239,8 @@ func (m *Manager) run(r *sched.Ready) {
 		m.busyNanos.Add(int64(busy))
 		m.running.Add(-1)
 		m.executed.Add(1)
+		m.met.executed.Inc()
+		m.met.runTime.Observe(busy)
 		m.acct(r.Frame.Thread.Program, busy, ctx.worked)
 		m.tr.Record(trace.EvExecuted, r.Frame.ID, r.Frame.Thread,
 			fmt.Sprintf("in %v", busy.Round(time.Microsecond)))
@@ -210,6 +249,7 @@ func (m *Manager) run(r *sched.Ready) {
 			// the paper's goal 2 (fault tolerance) applies to buggy
 			// application code, too.
 			m.errs.Add(1)
+			m.met.errors.Inc()
 			m.output(r.Frame.Thread.Program,
 				fmt.Sprintf("microthread %v panicked: %v", r.Frame.Thread, p))
 		}
@@ -217,6 +257,7 @@ func (m *Manager) run(r *sched.Ready) {
 
 	if err := r.Fn(ctx); err != nil {
 		m.errs.Add(1)
+		m.met.errors.Inc()
 		m.output(r.Frame.Thread.Program,
 			fmt.Sprintf("microthread %v failed: %v", r.Frame.Thread, err))
 	}

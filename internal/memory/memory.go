@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/msgbus"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -104,10 +105,56 @@ type Manager struct {
 
 	stats Stats
 
+	// met holds the metrics instruments. The zero value (all nil
+	// pointers) is fully inert, so no hot path needs an enabled check.
+	// Written once by SetMetrics at daemon construction.
+	met memMetrics
+
 	// done unblocks retry pauses when the daemon shuts down, so a
 	// SendFor or fetch backoff never outlives the site.
 	done      chan struct{}
 	closeOnce sync.Once
+}
+
+// memMetrics bundles the attraction memory's instruments; every field is
+// nil-safe, so the zero value disables collection.
+type memMetrics struct {
+	localReads     *metrics.Counter
+	remoteReads    *metrics.Counter
+	cacheHits      *metrics.Counter
+	localWrites    *metrics.Counter
+	remoteWrites   *metrics.Counter
+	paramsApplied  *metrics.Counter
+	framesFired    *metrics.Counter
+	migrations     *metrics.Counter
+	fetchRetries   *metrics.Counter
+	invalidates    *metrics.Counter
+	invalidateAcks *metrics.Counter
+	invalidateRTT  *metrics.Histogram
+}
+
+// SetMetrics installs the instruments. Called once at daemon construction;
+// a nil registry leaves metrics disabled.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = memMetrics{
+		localReads:     reg.Counter("mem.local_reads"),
+		remoteReads:    reg.Counter("mem.remote_reads"),
+		cacheHits:      reg.Counter("mem.cache_hits"),
+		localWrites:    reg.Counter("mem.local_writes"),
+		remoteWrites:   reg.Counter("mem.remote_writes"),
+		paramsApplied:  reg.Counter("mem.params_applied"),
+		framesFired:    reg.Counter("mem.frames_fired"),
+		migrations:     reg.Counter("mem.migrations"),
+		fetchRetries:   reg.Counter("mem.fetch_retries"),
+		invalidates:    reg.Counter("mem.invalidates"),
+		invalidateAcks: reg.Counter("mem.invalidate_acks"),
+		invalidateRTT:  reg.Histogram("mem.invalidate_rtt", nil),
+	}
+	reg.GaugeFunc("mem.objects", func() int64 { return int64(m.ObjectCount()) })
+	reg.GaugeFunc("mem.frames_waiting", func() int64 { return int64(m.FrameCount()) })
 }
 
 // loggedParam is one replayable remote parameter application.
@@ -243,6 +290,7 @@ func (m *Manager) NewFrame(thread types.ThreadID, arity int, prio types.Priority
 	if arity == 0 {
 		m.consumed[id] = true
 		m.stats.FramesFired++
+		m.met.framesFired.Inc()
 		m.mu.Unlock()
 		m.tr.Record(trace.EvFrameCreated, id, thread, "zero arity")
 		m.tr.Record(trace.EvFrameFired, id, thread, "")
@@ -267,6 +315,7 @@ func (m *Manager) AdoptFrame(f *wire.Microframe) {
 	if f.Executable() {
 		m.consumed[f.ID] = true
 		m.stats.FramesFired++
+		m.met.framesFired.Inc()
 		m.mu.Unlock()
 		m.fire(f)
 		return
@@ -306,6 +355,7 @@ func (m *Manager) SendFor(prog types.ProgramID, target wire.Target, data []byte)
 			return err
 		}
 		lastErr = err
+		m.met.fetchRetries.Inc()
 		if !m.pause(time.Duration(10*(attempt+1)) * time.Millisecond) {
 			break // shutting down: the send can never succeed now
 		}
@@ -383,6 +433,7 @@ func (m *Manager) applyLocked(f *wire.Microframe, slot int, data []byte) error {
 		return err
 	}
 	m.stats.ParamsApplied++
+	m.met.paramsApplied.Inc()
 	if !fires {
 		m.tr.Record(trace.EvParamApplied, f.ID, f.Thread, fmt.Sprintf("slot %d, %d missing", slot, f.Missing()))
 		return nil
@@ -390,6 +441,7 @@ func (m *Manager) applyLocked(f *wire.Microframe, slot int, data []byte) error {
 	delete(m.frames, f.ID)
 	m.consumed[f.ID] = true
 	m.stats.FramesFired++
+	m.met.framesFired.Inc()
 	fire := m.fire
 	m.mu.Unlock()
 	m.tr.Record(trace.EvFrameFired, f.ID, f.Thread, fmt.Sprintf("last slot %d", slot))
@@ -421,12 +473,14 @@ func (m *Manager) Read(addr types.GlobalAddr) ([]byte, error) {
 		m.mu.Lock()
 		if o, ok := m.objects[addr]; ok {
 			m.stats.LocalReads++
+			m.met.localReads.Inc()
 			data := append([]byte(nil), o.Data...)
 			m.mu.Unlock()
 			return data, nil
 		}
 		if data, ok := m.readCache[addr]; ok {
 			m.stats.CacheHits++
+			m.met.cacheHits.Inc()
 			out := append([]byte(nil), data...)
 			m.mu.Unlock()
 			return out, nil
@@ -441,6 +495,7 @@ func (m *Manager) Read(addr types.GlobalAddr) ([]byte, error) {
 		done := make(chan struct{})
 		m.fetching[addr] = done
 		m.stats.RemoteReads++
+		m.met.remoteReads.Inc()
 		m.mu.Unlock()
 
 		o, err := m.fetch(addr, false)
@@ -477,6 +532,7 @@ func (m *Manager) Attract(addr types.GlobalAddr) ([]byte, error) {
 	m.mu.Lock()
 	m.objects[addr] = o
 	m.stats.Migrations++
+	m.met.migrations.Inc()
 	self := m.bus.Self()
 	m.mu.Unlock()
 
@@ -503,6 +559,7 @@ func (m *Manager) fetch(addr types.GlobalAddr, migrate bool) (*wire.MemObject, e
 			return nil, err
 		}
 		lastErr = err
+		m.met.fetchRetries.Inc()
 		if !m.pause(time.Duration(10*(round+1)) * time.Millisecond) {
 			break // shutting down: stop chasing the directory
 		}
@@ -575,6 +632,7 @@ func (m *Manager) sendInvalidates(addr types.GlobalAddr, sites []types.SiteID) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			start := time.Now()
 			reply, err := m.bus.Request(id, types.MgrMemory, types.MgrMemory,
 				&wire.MemInvalidate{Addr: addr}, 500*time.Millisecond)
 			if err != nil {
@@ -582,12 +640,14 @@ func (m *Manager) sendInvalidates(addr types.GlobalAddr, sites []types.SiteID) {
 			}
 			if _, ok := reply.Payload.(*wire.Barrier); ok {
 				acked.Add(1)
+				m.met.invalidateRTT.Observe(time.Since(start))
 			}
 		}()
 	}
 	wg.Wait()
 	m.mu.Lock()
 	m.stats.InvalidateAcks += acked.Load()
+	m.met.invalidateAcks.Add(acked.Load())
 	m.mu.Unlock()
 }
 
@@ -613,6 +673,7 @@ func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
 	if o, ok := m.objects[addr]; ok {
 		writeAt(o, offset, data)
 		m.stats.LocalWrites++
+		m.met.localWrites.Inc()
 		invalidate := m.takeCopysetLocked(addr, types.InvalidSite)
 		m.mu.Unlock()
 		m.sendInvalidates(addr, invalidate)
@@ -621,6 +682,7 @@ func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
 	// A stale local replica must not survive our own write-through.
 	delete(m.readCache, addr)
 	m.stats.RemoteWrites++
+	m.met.remoteWrites.Inc()
 	dst := m.routeObjectLocked(addr)
 	m.mu.Unlock()
 	if dst == types.InvalidSite {
@@ -840,6 +902,7 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 		if _, ok := m.readCache[p.Addr]; ok {
 			delete(m.readCache, p.Addr)
 			m.stats.Invalidates++
+			m.met.invalidates.Inc()
 		}
 		m.mu.Unlock()
 		_ = m.bus.Reply(msg, types.MgrMemory, &wire.Barrier{})
@@ -912,6 +975,7 @@ func (m *Manager) handleMemRead(msg *wire.Message, p *wire.MemRead) {
 				m.remap[p.Addr] = msg.Src
 			}
 			m.stats.Migrations++
+			m.met.migrations.Inc()
 			// Ownership moves: replicas keyed to this owner's copyset
 			// are dropped (the new owner starts a fresh copyset).
 			invalidate = m.takeCopysetLocked(p.Addr, msg.Src)
@@ -946,6 +1010,7 @@ func (m *Manager) handleMemWrite(msg *wire.Message, p *wire.MemWrite) {
 	if o, ok := m.objects[p.Addr]; ok {
 		writeAt(o, int(p.Offset), p.Data)
 		m.stats.LocalWrites++
+		m.met.localWrites.Inc()
 		invalidate := m.takeCopysetLocked(p.Addr, msg.Src)
 		m.mu.Unlock()
 		if len(invalidate) == 0 {
@@ -984,6 +1049,7 @@ func (m *Manager) handleMigrate(p *wire.MemMigrate) {
 		}
 	}
 	m.stats.Migrations += uint64(len(p.Objects))
+	m.met.migrations.Add(uint64(len(p.Objects)))
 	m.mu.Unlock()
 
 	for _, u := range updates {

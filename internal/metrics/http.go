@@ -1,0 +1,20 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry snapshot as a flat JSON object, expvar-style:
+// {"name": value, ...}. A nil registry serves an empty object, so the
+// endpoint can be mounted unconditionally.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		flat := make(map[string]int64)
+		Merge(flat, r.Snapshot())
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(flat) // best effort: the client may hang up mid-write
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -78,6 +79,76 @@ type Bus struct {
 	sent     atomic.Uint64
 	received atomic.Uint64
 	dropped  atomic.Uint64
+
+	// met holds the metrics instruments; nil when metrics are disabled.
+	// Written once by SetMetrics before Start, read-only afterwards.
+	met *busMetrics
+}
+
+// busMetrics bundles the bus's instruments so the hot paths test a single
+// pointer. Per-kind counters are preallocated into kind-indexed tables,
+// keeping the per-message cost to one atomic add without a map lookup.
+type busMetrics struct {
+	sentMsgs  *metrics.Counter
+	recvMsgs  *metrics.Counter
+	sentBytes *metrics.Counter
+	recvBytes *metrics.Counter
+	dropped   *metrics.Counter
+	outByKind []*metrics.Counter // indexed by wire.Kind
+	inByKind  []*metrics.Counter // indexed by wire.Kind
+}
+
+// SetMetrics installs the instruments. Must be called before Start (like
+// Register); a nil registry leaves metrics disabled.
+func (b *Bus) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	bm := &busMetrics{
+		sentMsgs:  reg.Counter("bus.sent_msgs"),
+		recvMsgs:  reg.Counter("bus.recv_msgs"),
+		sentBytes: reg.Counter("bus.sent_bytes"),
+		recvBytes: reg.Counter("bus.recv_bytes"),
+		dropped:   reg.Counter("bus.dropped"),
+		outByKind: make([]*metrics.Counter, wire.NumKinds()),
+		inByKind:  make([]*metrics.Counter, wire.NumKinds()),
+	}
+	for k := 1; k < wire.NumKinds(); k++ {
+		name := wire.Kind(k).String()
+		bm.outByKind[k] = reg.Counter("bus.out." + name)
+		bm.inByKind[k] = reg.Counter("bus.in." + name)
+	}
+	b.met = bm
+}
+
+// countOut records one outgoing serialized message of n bytes.
+func (bm *busMetrics) countOut(k wire.Kind, n int) {
+	if bm == nil {
+		return
+	}
+	bm.sentMsgs.Inc()
+	bm.sentBytes.Add(uint64(n))
+	if int(k) < len(bm.outByKind) {
+		bm.outByKind[k].Inc()
+	}
+}
+
+// countIn records one incoming (or loopback) message.
+func (bm *busMetrics) countIn(k wire.Kind) {
+	if bm == nil {
+		return
+	}
+	bm.recvMsgs.Inc()
+	if int(k) < len(bm.inByKind) {
+		bm.inByKind[k].Inc()
+	}
+}
+
+func (bm *busMetrics) countDropped() {
+	if bm == nil {
+		return
+	}
+	bm.dropped.Inc()
 }
 
 // New returns a bus. SetSelf must be called once the site's logical id is
@@ -265,7 +336,9 @@ func (b *Bus) RequestAddr(physAddr string, dstMgr, srcMgr types.ManagerID, p wir
 	}
 
 	b.sent.Add(1)
-	if err := b.sender.Send(physAddr, m.EncodeBytes()); err != nil {
+	buf := m.EncodeBytes()
+	b.met.countOut(m.Payload.Kind(), len(buf))
+	if err := b.sender.Send(physAddr, buf); err != nil {
 		cleanup()
 		return nil, err
 	}
@@ -323,15 +396,21 @@ func (b *Bus) sendRemote(m *wire.Message) error {
 		return err
 	}
 	b.sent.Add(1)
-	return b.sender.Send(addr, m.EncodeBytes())
+	buf := m.EncodeBytes()
+	b.met.countOut(m.Payload.Kind(), len(buf))
+	return b.sender.Send(addr, buf)
 }
 
 // OnDatagram is the network manager's delivery callback: parse and
 // enqueue. Malformed datagrams are counted and dropped.
 func (b *Bus) OnDatagram(datagram []byte) {
+	if bm := b.met; bm != nil {
+		bm.recvBytes.Add(uint64(len(datagram)))
+	}
 	m, err := wire.DecodeBytes(datagram)
 	if err != nil {
 		b.dropped.Add(1)
+		b.met.countDropped()
 		return
 	}
 	b.enqueue(m)
@@ -339,6 +418,7 @@ func (b *Bus) OnDatagram(datagram []byte) {
 
 func (b *Bus) enqueue(m *wire.Message) {
 	b.received.Add(1)
+	b.met.countIn(m.Payload.Kind())
 
 	// Replies complete waiting requests directly, bypassing the
 	// dispatcher so a blocked handler can never deadlock a reply.
@@ -355,6 +435,7 @@ func (b *Bus) enqueue(m *wire.Message) {
 		}
 		// Late reply after timeout: drop.
 		b.dropped.Add(1)
+		b.met.countDropped()
 		return
 	}
 
@@ -387,6 +468,7 @@ func (b *Bus) dispatchLoop() {
 func (b *Bus) dispatch(m *wire.Message) {
 	if !m.DstMgr.Valid() {
 		b.dropped.Add(1)
+		b.met.countDropped()
 		return
 	}
 	b.handlersMu.RLock()
@@ -394,6 +476,7 @@ func (b *Bus) dispatch(m *wire.Message) {
 	b.handlersMu.RUnlock()
 	if h == nil {
 		b.dropped.Add(1)
+		b.met.countDropped()
 		return
 	}
 	h.HandleMessage(m)

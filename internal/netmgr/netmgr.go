@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/security"
 	"repro/internal/transport"
 )
@@ -38,6 +39,60 @@ type Manager struct {
 	live     map[transport.Endpoint]bool   // every endpoint with a recv loop
 	closed   bool
 	wg       sync.WaitGroup
+
+	// met holds the metrics instruments; nil when metrics are disabled.
+	// Written once by SetMetrics before Listen, read-only afterwards.
+	met *netMetrics
+	// peerBytes caches per-peer byte counters by physical address.
+	// guarded by mu
+	peerBytes map[string]*metrics.Counter
+}
+
+// netMetrics bundles the datagram-level instruments.
+type netMetrics struct {
+	reg         *metrics.Registry
+	sendDgrams  *metrics.Counter
+	recvDgrams  *metrics.Counter
+	sendBytes   *metrics.Counter
+	recvBytes   *metrics.Counter
+	sendErrs    *metrics.Counter
+	openRejects *metrics.Counter
+}
+
+// SetMetrics installs the instruments. Must be called before Listen; a nil
+// registry leaves metrics disabled.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = &netMetrics{
+		reg:         reg,
+		sendDgrams:  reg.Counter("net.send_datagrams"),
+		recvDgrams:  reg.Counter("net.recv_datagrams"),
+		sendBytes:   reg.Counter("net.send_bytes"),
+		recvBytes:   reg.Counter("net.recv_bytes"),
+		sendErrs:    reg.Counter("net.send_errors"),
+		openRejects: reg.Counter("net.open_rejects"),
+	}
+	m.mu.Lock()
+	m.peerBytes = make(map[string]*metrics.Counter)
+	m.mu.Unlock()
+}
+
+// peerCounter returns the per-peer byte counter for physAddr, creating it
+// on first use. Returns nil when metrics are disabled.
+func (m *Manager) peerCounter(physAddr string) *metrics.Counter {
+	if m.met == nil {
+		return nil
+	}
+	m.mu.Lock()
+	c, ok := m.peerBytes[physAddr]
+	if !ok {
+		c = m.met.reg.Counter("net.peer_bytes." + physAddr)
+		m.peerBytes[physAddr] = c
+	}
+	m.mu.Unlock()
+	return c
 }
 
 // New returns a network manager using net for links and sec for sealing.
@@ -115,8 +170,15 @@ func (m *Manager) recvLoop(ep transport.Endpoint) {
 		if err != nil {
 			return
 		}
+		if mm := m.met; mm != nil {
+			mm.recvDgrams.Inc()
+			mm.recvBytes.Add(uint64(len(sealed)))
+		}
 		plain, err := m.sec.Open(sealed)
 		if err != nil {
+			if mm := m.met; mm != nil {
+				mm.openRejects.Inc()
+			}
 			continue
 		}
 		m.handler(plain)
@@ -127,6 +189,21 @@ func (m *Manager) recvLoop(ep transport.Endpoint) {
 // physAddr. A cached connection is reused; on send failure one fresh
 // dial is attempted before giving up (the peer may have restarted).
 func (m *Manager) Send(physAddr string, datagram []byte) error {
+	if err := m.send(physAddr, datagram); err != nil {
+		if mm := m.met; mm != nil {
+			mm.sendErrs.Inc()
+		}
+		return err
+	}
+	if mm := m.met; mm != nil {
+		mm.sendDgrams.Inc()
+		mm.sendBytes.Add(uint64(len(datagram)))
+		m.peerCounter(physAddr).Add(uint64(len(datagram)))
+	}
+	return nil
+}
+
+func (m *Manager) send(physAddr string, datagram []byte) error {
 	sealed, err := m.sec.Seal(datagram)
 	if err != nil {
 		return err

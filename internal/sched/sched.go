@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/msgbus"
 	"repro/internal/mthread"
 	"repro/internal/trace"
@@ -145,6 +146,82 @@ type Manager struct {
 	// program's registration lazily. May be nil.
 	unknownProg func(prog types.ProgramID, hint types.SiteID)
 	knownProg   func(prog types.ProgramID) bool
+
+	// met holds the metrics instruments; nil when metrics are disabled.
+	// Written once by SetMetrics before Start, read-only afterwards.
+	met *schedMetrics
+	// enqueuedAt remembers when each queued frame entered the executable
+	// queue, feeding the dispatch-latency histogram. Only populated while
+	// metrics are enabled. guarded by mu
+	enqueuedAt map[types.FrameID]time.Time
+}
+
+// schedMetrics bundles the scheduler's instruments.
+type schedMetrics struct {
+	enqueued        *metrics.Counter
+	dispatched      *metrics.Counter
+	helpAsked       *metrics.Counter
+	helpGranted     *metrics.Counter
+	helpDenied      *metrics.Counter
+	helpServed      *metrics.Counter
+	helpRefused     *metrics.Counter
+	surrendered     *metrics.Counter
+	resolveErrs     *metrics.Counter
+	dispatchLatency *metrics.Histogram
+}
+
+// SetMetrics installs the instruments and queue-depth gauges. Must be
+// called before Start; a nil registry leaves metrics disabled.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = &schedMetrics{
+		enqueued:        reg.Counter("sched.enqueued"),
+		dispatched:      reg.Counter("sched.dispatched"),
+		helpAsked:       reg.Counter("sched.help_asked"),
+		helpGranted:     reg.Counter("sched.help_granted"),
+		helpDenied:      reg.Counter("sched.help_denied"),
+		helpServed:      reg.Counter("sched.help_served"),
+		helpRefused:     reg.Counter("sched.help_refused"),
+		surrendered:     reg.Counter("sched.frames_surrendered"),
+		resolveErrs:     reg.Counter("sched.resolve_errs"),
+		dispatchLatency: reg.Histogram("sched.dispatch_latency", nil),
+	}
+	m.mu.Lock()
+	m.enqueuedAt = make(map[types.FrameID]time.Time)
+	m.mu.Unlock()
+	reg.GaugeFunc("sched.executable_depth", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(m.executable.len())
+	})
+	reg.GaugeFunc("sched.ready_depth", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(len(m.ready))
+	})
+}
+
+// observeDispatchLocked feeds the dispatch-latency histogram for a frame
+// leaving the queues toward a processor. Caller holds m.mu.
+func (m *Manager) observeDispatchLocked(id types.FrameID) {
+	if m.met == nil {
+		return
+	}
+	if t0, ok := m.enqueuedAt[id]; ok {
+		delete(m.enqueuedAt, id)
+		m.met.dispatchLatency.Observe(time.Since(t0))
+	}
+}
+
+// forgetEnqueueLocked drops the latency bookkeeping for a frame that left
+// the queues without being dispatched locally (surrender, push, drop).
+// Caller holds m.mu.
+func (m *Manager) forgetEnqueueLocked(id types.FrameID) {
+	if m.met != nil {
+		delete(m.enqueuedAt, id)
+	}
 }
 
 // New returns a scheduling manager registered for MgrScheduling.
@@ -303,6 +380,9 @@ func (m *Manager) enqueue(f *wire.Microframe, allowScatter bool) {
 			m.mu.Lock()
 			m.stats.HelpServed++
 			m.mu.Unlock()
+			if m.met != nil {
+				m.met.helpServed.Inc()
+			}
 			_ = m.bus.Send(dst, types.MgrScheduling, types.MgrScheduling,
 				&wire.FramePush{Frame: f})
 			return
@@ -310,6 +390,10 @@ func (m *Manager) enqueue(f *wire.Microframe, allowScatter bool) {
 	}
 	m.executable.push(f, m.cfg.LocalPolicy)
 	m.stats.Enqueued++
+	if m.met != nil {
+		m.met.enqueued.Inc()
+		m.enqueuedAt[f.ID] = time.Now()
+	}
 	push := m.feedParkedLocked()
 	m.mu.Unlock()
 	m.tr.Record(trace.EvEnqueued, f.ID, f.Thread, "")
@@ -321,6 +405,9 @@ func (m *Manager) enqueue(f *wire.Microframe, allowScatter bool) {
 		m.mu.Lock()
 		m.stats.HelpServed++
 		m.mu.Unlock()
+		if m.met != nil {
+			m.met.helpServed.Inc()
+		}
 		_ = m.bus.Send(push.dst, types.MgrScheduling, types.MgrScheduling,
 			&wire.FramePush{Frame: push.frame})
 	}
@@ -382,6 +469,7 @@ func (m *Manager) feedParkedLocked() *pendingPush {
 	if f == nil {
 		return nil
 	}
+	m.forgetEnqueueLocked(f.ID)
 	delete(m.parked, dst)
 	return &pendingPush{dst: dst, frame: f}
 }
@@ -410,7 +498,11 @@ func (m *Manager) resolveLoop() {
 		if err != nil {
 			m.mu.Lock()
 			m.stats.ResolveErrs++
+			m.forgetEnqueueLocked(f.ID)
 			m.mu.Unlock()
+			if m.met != nil {
+				m.met.resolveErrs.Inc()
+			}
 			continue
 		}
 		m.mu.Lock()
@@ -438,7 +530,11 @@ func (m *Manager) GetWork() (r *Ready, ok bool) {
 		if len(m.ready) > 0 {
 			r := m.takeReadyLocked(m.cfg.LocalPolicy)
 			m.stats.Dispatched++
+			m.observeDispatchLocked(r.Frame.ID)
 			m.mu.Unlock()
+			if m.met != nil {
+				m.met.dispatched.Inc()
+			}
 			m.tr.Record(trace.EvDispatched, r.Frame.ID, r.Frame.Thread, "")
 			return r, true
 		}
@@ -495,6 +591,10 @@ func (m *Manager) TryGetWork() (*Ready, bool) {
 	}
 	r := m.takeReadyLocked(m.cfg.LocalPolicy)
 	m.stats.Dispatched++
+	m.observeDispatchLocked(r.Frame.ID)
+	if m.met != nil {
+		m.met.dispatched.Inc()
+	}
 	return r, true
 }
 
@@ -582,6 +682,9 @@ func (m *Manager) askForHelp() bool {
 		}
 		m.stats.HelpAsked++
 		m.mu.Unlock()
+		if m.met != nil {
+			m.met.helpAsked.Inc()
+		}
 
 		reply, err := m.bus.Request(target, types.MgrScheduling, types.MgrScheduling,
 			&wire.HelpRequest{Requester: self.ID, Load: self.Load, Speed: self.Speed}, 250*time.Millisecond)
@@ -593,12 +696,18 @@ func (m *Manager) askForHelp() bool {
 			m.mu.Lock()
 			m.stats.HelpDenied++
 			m.mu.Unlock()
+			if m.met != nil {
+				m.met.helpDenied.Inc()
+			}
 			continue
 		}
 
 		m.mu.Lock()
 		m.stats.HelpGranted++
 		m.mu.Unlock()
+		if m.met != nil {
+			m.met.helpGranted.Inc()
+		}
 		m.acceptForeignFrame(hr.Frame, reply.Src)
 		return true
 	}
@@ -661,24 +770,39 @@ func (m *Manager) surrenderFrame() *wire.Microframe {
 	if m.cfg.NoCriticalPinning {
 		if f := m.executable.pop(m.cfg.HelpPolicy); f != nil {
 			m.stats.HelpServed++
+			m.surrenderedLocked(f.ID)
 			return f
 		}
 		if len(m.ready) > 0 {
 			r := m.takeReadyLocked(m.cfg.HelpPolicy)
 			m.stats.HelpServed++
+			m.surrenderedLocked(r.Frame.ID)
 			return r.Frame
 		}
 		return nil
 	}
 	if f := m.executable.popSurrender(m.cfg.HelpPolicy); f != nil {
 		m.stats.HelpServed++
+		m.surrenderedLocked(f.ID)
 		return f
 	}
 	if r := m.takeReadySurrenderLocked(m.cfg.HelpPolicy); r != nil {
 		m.stats.HelpServed++
+		m.surrenderedLocked(r.Frame.ID)
 		return r.Frame
 	}
 	return nil
+}
+
+// surrenderedLocked counts one frame given away to a peer. Caller holds
+// m.mu.
+func (m *Manager) surrenderedLocked(id types.FrameID) {
+	if m.met == nil {
+		return
+	}
+	m.met.helpServed.Inc()
+	m.met.surrendered.Inc()
+	delete(m.enqueuedAt, id)
 }
 
 // PushFrame proactively migrates an executable frame to another site
@@ -699,6 +823,9 @@ func (m *Manager) DrainAll() []*wire.Microframe {
 		out = append(out, r.Frame)
 	}
 	m.ready = nil
+	if m.met != nil {
+		m.enqueuedAt = make(map[types.FrameID]time.Time)
+	}
 	return out
 }
 
@@ -715,6 +842,12 @@ func (m *Manager) DropProgram(prog types.ProgramID) {
 		}
 	}
 	m.ready = kept
+	if m.met != nil {
+		// Latency entries are keyed by frame id only, so the dropped
+		// program's entries cannot be picked out; reset the whole table
+		// (termination is rare, losing a few pending samples is fine).
+		m.enqueuedAt = make(map[types.FrameID]time.Time)
+	}
 }
 
 // SnapshotFrames returns copies of all queued frames of one program
@@ -751,6 +884,9 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 		} else {
 			m.mu.Lock()
 			m.stats.HelpRefused++
+			if m.met != nil {
+				m.met.helpRefused.Inc()
+			}
 			// Remember the hungry site: the next surplus frame goes to
 			// it without waiting for its next poll.
 			if p.Requester.Valid() && p.Requester != m.bus.Self() {

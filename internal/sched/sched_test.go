@@ -151,8 +151,15 @@ func TestHelpRequestMovesWork(t *testing.T) {
 	_, mgrs := schedCluster(t, 2, Config{})
 	busy, idle := mgrs[0], mgrs[1]
 
-	// Load the busy site with several frames (keep-one rule needs >1).
-	for i := uint64(1); i <= 6; i++ {
+	// Load the busy site with exactly two frames: more than one (the
+	// keep-one rule refuses to surrender the last frame) but few enough
+	// that proactive scatter can never fire — scatter only ships frames
+	// once the local depth is already ≥ 2, and whether the peer is
+	// visible that early depends on membership-propagation timing. With
+	// three or more frames the surplus may be scattered to the idle
+	// site, which then finds local work and never issues the help
+	// request this test exists to exercise.
+	for i := uint64(1); i <= 2; i++ {
 		busy.Enqueue(frameFor(1, i, types.PriorityNormal))
 	}
 	// The idle site's GetWork should obtain one via a help request.

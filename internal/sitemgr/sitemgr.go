@@ -18,6 +18,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/iomgr"
 	"repro/internal/memory"
+	"repro/internal/metrics"
 	"repro/internal/msgbus"
 	"repro/internal/program"
 	"repro/internal/sched"
@@ -61,6 +62,10 @@ type Manager struct {
 	interval time.Duration
 	window   int
 
+	// reg is the daemon's metrics registry (nil when metrics are
+	// disabled). Written once by SetMetrics before Start.
+	reg *metrics.Registry
+
 	mu        sync.Mutex
 	lastBusy  int64
 	lastTick  time.Time
@@ -98,6 +103,11 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, s *sched.Manager, e *exec.Manager
 	bus.Register(types.MgrSite, m)
 	return m
 }
+
+// SetMetrics hands the site manager the daemon's registry so remote
+// MetricsQuery messages can be answered. Must be called before Start; a
+// nil registry answers with an empty snapshot.
+func (m *Manager) SetMetrics(reg *metrics.Registry) { m.reg = reg }
 
 // Start launches the statistics loop that refreshes and broadcasts this
 // site's load — the data peers use to aim help requests.
@@ -261,6 +271,16 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 			BusRecv:  st.BusRecv,
 			UptimeNs: int64(m.Uptime()),
 		})
+	case *wire.MetricsQuery:
+		snap := m.reg.Snapshot()
+		samples := make([]wire.MetricSample, len(snap))
+		for i, s := range snap {
+			samples[i] = wire.MetricSample{Name: s.Name, Value: s.Value}
+		}
+		_ = m.bus.Reply(msg, types.MgrSite, &wire.MetricsReply{
+			Site:    m.bus.Self(),
+			Samples: samples,
+		})
 	}
 }
 
@@ -276,4 +296,19 @@ func (m *Manager) QueryStatus(site types.SiteID) (*wire.StatusReply, error) {
 		return nil, fmt.Errorf("%w: status reply %T", types.ErrBadMessage, reply.Payload)
 	}
 	return sr, nil
+}
+
+// QueryMetrics fetches a remote site's metrics snapshot. Querying the
+// local site works too (the bus loops it back).
+func (m *Manager) QueryMetrics(site types.SiteID) (*wire.MetricsReply, error) {
+	reply, err := m.bus.Request(site, types.MgrSite, types.MgrSite,
+		&wire.MetricsQuery{}, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	mr, ok := reply.Payload.(*wire.MetricsReply)
+	if !ok {
+		return nil, fmt.Errorf("%w: metrics reply %T", types.ErrBadMessage, reply.Payload)
+	}
+	return mr, nil
 }

@@ -154,3 +154,99 @@ func TestLastSiteSignOffIsClean(t *testing.T) {
 		t.Fatalf("single-site sign-off: %v", err)
 	}
 }
+
+// TestQueryStatusDepartedSite exercises the gap a monitor lives in: a
+// site is discovered, then vanishes before the status query reaches it.
+// The query must come back with an error (timeout/unreachable), not hang
+// and not panic.
+func TestQueryStatusDepartedSite(t *testing.T) {
+	ds := siteCluster(t, 2)
+	waitFor(t, "cluster complete", func() bool { return ds[0].CM.Size() == 2 })
+
+	victim := ds[1].Self()
+	ds[1].Kill() // abrupt: no goodbye broadcast, roster still lists it
+
+	start := time.Now()
+	_, err := ds[0].Site.QueryStatus(victim)
+	if err == nil {
+		t.Fatal("QueryStatus against a dead site succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("QueryStatus took %v; the 3s request timeout did not bound it", elapsed)
+	}
+}
+
+// metricsCluster is siteCluster with every daemon's registry enabled.
+func metricsCluster(t *testing.T, n int) []*daemon.Daemon {
+	t.Helper()
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+	ds := make([]*daemon.Daemon, n)
+	for i := 0; i < n; i++ {
+		ds[i] = daemon.New(daemon.Config{
+			PhysAddr:        fmt.Sprintf("site-%d", i),
+			Network:         fab,
+			WorkModel:       exec.WorkSimulated,
+			WorkUnit:        time.Millisecond,
+			LoadReportEvery: 20 * time.Millisecond,
+			Metrics:         true,
+			Seed:            int64(i + 1),
+		})
+		if i == 0 {
+			if err := ds[0].Bootstrap(); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := ds[i].Join("site-0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ds[i].Kill)
+	}
+	return ds
+}
+
+// TestMetricsAggregationThreeSites is the tentpole's acceptance check:
+// query every member of a 3-site cluster over the bus and aggregate —
+// every site must answer with a non-empty snapshot, and the merged view
+// must show cluster-wide message traffic and executed microthreads.
+func TestMetricsAggregationThreeSites(t *testing.T) {
+	ds := metricsCluster(t, 3)
+	waitFor(t, "cluster complete", func() bool { return ds[0].CM.Size() == 3 })
+
+	prog, err := ds[0].Submit(workloads.PrimesApp(), workloads.PrimesArgs(60, 10, 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds[0].WaitResult(prog, 60*time.Second); !ok {
+		t.Fatal("program did not terminate")
+	}
+
+	totals := map[string]int64{}
+	for _, d := range ds {
+		mr, qerr := ds[0].Site.QueryMetrics(d.Self())
+		if qerr != nil {
+			t.Fatalf("QueryMetrics(%v): %v", d.Self(), qerr)
+		}
+		if mr.Site != d.Self() {
+			t.Fatalf("reply from %v carries site %v", d.Self(), mr.Site)
+		}
+		if len(mr.Samples) == 0 {
+			t.Fatalf("site %v answered an empty snapshot", d.Self())
+		}
+		perSite := map[string]int64{}
+		for _, s := range mr.Samples {
+			perSite[s.Name] += s.Value
+			totals[s.Name] += s.Value
+		}
+		// Every member — bootstrapper and joiners alike — has at least
+		// sent bus traffic (sign-on, load reports).
+		if perSite["bus.sent_msgs"] == 0 {
+			t.Fatalf("site %v reports no bus traffic: %v", d.Self(), perSite["bus.sent_msgs"])
+		}
+	}
+	for _, name := range []string{"bus.sent_msgs", "bus.recv_msgs", "exec.executed",
+		"sched.enqueued", "mem.frames_fired"} {
+		if totals[name] <= 0 {
+			t.Fatalf("aggregated %s = %d, want > 0", name, totals[name])
+		}
+	}
+}

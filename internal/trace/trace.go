@@ -12,6 +12,7 @@ package trace
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/types"
@@ -81,6 +82,12 @@ func (e Event) String() string {
 type Tracer struct {
 	site func() types.SiteID
 
+	// disabled gates Record without the ring lock, so tracing can be
+	// toggled at runtime while every manager keeps recording into the
+	// same tracer (managers' tracer fields are set once before Start
+	// and never rewritten — swapping pointers mid-run would race).
+	disabled atomic.Bool
+
 	mu    sync.Mutex
 	ring  []Event
 	next  int
@@ -99,9 +106,22 @@ func New(capacity int, site func() types.SiteID) *Tracer {
 	return &Tracer{site: site, ring: make([]Event, capacity)}
 }
 
+// SetEnabled turns recording on or off at runtime. Safe on a nil
+// tracer and safe to call concurrently with Record from any goroutine.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.disabled.Store(!on)
+}
+
+// Enabled reports whether the tracer currently records events. A nil
+// tracer reports false.
+func (t *Tracer) Enabled() bool { return t != nil && !t.disabled.Load() }
+
 // Record appends one event. Safe on a nil tracer.
 func (t *Tracer) Record(kind EventKind, frame types.FrameID, thread types.ThreadID, detail string) {
-	if t == nil {
+	if t == nil || t.disabled.Load() {
 		return
 	}
 	t.mu.Lock()

@@ -130,6 +130,78 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+func TestSetEnabledStopsRecording(t *testing.T) {
+	tr := New(16, nil)
+	if !tr.Enabled() {
+		t.Fatal("new tracer should start enabled")
+	}
+	tr.SetEnabled(false)
+	tr.Record(EvEnqueued, types.GlobalAddr{Home: 1, Local: 1}, tid(), "")
+	if tr.Total() != 0 {
+		t.Fatalf("disabled tracer recorded %d events", tr.Total())
+	}
+	tr.SetEnabled(true)
+	tr.Record(EvEnqueued, types.GlobalAddr{Home: 1, Local: 2}, tid(), "")
+	if tr.Total() != 1 {
+		t.Fatalf("re-enabled tracer Total = %d", tr.Total())
+	}
+
+	var nilTr *Tracer
+	nilTr.SetEnabled(true) // must not panic
+	if nilTr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+}
+
+// TestConcurrentEnableDisable races recorders against a goroutine
+// toggling the tracer, the way a live daemon would flip tracing on a
+// running cluster. Run under -race this proves the toggle needs no
+// external synchronization.
+func TestConcurrentEnableDisable(t *testing.T) {
+	tr := New(1024, nil)
+	stop := make(chan struct{})
+	var toggler sync.WaitGroup
+	toggler.Add(1)
+	go func() {
+		defer toggler.Done()
+		on := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.SetEnabled(on)
+				on = !on
+			}
+		}
+	}()
+
+	var recorders sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		recorders.Add(1)
+		go func(g int) {
+			defer recorders.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(EvEnqueued, types.GlobalAddr{Home: types.SiteID(g), Local: uint64(i)}, tid(), "")
+				_ = tr.Career(types.GlobalAddr{Home: types.SiteID(g), Local: uint64(i)})
+			}
+		}(g)
+	}
+	recorders.Wait()
+	close(stop)
+	toggler.Wait()
+
+	tr.SetEnabled(true)
+	total := tr.Total()
+	tr.Record(EvExecuted, types.GlobalAddr{Home: 1, Local: 9999}, tid(), "")
+	if tr.Total() != total+1 {
+		t.Fatalf("tracer wedged after concurrent toggling: %d -> %d", total, tr.Total())
+	}
+	if got := len(tr.Events()); got > 1024 {
+		t.Fatalf("ring overflowed: %d", got)
+	}
+}
+
 func TestEventStrings(t *testing.T) {
 	for k := EvFrameCreated; k <= EvRestored; k++ {
 		if k.String() == "" {

@@ -86,8 +86,17 @@ const (
 	// sites").
 	KindMemInvalidate
 
+	// Cluster-wide observability (paper §4: the site manager "provides
+	// the functionality to query the status of the local site").
+	KindMetricsQuery
+	KindMetricsReply
+
 	kindCount
 )
+
+// NumKinds reports the number of defined message kinds (including
+// KindInvalid), letting callers size per-kind lookup tables.
+func NumKinds() int { return int(kindCount) }
 
 var kindNames = map[Kind]string{
 	KindInvalid:           "invalid",
@@ -135,6 +144,8 @@ var kindNames = map[Kind]string{
 	KindInputRequest:      "input-request",
 	KindInputReply:        "input-reply",
 	KindMemInvalidate:     "mem-invalidate",
+	KindMetricsQuery:      "metrics-query",
+	KindMetricsReply:      "metrics-reply",
 }
 
 func (k Kind) String() string {

@@ -83,6 +83,12 @@ func samplePayloads() []Payload {
 		&InputRequest{Program: prog, Prompt: "name?"},
 		&InputReply{OK: true, Line: "alice"},
 		&InputReply{},
+		&MetricsQuery{},
+		&MetricsReply{Site: 2, Samples: []MetricSample{
+			{Name: "exec.executed", Value: 12},
+			{Name: "sched.dispatch_latency.sum_ns", Value: 345678},
+		}},
+		&MetricsReply{},
 	}
 }
 

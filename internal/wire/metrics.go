@@ -1,0 +1,69 @@
+package wire
+
+import "repro/internal/types"
+
+// ---------------------------------------------------------------------------
+// Metrics payloads. The paper's site manager "provides the functionality to
+// query the status of the local site" (§4); MetricsQuery extends that to the
+// counter/histogram registry so one site can aggregate the whole cluster's
+// statistics over the ordinary message bus (sdvmstat -metrics).
+
+func init() {
+	register(KindMetricsQuery, func() Payload { return &MetricsQuery{} })
+	register(KindMetricsReply, func() Payload { return &MetricsReply{} })
+}
+
+// MetricSample is one named value from a site's metrics registry.
+// Histograms arrive pre-flattened (name.count, name.sum_ns, name.le.*), so
+// aggregation is a sum over equal names.
+type MetricSample struct {
+	Name  string
+	Value int64
+}
+
+// MetricsQuery asks the site manager for a snapshot of the local metrics
+// registry.
+type MetricsQuery struct{}
+
+func (*MetricsQuery) Kind() Kind { return KindMetricsQuery }
+
+func (p *MetricsQuery) MarshalWire(w *Writer) {}
+
+func (p *MetricsQuery) UnmarshalWire(r *Reader) {}
+
+// MetricsReply carries the snapshot. Samples is empty when the queried site
+// runs without a registry.
+type MetricsReply struct {
+	Site    types.SiteID
+	Samples []MetricSample
+}
+
+func (*MetricsReply) Kind() Kind { return KindMetricsReply }
+
+func (p *MetricsReply) MarshalWire(w *Writer) {
+	w.SiteID(p.Site)
+	w.Uint32(uint32(len(p.Samples)))
+	for i := range p.Samples {
+		w.String(p.Samples[i].Name)
+		w.Int64(p.Samples[i].Value)
+	}
+}
+
+func (p *MetricsReply) UnmarshalWire(r *Reader) {
+	p.Site = r.SiteID()
+	n := r.Uint32()
+	if n > maxSliceLen {
+		r.fail("metrics-reply sample count")
+		return
+	}
+	if n == 0 {
+		return
+	}
+	p.Samples = make([]MetricSample, 0, min(int(n), 4096))
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		var s MetricSample
+		s.Name = r.String()
+		s.Value = r.Int64()
+		p.Samples = append(p.Samples, s)
+	}
+}

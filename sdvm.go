@@ -164,6 +164,14 @@ type Options struct {
 	// package — the observable form of the paper's Figures 4/5.
 	TraceCapacity int
 
+	// Metrics enables the per-site metrics registry (counters, gauges
+	// and latency histograms for every manager); see Site.Daemon.Metrics
+	// and `sdvmstat -metrics`.
+	Metrics bool
+	// MetricsAddr additionally serves the registry as JSON over HTTP at
+	// this address ("host:port"). Implies Metrics.
+	MetricsAddr string
+
 	// Seed makes scheduling tie-breaks reproducible.
 	Seed int64
 }
@@ -212,6 +220,8 @@ func (o Options) daemonConfig() daemon.Config {
 			HeartbeatEvery: o.HeartbeatEvery,
 		},
 		TraceCapacity: o.TraceCapacity,
+		Metrics:       o.Metrics,
+		MetricsAddr:   o.MetricsAddr,
 		Seed:          o.Seed,
 	}
 }
