@@ -13,10 +13,23 @@
 //
 //	//sdvmlint:allow <analyzer> -- <reason>
 //
+// Flags:
+//
+//	-q               print findings only, no summary
+//	-json            emit findings as a JSON array on stdout
+//	-baseline FILE   suppress findings recorded in FILE (a -json dump);
+//	                 matching ignores line numbers, so a baseline
+//	                 survives unrelated edits above a finding
+//
+// A typical adoption path for a new analyzer: run `sdvmlint -json >
+// baseline.json` once, commit the baseline, and burn it down finding by
+// finding while CI blocks only regressions.
+//
 // See internal/analysis and DESIGN.md ("Static analysis & race policy").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +38,20 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonFinding is the stable serialized form of one finding. File is
+// relative to the module root so baselines are machine-independent.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	quiet := flag.Bool("q", false, "print findings only, no summary")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baseline := flag.String("baseline", "", "suppress findings recorded in this file (a previous -json dump)")
 	flag.Parse()
 
 	root, err := moduleRoot()
@@ -40,17 +65,83 @@ func main() {
 		os.Exit(2)
 	}
 	findings := analysis.Run(prog, analysis.All())
-	for _, f := range findings {
-		fmt.Println(f)
+	if *baseline != "" {
+		findings, err = applyBaseline(findings, root, *baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdvmlint:", err)
+			os.Exit(2)
+		}
+	}
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, toJSON(root, f))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "sdvmlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "sdvmlint: %d finding(s) in %d packages\n",
 			len(findings), len(prog.Pkgs))
 		os.Exit(1)
 	}
-	if !*quiet {
+	if !*quiet && !*asJSON {
 		fmt.Fprintf(os.Stderr, "sdvmlint: clean (%d packages)\n", len(prog.Pkgs))
 	}
+}
+
+func toJSON(root string, f analysis.Finding) jsonFinding {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return jsonFinding{
+		File:     file,
+		Line:     f.Pos.Line,
+		Col:      f.Pos.Column,
+		Analyzer: f.Analyzer,
+		Message:  f.Message,
+	}
+}
+
+// applyBaseline drops findings recorded in the baseline file. Matching
+// is on (file, analyzer, message) — deliberately not line: edits above
+// a baselined finding move it without changing what it is. Each
+// baseline entry suppresses at most as many findings as it was recorded
+// with, so a duplicated regression still surfaces.
+func applyBaseline(findings []analysis.Finding, root, path string) ([]analysis.Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []jsonFinding
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	budget := make(map[jsonFinding]int, len(base))
+	for _, b := range base {
+		b.Line, b.Col = 0, 0
+		budget[b]++
+	}
+	var out []analysis.Finding
+	for _, f := range findings {
+		k := toJSON(root, f)
+		k.Line, k.Col = 0, 0
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // moduleRoot walks from the working directory up to the nearest go.mod.

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func mkFinding(file string, line int, analyzer, msg string) analysis.Finding {
+	return analysis.Finding{
+		Pos:      token.Position{Filename: file, Line: line, Column: 3},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestApplyBaselineIgnoresLines(t *testing.T) {
+	root := t.TempDir()
+	// Baseline recorded at line 10; the same finding has since moved to
+	// line 42 and must still be suppressed.
+	base := []jsonFinding{{File: "a/b.go", Line: 10, Col: 3, Analyzer: "lockhold", Message: "boom"}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	findings := []analysis.Finding{
+		mkFinding(filepath.Join(root, "a/b.go"), 42, "lockhold", "boom"),
+		mkFinding(filepath.Join(root, "a/b.go"), 50, "lockhold", "other"),
+	}
+	out, err := applyBaseline(findings, root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Message != "other" {
+		t.Fatalf("want only the unbaselined finding, got %v", out)
+	}
+}
+
+func TestApplyBaselineBudget(t *testing.T) {
+	root := t.TempDir()
+	// One baseline entry must not absorb two identical findings: the
+	// second occurrence is a regression.
+	base := []jsonFinding{{File: "x.go", Analyzer: "sleepfree", Message: "nap"}}
+	data, _ := json.Marshal(base)
+	path := filepath.Join(root, "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := []analysis.Finding{
+		mkFinding(filepath.Join(root, "x.go"), 1, "sleepfree", "nap"),
+		mkFinding(filepath.Join(root, "x.go"), 2, "sleepfree", "nap"),
+	}
+	out, err := applyBaseline(findings, root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("want 1 surviving finding, got %d", len(out))
+	}
+}
+
+func TestToJSONRelativizes(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("mod", "root")
+	f := mkFinding(filepath.Join(root, "internal", "x.go"), 7, "guardedby", "m")
+	j := toJSON(root, f)
+	if j.File != "internal/x.go" {
+		t.Fatalf("want module-relative slash path, got %q", j.File)
+	}
+}

@@ -13,7 +13,22 @@
 //   - golifecycle: no goroutine running an unbounded loop that can
 //     neither terminate nor observe a stop/done channel;
 //   - guardedby: struct fields annotated "// guarded by <mu>" are only
-//     touched while that mutex is held.
+//     touched while that mutex is held (interprocedurally: helpers whose
+//     every visible caller holds the lock inherit it), and reference-typed
+//     guarded fields must not escape via return;
+//   - lockorder: the global mutex-acquisition graph is acyclic — a cycle
+//     is a potential deadlock, reported with a witness call chain per
+//     edge;
+//   - atomicmix: a field accessed through sync/atomic anywhere in the
+//     module is never read or written plainly, in any package;
+//   - chanowner: every channel struct field has exactly one closing
+//     owner, closes stay in the declaring package, and no send follows
+//     the close in straight-line code.
+//
+// The last four analyzers (and the interprocedural halves of lockhold
+// and guardedby) run on a conservative whole-module call graph built in
+// callgraph.go/ipstate.go; its construction rules and soundness caveats
+// are documented on the engine.
 //
 // A finding can be suppressed with a line directive — on the offending
 // line or the line above it:
@@ -56,6 +71,9 @@ func All() []Analyzer {
 		newSleepfree(defaultSleepAllowlist),
 		newGolifecycle(),
 		newGuardedby(),
+		newLockorder(),
+		newAtomicmix(),
+		newChanowner(),
 	}
 }
 

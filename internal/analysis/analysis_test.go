@@ -47,14 +47,14 @@ func collectWants(prog *Program) map[wantKey][]string {
 	return wants
 }
 
-func runFixture(t *testing.T, fixture string, a Analyzer) {
+func runFixture(t *testing.T, fixture string, as ...Analyzer) {
 	t.Helper()
 	prog, err := Load(filepath.Join("testdata", fixture))
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
 	wants := collectWants(prog)
-	for _, f := range Run(prog, []Analyzer{a}) {
+	for _, f := range Run(prog, as) {
 		k := wantKey{filepath.Base(f.Pos.Filename), f.Pos.Line}
 		matched := -1
 		for i, w := range wants[k] {
@@ -85,6 +85,21 @@ func TestGolifecycleFixture(t *testing.T) { runFixture(t, "golifecycle", newGoli
 func TestGuardedbyFixture(t *testing.T) { runFixture(t, "guardedby", newGuardedby()) }
 
 func TestWiredispatchFixture(t *testing.T) { runFixture(t, "wiredispatch", newWiredispatch()) }
+
+func TestLockorderFixture(t *testing.T) { runFixture(t, "lockorder", newLockorder()) }
+
+func TestAtomicmixFixture(t *testing.T) { runFixture(t, "atomicmix", newAtomicmix()) }
+
+func TestChanownerFixture(t *testing.T) { runFixture(t, "chanowner", newChanowner()) }
+
+// TestDirectivesFixture runs two analyzers at once over a fixture built
+// around //sdvmlint:allow directives — multi-analyzer lists in comma and
+// space form, directives above multi-line statements — and doubles as
+// the regression test for _test.go exclusion: the fixture contains an
+// excluded_test.go whose violations must never surface.
+func TestDirectivesFixture(t *testing.T) {
+	runFixture(t, "directives", newLockhold(), newSleepfree(nil))
+}
 
 // TestRepoClean runs the full suite over the repository itself, so `go
 // test ./...` fails the build on any unsuppressed finding — the same

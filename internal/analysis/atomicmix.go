@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicmix enforces access-discipline consistency for fields used with
+// the sync/atomic package-level functions: a struct field passed as
+// `&x.f` to atomic.Add/Load/Store/Swap/CompareAndSwap anywhere in the
+// module must never be read or written plainly, in any package — a
+// single plain access races with every atomic one. (The typed
+// atomic.Int64-style wrappers need no analyzer: their fields are
+// unexported and only reachable through atomic methods.)
+//
+// One exemption mirrors guardedby: accesses through a variable declared
+// in the enclosing function body (a freshly constructed value that has
+// not escaped yet) are unordered with nothing and stay quiet.
+type atomicmix struct{}
+
+func newAtomicmix() *atomicmix { return &atomicmix{} }
+
+func (a *atomicmix) Name() string { return "atomicmix" }
+
+func (a *atomicmix) Run(prog *Program) []Finding {
+	atomicAt := make(map[*types.Var]token.Pos)    // first atomic use of each field
+	atomicSel := make(map[*ast.SelectorExpr]bool) // the &x.f selectors inside atomic calls
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				u, ok := unwrapFun(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					return true
+				}
+				sel, ok := unwrapFun(u.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if fv := fieldVarOf(pkg.Info, sel); fv != nil {
+					if _, seen := atomicAt[fv]; !seen {
+						atomicAt[fv] = sel.Pos()
+					}
+					atomicSel[sel] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || atomicSel[sel] {
+						return true
+					}
+					fv := fieldVarOf(pkg.Info, sel)
+					if fv == nil {
+						return true
+					}
+					atPos, mixed := atomicAt[fv]
+					if !mixed {
+						return true
+					}
+					// Freshly constructed value, not yet shared.
+					if base, ok := sel.X.(*ast.Ident); ok {
+						if obj := pkg.Info.ObjectOf(base); obj != nil &&
+							obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End() {
+							return true
+						}
+					}
+					at := prog.Fset.Position(atPos)
+					out = append(out, Finding{
+						Pos:      prog.Fset.Position(sel.Pos()),
+						Analyzer: "atomicmix",
+						Message: fmt.Sprintf("field %s is accessed with sync/atomic (%s:%d) but read/written plainly here",
+							fieldDisplay(fv, sel, pkg.Info), shortFile(at), at.Line),
+					})
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// isAtomicCall reports a call to a package-level sync/atomic function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldVarOf resolves a selector to the struct field it reads, if any.
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// fieldDisplay names a field as Type.field when the receiver type is
+// named, falling back to the printed expression.
+func fieldDisplay(fv *types.Var, sel *ast.SelectorExpr, info *types.Info) string {
+	if selection := info.Selections[sel]; selection != nil {
+		if named := derefNamed(selection.Recv()); named != nil {
+			return named.Obj().Name() + "." + fv.Name()
+		}
+	}
+	return types.ExprString(sel)
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// callgraph.go constructs the conservative static call graph the
+// interprocedural engine propagates over. Construction rules:
+//
+//   - Direct calls to module functions and methods resolve through
+//     go/types object identity (one edge).
+//   - Calls through an interface method expand to the method on every
+//     named type in the module whose value or pointer type implements
+//     the interface — a superset of the runtime targets.
+//   - `go f(...)` produces an edge marked as a goroutine launch: it is
+//     part of the graph but excluded from lock-state propagation (the
+//     new goroutine holds none of the creator's locks, and its blocking
+//     does not block the creator).
+//   - Function literals get their own node. A literal invoked on the
+//     spot (`func(){...}()`, sync.Once.Do) is a synchronous edge that
+//     inherits the creator's lock state; a literal stored in a variable
+//     or field, or passed as a callback, is recorded as published and
+//     analyzed as a root.
+//   - Calls through function values (variables, fields, parameters) are
+//     recorded as dynamic and left unresolved. Together with reflection
+//     and cgo (neither used in this module) they are the engine's
+//     documented soundness gap: a lock-order edge or blocking operation
+//     reachable only through a stored function value is not seen.
+//   - Calls to functions outside the module (stdlib) are leaves,
+//     assumed non-blocking unless lockhold's blockingMethods table says
+//     otherwise (time.Sleep, sync.WaitGroup.Wait, …).
+
+// link resolves every recorded call site to funcSums. Interface calls
+// are expanded against the module's concrete named types.
+func (e *engine) link() {
+	var concrete []*types.Named
+	for _, pkg := range e.prog.Pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			n, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(n) {
+				continue
+			}
+			concrete = append(concrete, n)
+		}
+	}
+	sort.Slice(concrete, func(i, j int) bool {
+		return concrete[i].Obj().Pkg().Path()+"."+concrete[i].Obj().Name() <
+			concrete[j].Obj().Pkg().Path()+"."+concrete[j].Obj().Name()
+	})
+	for _, s := range e.sums {
+		for i := range s.calls {
+			c := &s.calls[i]
+			switch {
+			case c.lit != nil:
+				if t := e.byLit[c.lit]; t != nil {
+					c.callees = []*funcSum{t}
+				}
+			case c.staticFn != nil:
+				if t := e.byObj[c.staticFn]; t != nil {
+					c.callees = []*funcSum{t}
+				}
+			case c.ifaceFn != nil:
+				c.callees = e.implementersOf(c.ifaceFn, concrete)
+			}
+		}
+	}
+}
+
+// implementersOf returns the summaries of m's implementation on every
+// module type satisfying m's interface.
+func (e *engine) implementersOf(m *types.Func, concrete []*types.Named) []*funcSum {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*funcSum
+	for _, n := range concrete {
+		if !types.Implements(n, iface) && !types.Implements(types.NewPointer(n), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(n), false, m.Pkg(), m.Name())
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if t := e.byObj[fn]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// unwrapFun strips parentheses and generic instantiation from a call's
+// Fun expression.
+func unwrapFun(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// displayName is the short human name used in findings and witness
+// chains: "pkg.Func" or "pkg.Type.Method".
+func displayName(fn *types.Func) string {
+	if fn == nil {
+		return "func"
+	}
+	prefix := ""
+	if fn.Pkg() != nil {
+		prefix = pkgBase(fn.Pkg().Path()) + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := derefNamed(sig.Recv().Type()); named != nil {
+			return prefix + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return prefix + fn.Name()
+}
+
+// EdgeKind classifies a call-graph edge.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a declared function or method, or
+	// the synchronous invocation of a function literal.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a call through an interface method; its targets
+	// are the conservative expansion over module types.
+	EdgeInterface
+	// EdgeGo launches the callee in a new goroutine.
+	EdgeGo
+	// EdgeDynamic is a call through a function value, unresolved.
+	EdgeDynamic
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeGo:
+		return "go"
+	case EdgeDynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// CallNode is one function (declared or literal) in the call graph.
+type CallNode struct {
+	Name  string
+	Pos   token.Pos
+	Func  *types.Func // nil for function literals
+	Edges []CallEdge
+}
+
+// CallEdge is one call site. Targets is empty for dynamic calls and for
+// interface calls with no module implementation.
+type CallEdge struct {
+	Kind    EdgeKind
+	Pos     token.Pos
+	Targets []*CallNode
+}
+
+// CallGraph is the resolved conservative call graph of a Program.
+type CallGraph struct {
+	Nodes []*CallNode
+}
+
+// CallGraph builds (or reuses) the interprocedural engine and exposes
+// its call graph.
+func (p *Program) CallGraph() *CallGraph {
+	e := p.engine()
+	nodes := make(map[*funcSum]*CallNode, len(e.sums))
+	g := &CallGraph{}
+	for _, s := range e.sums {
+		n := &CallNode{Name: s.name, Pos: s.pos, Func: s.obj}
+		nodes[s] = n
+		g.Nodes = append(g.Nodes, n)
+	}
+	for _, s := range e.sums {
+		n := nodes[s]
+		for i := range s.calls {
+			c := &s.calls[i]
+			kind := EdgeStatic
+			switch {
+			case c.dynamic:
+				kind = EdgeDynamic
+			case c.isGo:
+				kind = EdgeGo
+			case c.ifaceFn != nil:
+				kind = EdgeInterface
+			}
+			edge := CallEdge{Kind: kind, Pos: c.pos}
+			for _, t := range c.callees {
+				edge.Targets = append(edge.Targets, nodes[t])
+			}
+			n.Edges = append(n.Edges, edge)
+		}
+	}
+	return g
+}

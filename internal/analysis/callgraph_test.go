@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// cgDebug renders every resolved call-graph edge as a finding, so the
+// callgraph fixture can assert construction rules with want comments
+// through the same harness as the real analyzers.
+type cgDebug struct{}
+
+func (cgDebug) Name() string { return "callgraph" }
+
+func (cgDebug) Run(prog *Program) []Finding {
+	var out []Finding
+	for _, n := range prog.CallGraph().Nodes {
+		for _, e := range n.Edges {
+			var msg string
+			switch e.Kind {
+			case EdgeStatic:
+				if len(e.Targets) > 0 {
+					msg = "static call to " + e.Targets[0].Name
+				}
+			case EdgeInterface:
+				var names []string
+				for _, t := range e.Targets {
+					names = append(names, t.Name)
+				}
+				sort.Strings(names)
+				msg = "interface call resolving to " + strings.Join(names, ", ")
+			case EdgeGo:
+				if len(e.Targets) > 0 {
+					msg = "goroutine launch of " + e.Targets[0].Name
+				}
+			case EdgeDynamic:
+				msg = "dynamic call (unresolved)"
+			}
+			if msg == "" {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      prog.Fset.Position(e.Pos),
+				Analyzer: "callgraph",
+				Message:  msg,
+			})
+		}
+	}
+	return out
+}
+
+func TestCallgraphFixture(t *testing.T) { runFixture(t, "callgraph", cgDebug{}) }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
@@ -19,8 +20,18 @@ import (
 //     freshly constructed value that has not escaped yet, e.g. inside a
 //     New constructor) are exempt.
 //
-// The analysis is intraprocedural and conservative: the lock must be
-// provably held on every path reaching the access.
+// The lock must be provably held on every path reaching the access.
+// "Held" is interprocedural: a helper whose every visible call site
+// holds the mutex inherits it (the engine's must-held-at-entry set), so
+// unexported helpers no longer need the Locked suffix to pass. Exported
+// functions and functions used as values inherit nothing — their
+// callers are not all visible.
+//
+// A guarded field whose value is a pointer, slice, map, channel or
+// function must not be returned directly: the caller would retain
+// shared mutable state past the unlock. Functions with the Locked
+// suffix are exempt (their contract already delegates locking to the
+// caller).
 type guardedby struct{}
 
 func newGuardedby() *guardedby { return &guardedby{} }
@@ -36,8 +47,8 @@ func (a *guardedby) Run(prog *Program) []Finding {
 		if len(fields) == 0 {
 			continue
 		}
-		v := &guardedbyVisitor{prog: prog, pkg: pkg, fields: fields, out: &out}
-		s := &lockScanner{info: pkg.Info, v: v}
+		v := &guardedbyVisitor{prog: prog, pkg: pkg, eng: prog.engine(), fields: fields, out: &out}
+		s := &lockScanner{info: pkg.Info, v: v, entry: v.entryHeld}
 		s.scanPackage(pkg)
 	}
 	return out
@@ -84,11 +95,58 @@ func annotationOf(f *ast.Field) string {
 type guardedbyVisitor struct {
 	prog   *Program
 	pkg    *Package
+	eng    *engine
 	fields map[*types.Var]string
 	out    *[]Finding
 
 	// stack of nested functions being scanned; the innermost is last.
 	stack []guardedbyFrame
+}
+
+// entryHeld seeds the scanner with the locks the interprocedural engine
+// proves held at every visible call site of a declared function,
+// rendered back into the printed-receiver keys the scanner tracks
+// ("m.mu" for the canonical pkg.Type.mu when the receiver is named m).
+// Locks the engine knows by a foreign type, or that cannot be printed
+// in this function's terms, are dropped — conservative in the right
+// direction.
+func (v *guardedbyVisitor) entryHeld(node ast.Node) heldSet {
+	fd, ok := node.(*ast.FuncDecl)
+	if !ok {
+		return nil
+	}
+	fn, _ := v.pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	sum := v.eng.byObj[fn]
+	if sum == nil || len(sum.mustEntry) == 0 {
+		return nil
+	}
+	var recvName, typePrefix string
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named := derefNamed(sig.Recv().Type()); named != nil && named.Obj().Pkg() != nil {
+				recvName = fd.Recv.List[0].Names[0].Name
+				typePrefix = named.Obj().Pkg().Path() + "." + named.Obj().Name() + "."
+			}
+		}
+	}
+	held := make(heldSet)
+	for canon := range sum.mustEntry {
+		if recvName != "" && strings.HasPrefix(canon, typePrefix) {
+			field := strings.TrimPrefix(canon, typePrefix)
+			if !strings.Contains(field, ".") {
+				held[recvName+"."+field] = heldLock{at: fd.Pos(), canon: canon}
+				continue
+			}
+		}
+		// Package-level mutex of this package.
+		if rest := strings.TrimPrefix(canon, v.pkg.Path+"."); rest != canon && !strings.Contains(rest, ".") {
+			held[rest] = heldLock{at: fd.Pos(), canon: canon}
+		}
+	}
+	return held
 }
 
 type guardedbyFrame struct {
@@ -119,6 +177,9 @@ func (v *guardedbyVisitor) frame() guardedbyFrame {
 func (v *guardedbyVisitor) visitStmt(s ast.Stmt, held heldSet) {
 	if len(v.stack) == 0 || v.frame().exempt {
 		return
+	}
+	if ret, ok := s.(*ast.ReturnStmt); ok {
+		v.checkEscape(ret)
 	}
 	for _, e := range shallowExprs(s) {
 		if e == nil {
@@ -171,4 +232,68 @@ func (v *guardedbyVisitor) checkAccess(sel *ast.SelectorExpr, held heldSet) {
 		Message: fmt.Sprintf("field %s.%s (guarded by %s) accessed without holding %s",
 			types.ExprString(sel.X), sel.Sel.Name, mu, key),
 	})
+}
+
+// checkEscape reports guarded reference-typed fields returned directly
+// (plain or address-of). A returned copy (append, maps.Clone, a struct
+// value) is not a selector result and stays quiet.
+func (v *guardedbyVisitor) checkEscape(ret *ast.ReturnStmt) {
+	for _, r := range ret.Results {
+		// Only parens are transparent here: s.items[k] returns an
+		// element, not the guarded container, so indexing must NOT be
+		// stripped the way unwrapFun does for call targets.
+		e := unparen(r)
+		addrOf := false
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e, addrOf = unparen(u.X), true
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		field := fieldVarOf(v.pkg.Info, sel)
+		if field == nil {
+			continue
+		}
+		mu, annotated := v.fields[field]
+		if !annotated {
+			continue
+		}
+		if !addrOf && !isRefType(field.Type()) {
+			continue
+		}
+		// Freshly constructed value: same exemption as checkAccess.
+		if base, ok := sel.X.(*ast.Ident); ok {
+			body := v.frame().body
+			if obj := v.pkg.Info.ObjectOf(base); obj != nil && body != nil &&
+				obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+				continue
+			}
+		}
+		*v.out = append(*v.out, Finding{
+			Pos:      v.prog.Fset.Position(r.Pos()),
+			Analyzer: "guardedby",
+			Message: fmt.Sprintf("field %s.%s (guarded by %s) escapes via return: the caller retains it past the unlock",
+				types.ExprString(sel.X), sel.Sel.Name, mu),
+		})
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isRefType reports types whose values alias shared state.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
 }

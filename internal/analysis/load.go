@@ -32,6 +32,8 @@ type Program struct {
 	Fset   *token.FileSet
 	Module string
 	Pkgs   []*Package
+
+	eng *engine // lazily built interprocedural engine (ipstate.go)
 }
 
 // loader type-checks the module's own packages from source and defers to
@@ -147,7 +149,7 @@ func (l *loader) load(path string) (*types.Package, error) {
 	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || isTestFile(name) {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -197,9 +199,20 @@ func hasGoFiles(dir string) (bool, error) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !isTestFile(name) {
 			return true, nil
 		}
 	}
 	return false, nil
+}
+
+// isTestFile reports whether name is a Go test file. Test files are
+// excluded from every analyzer — the suite enforces invariants of the
+// shipped daemon, and tests legitimately sleep, block and leak
+// goroutines. Excluding them here (rather than per-analyzer allowlists)
+// keeps production-only passes like sleepfree and golifecycle from ever
+// seeing test code; analysis_test.go carries a regression fixture for
+// this.
+func isTestFile(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
 }

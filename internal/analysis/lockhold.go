@@ -35,7 +35,40 @@ func (a *lockhold) Run(prog *Program) []Finding {
 		s := &lockScanner{info: pkg.Info, v: &lockholdVisitor{a: a, pkg: pkg}}
 		s.scanPackage(pkg)
 	}
+	a.runInterprocedural(prog)
 	return a.findings
+}
+
+// runInterprocedural reports calls made under a lock to functions that
+// transitively reach a blocking operation. Findings localize at the
+// call site in the function that holds the lock; the message carries
+// the engine's witness chain down to the blocking operation. Calls the
+// intraprocedural pass already classifies as blocking APIs are skipped
+// (they were reported above), as are goroutine launches (the new
+// goroutine does not hold the creator's locks) and deferred calls (the
+// lock state at their run time is unknown).
+func (a *lockhold) runInterprocedural(prog *Program) {
+	eng := prog.engine()
+	for _, s := range eng.sums {
+		for i := range s.calls {
+			c := &s.calls[i]
+			if c.isGo || c.dynamic || c.blockingAPI || len(c.held) == 0 {
+				continue
+			}
+			var t *funcSum
+			for _, cand := range c.callees {
+				if cand.mayBlock != nil {
+					t = cand
+					break
+				}
+			}
+			if t == nil {
+				continue
+			}
+			what := fmt.Sprintf("call to %s may block (%s)", t.name, blockChainString(t))
+			a.report(c.pos, c.held, what)
+		}
+	}
 }
 
 type lockholdVisitor struct {
@@ -86,14 +119,18 @@ func (v *lockholdVisitor) inspectExpr(e ast.Expr, held heldSet) {
 }
 
 func (v *lockholdVisitor) reportAt(p token.Pos, held heldSet, what string) {
+	v.a.report(p, held, what)
+}
+
+func (a *lockhold) report(p token.Pos, held heldSet, what string) {
 	for key, l := range held {
-		lockPos := v.a.prog.Fset.Position(l.at)
+		lockPos := a.prog.Fset.Position(l.at)
 		kind := "Lock"
 		if l.reader {
 			kind = "RLock"
 		}
-		v.a.findings = append(v.a.findings, Finding{
-			Pos:      v.a.prog.Fset.Position(p),
+		a.findings = append(a.findings, Finding{
+			Pos:      a.prog.Fset.Position(p),
 			Analyzer: "lockhold",
 			Message: fmt.Sprintf("%s while holding %s.%s() (acquired at line %d)",
 				what, key, kind, lockPos.Line),

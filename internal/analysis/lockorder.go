@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the global mutex-acquisition graph and reports every
+// cycle as a potential deadlock. Nodes are canonical mutex identities
+// (see canonMutex); there is an edge A → B whenever some function
+// acquires B while A is held — either locally, or at entry on some
+// visible call path (the engine's mayEntry set). Each reported cycle
+// carries one witness per edge: the acquiring function and, for
+// entry-held locks, the call chain that carried the lock in.
+//
+// Self-edges are deliberately not reported: two acquisitions with the
+// same canonical identity usually guard different instances (per-object
+// locks walked in a loop) or are an unlock/relock of the same instance,
+// and the canonical key cannot tell these apart.
+type lockorder struct{}
+
+func newLockorder() *lockorder { return &lockorder{} }
+
+func (a *lockorder) Name() string { return "lockorder" }
+
+// orderWitness explains one acquisition edge.
+type orderWitness struct {
+	sum     *funcSum
+	pos     token.Pos // position of the inner acquisition
+	entry   bool      // the outer lock was held at entry, not locally
+	lockPos token.Pos // where the outer lock was taken, when local
+}
+
+type orderEdge struct {
+	from, to string
+	wit      orderWitness
+}
+
+func (a *lockorder) Run(prog *Program) []Finding {
+	eng := prog.engine()
+	edges := make(map[[2]string]*orderEdge)
+	addEdge := func(from, to string, w orderWitness) {
+		k := [2]string{from, to}
+		if prev, ok := edges[k]; ok {
+			// Prefer a local witness over an entry-propagated one.
+			if prev.wit.entry && !w.entry {
+				prev.wit = w
+			}
+			return
+		}
+		edges[k] = &orderEdge{from: from, to: to, wit: w}
+	}
+	for _, s := range eng.sums {
+		for _, acq := range s.acquires {
+			for h, hpos := range acq.held {
+				if h == acq.canon {
+					continue
+				}
+				addEdge(h, acq.canon, orderWitness{sum: s, pos: acq.pos, lockPos: hpos})
+			}
+			for h := range s.mayEntry {
+				if h == acq.canon {
+					continue
+				}
+				if _, ok := acq.held[h]; ok {
+					continue
+				}
+				addEdge(h, acq.canon, orderWitness{sum: s, pos: acq.pos, entry: true})
+			}
+		}
+	}
+	return a.reportCycles(prog, eng, edges)
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and emits one finding per component, describing one concrete
+// cycle through it with the witness for every edge.
+func (a *lockorder) reportCycles(prog *Program, eng *engine, edges map[[2]string]*orderEdge) []Finding {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	comp := sccs(order, adj)
+	short := func(k string) string {
+		return strings.TrimPrefix(k, eng.prog.Module+"/")
+	}
+	var out []Finding
+	for _, scc := range comp {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		sort.Strings(scc)
+		cycle := shortestCycle(scc[0], adj, inSCC)
+		if cycle == nil {
+			continue
+		}
+		names := make([]string, 0, len(cycle)+1)
+		for _, n := range cycle {
+			names = append(names, short(n))
+		}
+		names = append(names, short(cycle[0]))
+		msg := "potential deadlock: lock-order cycle " + strings.Join(names, " → ")
+		var pos token.Pos
+		for i := range cycle {
+			u, v := cycle[i], cycle[(i+1)%len(cycle)]
+			e := edges[[2]string{u, v}]
+			if e == nil {
+				continue
+			}
+			if pos == token.NoPos {
+				pos = e.wit.pos
+			}
+			at := prog.Fset.Position(e.wit.pos)
+			if e.wit.entry {
+				chain := eng.entryChain(e.wit.sum, u)
+				msg += fmt.Sprintf("; %s acquired in %s (%s:%d) while %s held at entry via %s",
+					short(v), e.wit.sum.name, shortFile(at), at.Line, short(u), strings.Join(chain, " → "))
+			} else {
+				msg += fmt.Sprintf("; %s acquired in %s (%s:%d) while holding %s",
+					short(v), e.wit.sum.name, shortFile(at), at.Line, short(u))
+			}
+		}
+		out = append(out, Finding{Pos: prog.Fset.Position(pos), Analyzer: "lockorder", Message: msg})
+	}
+	return out
+}
+
+func shortFile(p token.Position) string {
+	f := p.Filename
+	for i := len(f) - 1; i >= 0; i-- {
+		if f[i] == '/' {
+			return f[i+1:]
+		}
+	}
+	return f
+}
+
+// sccs is an iterative Tarjan strongly-connected-components pass over
+// the deterministic node order.
+func sccs(order []string, adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		edge int
+	}
+	for _, root := range order {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.edge < len(adj[f.node]) {
+				w := adj[f.node][f.edge]
+				f.edge++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{node: w})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			if low[f.node] == index[f.node] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.node {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := &work[len(work)-1]
+				if low[f.node] < low[p.node] {
+					low[p.node] = low[f.node]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// shortestCycle finds a shortest cycle through start inside one SCC via
+// breadth-first search.
+func shortestCycle(start string, adj map[string][]string, in map[string]bool) []string {
+	prev := map[string]string{start: ""}
+	queue := []string{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[n] {
+			if !in[w] {
+				continue
+			}
+			if w == start {
+				cycle := []string{n}
+				for cur := n; prev[cur] != ""; cur = prev[cur] {
+					cycle = append([]string{prev[cur]}, cycle...)
+				}
+				return cycle
+			}
+			if _, seen := prev[w]; !seen {
+				prev[w] = n
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 type heldLock struct {
 	at     token.Pos // position of the Lock call
 	reader bool      // RLock rather than Lock
+	canon  string    // canonical program-wide identity ("" for locals)
 }
 
 type heldSet map[string]heldLock
@@ -64,6 +65,12 @@ type lockVisitor interface {
 type lockScanner struct {
 	info *types.Info
 	v    lockVisitor
+	// entry, when set, supplies locks already held when a declared
+	// function is entered (e.g. the interprocedural must-held-at-entry
+	// set). It is consulted for FuncDecls only; literals inherit held
+	// state from their creation site where the language guarantees
+	// synchronous execution.
+	entry func(node ast.Node) heldSet
 }
 
 // scanPackage walks every function declaration in the package.
@@ -80,8 +87,19 @@ func (s *lockScanner) scanPackage(pkg *Package) {
 }
 
 func (s *lockScanner) scanFunc(node ast.Node, body *ast.BlockStmt) {
+	held := make(heldSet)
+	if _, ok := node.(*ast.FuncDecl); ok && s.entry != nil {
+		for k, v := range s.entry(node) {
+			held[k] = v
+		}
+	}
+	s.scanFuncEntry(node, body, held)
+}
+
+// scanFuncEntry scans one function with an explicit entry lock state.
+func (s *lockScanner) scanFuncEntry(node ast.Node, body *ast.BlockStmt, held heldSet) {
 	s.v.enterFunc(node)
-	s.scanStmts(body.List, make(heldSet))
+	s.scanStmts(body.List, held)
 	s.v.exitFunc(node)
 }
 
@@ -107,7 +125,7 @@ func (s *lockScanner) scanStmt(stmt ast.Stmt, held heldSet) bool {
 			s.scanStmt(st.Init, held)
 		}
 		s.v.visitStmt(st, held)
-		s.scanFuncLits(st.Cond)
+		s.scanNestedLits(st.Cond, held)
 		thenHeld := held.clone()
 		thenTerm := s.scanStmts(st.Body.List, thenHeld)
 		elseHeld := held.clone()
@@ -140,7 +158,7 @@ func (s *lockScanner) scanStmt(stmt ast.Stmt, held heldSet) bool {
 		return false
 	case *ast.RangeStmt:
 		s.v.visitStmt(st, held)
-		s.scanFuncLits(st.X)
+		s.scanNestedLits(st.X, held)
 		body := held.clone()
 		s.scanStmts(st.Body.List, body)
 		replace(held, intersect(held, body))
@@ -167,10 +185,11 @@ func (s *lockScanner) scanStmt(stmt ast.Stmt, held heldSet) bool {
 	case *ast.GoStmt:
 		s.v.visitStmt(st, held)
 		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			s.scanFunc(fl, fl.Body)
+			// A goroutine body runs under its own (empty) lock state.
+			s.scanFuncEntry(fl, fl.Body, make(heldSet))
 		}
 		for _, arg := range st.Call.Args {
-			s.scanFuncLits(arg)
+			s.scanNestedLits(arg, held)
 		}
 		return false
 	case *ast.DeferStmt:
@@ -180,16 +199,18 @@ func (s *lockScanner) scanStmt(stmt ast.Stmt, held heldSet) bool {
 			s.v.visitStmt(st, held)
 		}
 		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			s.scanFunc(fl, fl.Body)
+			// The lock state at the deferred run is unknowable here;
+			// scan conservatively with an empty held set.
+			s.scanFuncEntry(fl, fl.Body, make(heldSet))
 		}
 		for _, arg := range st.Call.Args {
-			s.scanFuncLits(arg)
+			s.scanNestedLits(arg, held)
 		}
 		return false
 	case *ast.ReturnStmt:
 		s.v.visitStmt(st, held)
 		for _, r := range st.Results {
-			s.scanFuncLits(r)
+			s.scanNestedLits(r, held)
 		}
 		return true
 	case *ast.BranchStmt:
@@ -197,7 +218,7 @@ func (s *lockScanner) scanStmt(stmt ast.Stmt, held heldSet) bool {
 	default:
 		s.v.visitStmt(stmt, held)
 		s.applyTransitions(stmt, held)
-		s.scanStmtFuncLits(stmt)
+		s.scanNestedLits(stmt, held)
 		return false
 	}
 }
@@ -271,9 +292,9 @@ func (s *lockScanner) applyTransitions(stmt ast.Stmt, held heldSet) {
 		}
 		switch meth {
 		case "Lock":
-			held[key] = heldLock{at: call.Pos()}
+			held[key] = heldLock{at: call.Pos(), canon: canonMutexOf(s.info, call)}
 		case "RLock":
-			held[key] = heldLock{at: call.Pos(), reader: true}
+			held[key] = heldLock{at: call.Pos(), reader: true, canon: canonMutexOf(s.info, call)}
 		case "Unlock", "RUnlock":
 			delete(held, key)
 		}
@@ -281,30 +302,50 @@ func (s *lockScanner) applyTransitions(stmt ast.Stmt, held heldSet) {
 	})
 }
 
-// scanStmtFuncLits scans function literals nested anywhere in a leaf
-// statement (assignment right-hand sides, call arguments, …) as fresh
-// functions.
-func (s *lockScanner) scanStmtFuncLits(stmt ast.Stmt) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if fl, ok := n.(*ast.FuncLit); ok {
-			s.scanFunc(fl, fl.Body)
+// scanNestedLits scans function literals nested anywhere under root.
+// Literals the language runs synchronously on the spot — immediately
+// invoked (`func(){...}()`) or handed to sync.Once.Do — inherit the
+// creator's lock state; every other literal (stored, passed as a
+// callback, launched as a goroutine elsewhere) is scanned as a fresh
+// function with no locks held.
+func (s *lockScanner) scanNestedLits(root ast.Node, held heldSet) {
+	if root == nil {
+		return
+	}
+	immediate := make(map[*ast.FuncLit]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fl, ok := n.Fun.(*ast.FuncLit); ok {
+				immediate[fl] = true
+			}
+			if fl := onceDoLit(s.info, n); fl != nil {
+				immediate[fl] = true
+			}
+		case *ast.FuncLit:
+			entry := make(heldSet)
+			if immediate[n] {
+				entry = held.clone()
+			}
+			s.scanFuncEntry(n, n.Body, entry)
 			return false
 		}
 		return true
 	})
 }
 
-func (s *lockScanner) scanFuncLits(e ast.Expr) {
-	if e == nil {
-		return
+// onceDoLit returns the literal argument of a sync.Once.Do call, if any.
+func onceDoLit(info *types.Info, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" || len(call.Args) != 1 {
+		return nil
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		if fl, ok := n.(*ast.FuncLit); ok {
-			s.scanFunc(fl, fl.Body)
-			return false
-		}
-		return true
-	})
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	fl, _ := call.Args[0].(*ast.FuncLit)
+	return fl
 }
 
 func replace(dst, src heldSet) {
@@ -347,4 +388,67 @@ func mutexMethod(info *types.Info, call *ast.CallExpr) (key, method string, ok b
 
 func isUnlockMethod(name string) bool {
 	return name == "Unlock" || name == "RUnlock"
+}
+
+// canonMutexOf is canonMutex applied to the receiver of a mutex method
+// call (the caller must already know call is one, via mutexMethod).
+func canonMutexOf(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return canonMutex(info, sel.X)
+}
+
+// canonMutex returns a stable program-wide identity for a mutex
+// expression: "<pkgpath>.<Type>.<field>" for a mutex field reached
+// through a value of a named type, "<pkgpath>.<var>" for a package-level
+// mutex variable, and "" when no canonical identity exists (local
+// mutexes, fields of anonymous struct types). Two lock sites with the
+// same canonical identity may still guard different instances — the
+// lock-order analysis therefore never reports self-edges.
+func canonMutex(info *types.Info, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if named := derefNamed(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Obj().Name()
+			}
+			return ""
+		}
+		// Qualified reference to another package's mutex variable.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// derefNamed unwraps one level of pointer and returns the named type
+// underneath, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// canonHeldOf projects a held set onto canonical identities, dropping
+// locks without one.
+func canonHeldOf(held heldSet) map[string]token.Pos {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make(map[string]token.Pos, len(held))
+	for _, l := range held {
+		if l.canon != "" {
+			out[l.canon] = l.at
+		}
+	}
+	return out
 }

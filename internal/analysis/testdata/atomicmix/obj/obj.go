@@ -1,0 +1,30 @@
+// Package obj maintains Counter.N with sync/atomic; any plain access,
+// here or in an importing package, is a race with the atomic ones.
+package obj
+
+import "sync/atomic"
+
+type Counter struct {
+	N     int64
+	plain int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.N, 1)
+}
+
+func (c *Counter) Peek() int64 {
+	return c.N // want "field Counter.N is accessed with sync/atomic"
+}
+
+// NewCounter touches a value that has not escaped yet: exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.N = 1
+	return c
+}
+
+// Touch uses the never-atomic field: quiet.
+func (c *Counter) Touch() {
+	c.plain++
+}

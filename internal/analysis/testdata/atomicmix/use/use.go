@@ -1,0 +1,11 @@
+// Package use demonstrates that the atomic-discipline check crosses
+// package boundaries: obj.Counter.N is atomic in package obj.
+package use
+
+import "fixture/obj"
+
+func Drain(c *obj.Counter) int64 {
+	v := c.N // want "field Counter.N is accessed with sync/atomic"
+	c.N = 0  // want "field Counter.N is accessed with sync/atomic"
+	return v
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the call-graph construction rules: static
+// resolution, interface expansion over module types, goroutine edges,
+// unresolved dynamic calls and synchronous function literals. The
+// harness analyzer renders every resolved edge as a finding.
+package fixture
+
+type runner interface {
+	run()
+}
+
+type mgr struct{}
+
+func (m *mgr) run() {}
+
+type agent struct{}
+
+func (a *agent) run() {}
+
+func helper() {}
+
+func calls() {
+	helper() // want "static call to fixture.helper"
+
+	var r runner = &mgr{}
+	r.run() // want "interface call resolving to fixture.agent.run, fixture.mgr.run"
+
+	go helper() // want "goroutine launch of fixture.helper"
+
+	f := helper
+	f() // want "dynamic call (unresolved)"
+
+	func() { helper() }() // want "static call to fixture.calls.func@32" "static call to fixture.helper"
+}

@@ -1,0 +1,54 @@
+// Package obj seeds channel-ownership violations: a second closing
+// owner, a send after the close, plus the sanctioned patterns (one
+// owner, sync.Once close, close inside a branch before a send).
+package obj
+
+import "sync"
+
+type Worker struct {
+	done chan struct{}
+	out  chan int
+	// Done is closed from another package in this fixture.
+	Done chan struct{}
+}
+
+// Stop is the first close of done in source order: the owner.
+func (w *Worker) Stop() {
+	close(w.done)
+}
+
+func (w *Worker) Abort() {
+	close(w.done) // want "channel field done has multiple closing owners: closed here in obj.Worker.Abort, owned by obj.Worker.Stop"
+}
+
+func (w *Worker) finish() {
+	close(w.out)
+	w.out <- 1 // want "send on w.out after close"
+}
+
+type Svc struct {
+	once sync.Once
+	quit chan struct{}
+}
+
+// Close uses the once idiom; the literal's close is attributed to
+// Close, so the field has exactly one owner.
+func (s *Svc) Close() {
+	s.once.Do(func() {
+		close(s.quit)
+	})
+}
+
+type branchy struct {
+	c chan int
+}
+
+// maybe closes only on one branch; the send after the branch is not
+// provably after a close and must stay quiet.
+func (b *branchy) maybe(cond bool) {
+	if cond {
+		close(b.c)
+		return
+	}
+	b.c <- 1
+}

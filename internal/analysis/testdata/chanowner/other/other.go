@@ -1,0 +1,8 @@
+// Package other closes a channel field declared in fixture/obj.
+package other
+
+import "fixture/obj"
+
+func Kill(w *obj.Worker) {
+	close(w.Done) // want "channel field Done closed outside its owning package fixture/obj"
+}

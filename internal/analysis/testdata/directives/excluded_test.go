@@ -1,0 +1,10 @@
+package fixture
+
+import "time"
+
+// This file must be invisible to every analyzer: the loader excludes
+// _test.go files. If it were loaded, the bare sleep below would produce
+// an unexpected sleepfree finding and fail the fixture harness.
+func sleepInTest() {
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the //sdvmlint:allow directive forms: one
+// directive naming several analyzers (comma- or space-separated), a
+// directive on the line above a multi-line statement, and the guarantee
+// that naming one analyzer never silences another.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// One trailing directive suppresses both analyzers, comma form.
+func (b *box) bothAllowed() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) //sdvmlint:allow lockhold, sleepfree -- fixture: both suppressed
+	b.mu.Unlock()
+}
+
+// Space-separated list on the line above the offending one.
+func (b *box) bothAllowedAbove() {
+	b.mu.Lock()
+	//sdvmlint:allow lockhold sleepfree -- fixture: both suppressed
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+// A finding anchors at a statement's first line, so a directive above a
+// statement spanning several lines still covers it.
+func (b *box) multiLine() {
+	b.mu.Lock()
+	//sdvmlint:allow lockhold -- fixture: the send below spans lines
+	b.ch <- func() int {
+		return 1
+	}()
+	b.mu.Unlock()
+}
+
+// Allowing lockhold must leave the sleepfree finding standing.
+func (b *box) halfAllowed() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) //sdvmlint:allow lockhold -- fixture: one analyzer only // want "bare time.Sleep in production code"
+	b.mu.Unlock()
+}

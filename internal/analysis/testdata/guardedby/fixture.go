@@ -61,3 +61,53 @@ func (s *store) halfBad(k string, cond bool) int {
 func (s *store) bumpClean() {
 	s.clean++
 }
+
+// bumpInherited has no Locked suffix, but its every visible caller
+// holds s.mu — the interprocedural entry set covers the access.
+func (s *store) bumpInherited() {
+	s.hits++
+}
+
+func (s *store) viaLock() {
+	s.mu.Lock()
+	s.bumpInherited()
+	s.mu.Unlock()
+}
+
+// bumpMixed has one caller that locks and one that does not; the
+// intersection is empty, so the access is flagged.
+func (s *store) bumpMixed() {
+	s.hits++ // want "s.hits (guarded by mu) accessed without holding s.mu"
+}
+
+func (s *store) viaLock2() {
+	s.mu.Lock()
+	s.bumpMixed()
+	s.mu.Unlock()
+}
+
+func (s *store) viaNoLock() {
+	s.bumpMixed()
+}
+
+// itemsRef leaks the guarded map: the caller can mutate it after the
+// unlock, lock or no lock.
+func (s *store) itemsRef() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items // want "s.items (guarded by mu) escapes via return"
+}
+
+// itemsLocked delegates locking to the caller by contract; the suffix
+// exempts the escape check too.
+func (s *store) itemsLocked() map[string]int {
+	return s.items
+}
+
+// sizeSnapshot returns a scalar derived from the guarded field: no
+// reference escapes.
+func (s *store) sizeSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}

@@ -94,3 +94,34 @@ func (s *server) goodGoroutine() {
 		s.ch <- 1
 	}()
 }
+
+// drain blocks, but holds nothing itself — quiet here. The violation is
+// calling it under a lock, which only the interprocedural pass can see.
+func (s *server) drain() {
+	<-s.ch
+}
+
+func (s *server) badHelperUnderLock() {
+	s.mu.Lock()
+	s.drain() // want "call to fixture.server.drain may block"
+	s.mu.Unlock()
+}
+
+// compute never blocks, so calling it under the lock is fine.
+func (s *server) compute() int {
+	return len(s.data)
+}
+
+func (s *server) goodHelperUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compute()
+}
+
+// goodGoHelperUnderLock launches the blocking helper in a goroutine,
+// which does not inherit the creator's lock state.
+func (s *server) goodGoHelperUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.drain()
+}

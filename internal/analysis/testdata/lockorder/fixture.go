@@ -1,0 +1,45 @@
+// Package fixture seeds a lock-order cycle whose first edge exists
+// only interprocedurally: takeB acquires bmu while amu is held at
+// entry (via aThenB), and bThenA acquires them in the opposite order.
+package fixture
+
+import "sync"
+
+var (
+	amu sync.Mutex
+	bmu sync.Mutex
+)
+
+// takeB is only ever called with amu held, so the engine sees the
+// amu → bmu edge through takeB's entry set.
+func takeB() {
+	bmu.Lock() // want "potential deadlock: lock-order cycle fixture.amu → fixture.bmu → fixture.amu"
+	bmu.Unlock()
+}
+
+func aThenB() {
+	amu.Lock()
+	takeB()
+	amu.Unlock()
+}
+
+func bThenA() {
+	bmu.Lock()
+	amu.Lock()
+	amu.Unlock()
+	bmu.Unlock()
+}
+
+type obj struct {
+	mu sync.Mutex
+}
+
+// nested acquires two instances whose locks share one canonical
+// identity; the self-edge must not be reported (the key cannot tell
+// instances apart).
+func nested(a, b *obj) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

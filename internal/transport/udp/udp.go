@@ -185,6 +185,7 @@ func (l *listener) readLoop() {
 				continue
 			}
 			peer := *from
+			//sdvmlint:allow lockhold -- newEndpoint only sends on its own fresh buffered channel, filling exactly its capacity
 			ep = newEndpoint(stream, from.String(), func(b []byte) error {
 				_, err := l.conn.WriteToUDP(b, &peer)
 				return err

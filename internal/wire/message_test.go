@@ -48,6 +48,7 @@ func samplePayloads() []Payload {
 		&MemWriteAck{OK: true},
 		&MemWriteAck{OK: false, Redirect: 3},
 		&MemMigrate{Objects: []MemObject{{Addr: addr, Data: []byte{5}, Version: 1}}},
+		&MemInvalidate{Addr: addr},
 		&HomeUpdate{Addr: addr, Owner: 8},
 		&FrameRelocate{Frames: []*Microframe{frame, NewMicroframe(addr, tid, 0)}},
 		&CodeRequest{Thread: tid, Platform: 3},
@@ -89,6 +90,23 @@ func samplePayloads() []Payload {
 			{Name: "sched.dispatch_latency.sum_ns", Value: 345678},
 		}},
 		&MetricsReply{},
+	}
+}
+
+// TestSamplePayloadsCoverAllKinds pins the property the fuzz seeds rely
+// on: samplePayloads produces at least one instance of every registered
+// kind, so FuzzPayloadRoundTrip and the round-trip tests cover the
+// entire protocol. Registering a new kind without extending
+// samplePayloads fails here, not silently.
+func TestSamplePayloadsCoverAllKinds(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, p := range samplePayloads() {
+		seen[p.Kind()] = true
+	}
+	for k := KindInvalid + 1; k < kindCount; k++ {
+		if !seen[k] {
+			t.Errorf("samplePayloads has no instance of kind %v", k)
+		}
 	}
 }
 
