@@ -12,7 +12,9 @@ import (
 //   - transport/inproc simulates link latency and bandwidth by sleeping;
 //   - transport/transporttest paces its conformance scenarios;
 //   - testnet is the in-process cluster harness for tests;
-//   - internal/bench paces benchmark phases and simulated workloads.
+//   - internal/bench paces benchmark phases and simulated workloads;
+//   - internal/fault simulates link bandwidth caps and paces chaos
+//     scenario timelines, like inproc.
 //
 // Everywhere else a sleep in production code is either a polling loop
 // (replace with a channel, cond, or timer select that also observes
@@ -23,6 +25,7 @@ var defaultSleepAllowlist = []string{
 	"internal/transport/transporttest",
 	"internal/testnet",
 	"internal/bench",
+	"internal/fault",
 }
 
 // sleepfree forbids bare time.Sleep in production packages.

@@ -1,0 +1,72 @@
+// Package backoff provides capped exponential backoff with jitter for
+// the SDVM's retry loops (memory fetches, help-request reissues).
+//
+// Fixed retry pauses synchronize: when a lossy link drops a burst of
+// messages, every affected sender retries in lockstep and the burst
+// repeats. Exponential growth spreads retries over time, the cap keeps
+// the worst-case reaction bounded, and jitter decorrelates senders that
+// started together. The delay schedule is a pure function of (policy,
+// attempt, rng), so seeded callers stay deterministic.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy describes one retry loop's delay schedule.
+type Policy struct {
+	// Min is the base delay before the first retry.
+	Min time.Duration
+	// Max caps the grown delay (before jitter is applied).
+	Max time.Duration
+	// Factor multiplies the delay per attempt; values <= 1 mean 2.
+	Factor float64
+	// Jitter is the fraction of the delay randomized, in [0, 1]:
+	// 0 = deterministic schedule, 0.5 = delay drawn from [0.5d, d],
+	// 1 = drawn from (0, d]. Values outside the range are clamped.
+	Jitter float64
+}
+
+// Delay returns the pause before retry number attempt (0-based). A nil
+// rng disables jitter. Results are always in (0, Max] for a valid
+// policy, so a Delay can be passed to a timer unconditionally.
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	min := p.Min
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	max := p.Max
+	if max < min {
+		max = min
+	}
+	factor := p.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+
+	d := float64(min)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+
+	jitter := p.Jitter
+	if jitter < 0 {
+		jitter = 0
+	} else if jitter > 1 {
+		jitter = 1
+	}
+	if jitter > 0 && rng != nil {
+		// Scale into [1-jitter, 1]: retries never exceed the grown
+		// delay, so the cap stays a true upper bound.
+		d *= 1 - jitter*rng.Float64()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}

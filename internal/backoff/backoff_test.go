@@ -1,0 +1,75 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, nil); got != w {
+			t.Errorf("attempt %d: got %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayZeroPolicyDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0, nil); got != time.Millisecond {
+		t.Errorf("zero policy first delay = %v, want 1ms", got)
+	}
+	if got := p.Delay(100, nil); got != time.Millisecond {
+		t.Errorf("zero policy capped delay = %v, want 1ms (Max clamps to Min)", got)
+	}
+}
+
+func TestJitterBoundsAndSpread(t *testing.T) {
+	p := Policy{Min: 10 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := time.Duration(1<<62), time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		d := p.Delay(2, rng) // grown delay: 40ms
+		if d <= 0 || d > 40*time.Millisecond {
+			t.Fatalf("jittered delay %v out of (0, 40ms]", d)
+		}
+		if d < 20*time.Millisecond {
+			t.Fatalf("jittered delay %v below 1-Jitter floor 20ms", d)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi-lo < 10*time.Millisecond {
+		t.Errorf("jitter produced almost no spread: [%v, %v]", lo, hi)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	p := Policy{Min: 5 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		if da, db := p.Delay(i%6, a), p.Delay(i%6, b); da != db {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestNilRngDisablesJitter(t *testing.T) {
+	p := Policy{Min: 10 * time.Millisecond, Max: time.Second, Jitter: 1}
+	if got := p.Delay(1, nil); got != 20*time.Millisecond {
+		t.Errorf("nil rng delay = %v, want exact 20ms", got)
+	}
+}

@@ -77,6 +77,13 @@ type Manager struct {
 	store  map[storeKey]*stored
 	epoch  uint64
 	misses map[types.SiteID]int
+	// maxSeen tracks the highest epoch ever received per store key.
+	// The chaos invariant checker compares it against the stored epoch:
+	// if they ever diverge, an older checkpoint overwrote a newer one —
+	// a monotonicity violation that recovery would silently amplify.
+	// Entries die with their store entry (a departed origin's next
+	// incarnation starts a fresh epoch sequence). guarded by mu
+	maxSeen map[storeKey]uint64
 
 	recovered uint64 // programs restored after crashes
 	taken     uint64 // checkpoints taken
@@ -107,9 +114,10 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, mem *memory.Manager, s *sched.Man
 		sched:  s,
 		pm:     pm,
 		cfg:    cfg,
-		store:  make(map[storeKey]*stored),
-		misses: make(map[types.SiteID]int),
-		done:   make(chan struct{}),
+		store:   make(map[storeKey]*stored),
+		maxSeen: make(map[storeKey]uint64),
+		misses:  make(map[types.SiteID]int),
+		done:    make(chan struct{}),
 	}
 	bus.Register(types.MgrCheckpoint, m)
 	cm.OnLeave(func(id types.SiteID, crashed bool) {
@@ -161,6 +169,42 @@ func (m *Manager) Recovered() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.recovered
+}
+
+// Epoch returns this site's own checkpoint epoch counter (monotone by
+// construction; exposed so the chaos invariant checker can observe it).
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// LedgerEntry describes one stored remote checkpoint alongside the
+// highest epoch ever received for the same (program, origin) key.
+type LedgerEntry struct {
+	Program types.ProgramID
+	Origin  types.SiteID
+	Epoch   uint64 // epoch of the checkpoint currently stored
+	MaxSeen uint64 // highest epoch ever received for this key
+}
+
+// StoreLedger snapshots the stored checkpoints with their high-water
+// epochs. The chaos invariant "monotone checkpoint generations" asserts
+// Epoch == MaxSeen for every entry: the replica never let an older
+// generation overwrite a newer one.
+func (m *Manager) StoreLedger() []LedgerEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LedgerEntry, 0, len(m.store))
+	for key, cp := range m.store {
+		out = append(out, LedgerEntry{
+			Program: key.prog,
+			Origin:  key.origin,
+			Epoch:   cp.epoch,
+			MaxSeen: m.maxSeen[key],
+		})
+	}
+	return out
 }
 
 // ckptMetrics bundles the crash manager's instruments; the zero value
@@ -357,6 +401,7 @@ func (m *Manager) recover(dead types.SiteID) {
 		if key.origin == dead {
 			restores = append(restores, cp)
 			delete(m.store, key)
+			delete(m.maxSeen, key)
 		}
 	}
 	if len(restores) > 0 {
@@ -377,6 +422,7 @@ func (m *Manager) dropOrigin(origin types.SiteID) {
 	for key := range m.store {
 		if key.origin == origin {
 			delete(m.store, key)
+			delete(m.maxSeen, key)
 		}
 	}
 }
@@ -388,6 +434,7 @@ func (m *Manager) DropProgram(prog types.ProgramID) {
 	for key := range m.store {
 		if key.prog == prog {
 			delete(m.store, key)
+			delete(m.maxSeen, key)
 		}
 	}
 }
@@ -398,6 +445,9 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 	case *wire.CheckpointStore:
 		key := storeKey{p.Program, p.Origin}
 		m.mu.Lock()
+		if p.Epoch > m.maxSeen[key] {
+			m.maxSeen[key] = p.Epoch
+		}
 		if cur, ok := m.store[key]; !ok || p.Epoch > cur.epoch {
 			m.store[key] = &stored{epoch: p.Epoch, frames: p.Frames, objects: p.Objects}
 		}

@@ -13,6 +13,7 @@ package daemon
 
 import (
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	"sync"
@@ -152,6 +153,23 @@ type busResolver struct{ cm *cluster.Manager }
 func (r *busResolver) PhysAddr(id types.SiteID) (string, error) { return r.cm.PhysAddr(id) }
 func (r *busResolver) SiteIDs() []types.SiteID                  { return r.cm.SiteIDs() }
 
+// siteSeed derives the per-site RNG seed for retry jitter (memory
+// fetches, help-request polls). An explicit cfg.Seed wins so chaos and
+// ablation runs are reproducible; otherwise the listen address is hashed
+// so distinct sites never share a jitter stream by accident.
+func siteSeed(cfg Config) int64 {
+	if cfg.Seed != 0 {
+		return cfg.Seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.PhysAddr))
+	seed := int64(h.Sum64())
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
 // New wires a daemon; Start (or Bootstrap/Join) brings it onto the
 // network.
 func New(cfg Config) *Daemon {
@@ -205,12 +223,14 @@ func New(cfg Config) *Daemon {
 		LocalPolicy:       cfg.LocalPolicy,
 		HelpPolicy:        cfg.HelpPolicy,
 		NoCriticalPinning: cfg.NoCriticalPinning,
+		Seed:              siteSeed(cfg),
 	}
 	if cfg.CentralSched {
 		schedCfg.CentralSite = cluster.BootstrapID
 	}
 	d.Sched = sched.New(d.Bus, d.CM, d.Code, schedCfg)
 	d.Mem = memory.New(d.Bus, d.Sched.Enqueue)
+	d.Mem.SetSeed(siteSeed(cfg))
 	if cfg.NoReadReplication {
 		d.Mem.SetReadReplication(false)
 	}

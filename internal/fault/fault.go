@@ -1,0 +1,578 @@
+// Package fault is the SDVM's deterministic fault-injection and
+// chaos-testing subsystem.
+//
+// The paper's headline claims are survivability claims: sites "may join
+// and leave the cluster at runtime" (§3.4) and crashes are survived via
+// checkpointing (§2.2, [4]). This package turns those claims from
+// asserted into continuously verified:
+//
+//   - Network, a transport.Network wrapper, injects drop / delay /
+//     duplicate / reorder / bandwidth-cap faults per directed link from
+//     a seeded PRNG, and doubles as the Partitioner: site groups split
+//     and heal on a scripted timeline.
+//   - Injector applies site-level faults through the daemon lifecycle:
+//     hard crash (no sign-off), graceful leave, stall (the site stops
+//     consuming bus messages for a while), and crash-then-rejoin.
+//   - Scenario is the engine: ordered steps at offsets from scenario
+//     start, run against a cluster of real daemons, followed by an
+//     invariant sweep (exactly-once execution, no lost microframes,
+//     monotone checkpoint generations, correct final result).
+//
+// Everything the subsystem decides is derived from the scenario seed,
+// so a failing run is rerunnable: same seed, same fault schedule.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// LinkFaults configures the fault mix of one directed link. The zero
+// value injects nothing (the wrapper is transparent).
+type LinkFaults struct {
+	// DropProb is the probability a datagram is silently dropped.
+	DropProb float64
+	// DupProb is the probability a datagram is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a datagram is held back for a
+	// duration drawn uniformly from [DelayMin, DelayMax].
+	DelayProb float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+	// ReorderProb is the probability a datagram is held just long
+	// enough (up to ReorderBy) to overtake later traffic on the link.
+	ReorderProb float64
+	ReorderBy   time.Duration
+	// BytesPerSecond caps the link's bandwidth; senders block for the
+	// serialization time of each datagram. 0 = unlimited.
+	BytesPerSecond int64
+}
+
+// zero reports whether the config injects no faults at all.
+func (lf LinkFaults) zero() bool {
+	return lf.DropProb == 0 && lf.DupProb == 0 && lf.DelayProb == 0 &&
+		lf.ReorderProb == 0 && lf.BytesPerSecond == 0
+}
+
+// Decision is the fault verdict for one datagram on one link — the unit
+// of the deterministic fault schedule.
+type Decision struct {
+	Drop    bool          `json:"drop,omitempty"`
+	Dup     bool          `json:"dup,omitempty"`
+	Reorder bool          `json:"reorder,omitempty"`
+	DelayUS int64         `json:"delay_us,omitempty"` // microseconds, JSON-stable
+	delay   time.Duration // the live value used by Send
+}
+
+// decide draws one verdict. The draw sequence is fixed by the config,
+// so for a given (seed, link, config) the Nth datagram always gets the
+// Nth verdict — the property the determinism tests pin down.
+func (lf LinkFaults) decide(rng *rand.Rand) Decision {
+	var d Decision
+	if lf.DropProb > 0 && rng.Float64() < lf.DropProb {
+		d.Drop = true
+		return d
+	}
+	if lf.DupProb > 0 && rng.Float64() < lf.DupProb {
+		d.Dup = true
+	}
+	if lf.DelayProb > 0 && rng.Float64() < lf.DelayProb {
+		span := lf.DelayMax - lf.DelayMin
+		d.delay = lf.DelayMin
+		if span > 0 {
+			d.delay += time.Duration(rng.Int63n(int64(span) + 1))
+		}
+	} else if lf.ReorderProb > 0 && rng.Float64() < lf.ReorderProb {
+		d.Reorder = true
+		if lf.ReorderBy > 0 {
+			d.delay = time.Duration(rng.Int63n(int64(lf.ReorderBy)) + 1)
+		}
+	}
+	d.DelayUS = d.delay.Microseconds()
+	return d
+}
+
+// linkSeed derives one link's PRNG seed from the scenario seed and the
+// directed link name, so links are decorrelated but reproducible.
+func linkSeed(seed int64, src, dst string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(src))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(dst))
+	return seed ^ int64(h.Sum64())
+}
+
+// Schedule returns the first n fault decisions of the directed link
+// src->dst under cfg and seed — the schedule a live Network would apply
+// to that link's first n datagrams. Pure; used by the determinism tests
+// and the scenario report's schedule preview.
+func Schedule(cfg LinkFaults, seed int64, src, dst string, n int) []Decision {
+	rng := rand.New(rand.NewSource(linkSeed(seed, src, dst)))
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = cfg.decide(rng)
+	}
+	return out
+}
+
+// NetConfig parameterizes a fault Network.
+type NetConfig struct {
+	// Seed feeds every per-link PRNG (via linkSeed).
+	Seed int64
+	// Default applies to every link without an override.
+	Default LinkFaults
+	// Links overrides the default per directed link.
+	Links map[LinkKey]LinkFaults
+}
+
+// LinkKey names one directed link by physical addresses.
+type LinkKey struct {
+	Src, Dst string
+}
+
+// faultsFor resolves the config of one directed link.
+func (c NetConfig) faultsFor(src, dst string) LinkFaults {
+	if lf, ok := c.Links[LinkKey{src, dst}]; ok {
+		return lf
+	}
+	return c.Default
+}
+
+// Totals is a snapshot of the injected-fault counters.
+type Totals struct {
+	Drops          uint64
+	Dups           uint64
+	Delays         uint64
+	Reorders       uint64
+	PartitionDrops uint64
+}
+
+// Network wraps any transport.Network with per-link fault injection and
+// scripted partitions. Daemons must be given per-site views via Host so
+// the wrapper knows each link's source; traffic through an un-hosted
+// view (Dial on the Network itself) uses an empty source and still gets
+// the default fault config.
+//
+// Partition semantics mirror the inproc fabric: sends across partition
+// groups are silently black-holed (the realistic failure mode — TCP
+// does not tell the sender a cable was cut), new dials across groups
+// fail with transport.ErrPartitioned.
+type Network struct {
+	inner transport.Network
+	cfg   NetConfig
+
+	mu sync.Mutex
+	// links holds per-directed-link PRNG state. guarded by mu
+	links map[LinkKey]*link
+	// islands maps addresses to partition groups; absent = group 0.
+	// guarded by mu
+	islands map[string]int
+	// dead marks killed site addresses: their endpoints are closed and
+	// new dials to or from them fail until a new Listen revives them.
+	// guarded by mu
+	dead map[string]bool
+	// eps tracks open wrapped endpoints for KillSite. guarded by mu
+	eps map[*endpoint]struct{}
+	// lns tracks listeners by address for KillSite. guarded by mu
+	lns map[string]transport.Listener
+	// sites holds per-site metric instruments bound via BindMetrics,
+	// keyed by source address. guarded by mu
+	sites map[string]*siteMetrics
+
+	drops          atomic.Uint64
+	dups           atomic.Uint64
+	delays         atomic.Uint64
+	reorders       atomic.Uint64
+	partitionDrops atomic.Uint64
+}
+
+// NewNetwork wraps inner with fault injection under cfg.
+func NewNetwork(inner transport.Network, cfg NetConfig) *Network {
+	return &Network{
+		inner:   inner,
+		cfg:     cfg,
+		links:   make(map[LinkKey]*link),
+		islands: make(map[string]int),
+		dead:    make(map[string]bool),
+		eps:     make(map[*endpoint]struct{}),
+		lns:     make(map[string]transport.Listener),
+		sites:   make(map[string]*siteMetrics),
+	}
+}
+
+// siteMetrics holds one source site's fault instruments.
+type siteMetrics struct {
+	reg            *metrics.Registry
+	drops          *metrics.Counter
+	dups           *metrics.Counter
+	delays         *metrics.Counter
+	reorders       *metrics.Counter
+	partitionDrops *metrics.Counter
+}
+
+// BindMetrics registers per-site fault counters in reg for faults
+// injected on links originating at addr (fault.drops, fault.dups,
+// fault.delays, fault.reorders, fault.partition_drops, plus per-link
+// fault.link.<dst>.* as links come into use). The registry is the
+// site's own, so the counters surface through sdvmstat -metrics like
+// every other site metric.
+func (n *Network) BindMetrics(addr string, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	sm := &siteMetrics{
+		reg:            reg,
+		drops:          reg.Counter("fault.drops"),
+		dups:           reg.Counter("fault.dups"),
+		delays:         reg.Counter("fault.delays"),
+		reorders:       reg.Counter("fault.reorders"),
+		partitionDrops: reg.Counter("fault.partition_drops"),
+	}
+	n.mu.Lock()
+	n.sites[addr] = sm
+	// Links created before the bind pick up their instruments now.
+	for key, lk := range n.links {
+		if key.Src == addr {
+			lk.bind(sm, key.Dst)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// link is the fault state of one directed link.
+type link struct {
+	faults LinkFaults
+
+	// rngMu serializes decision draws so the per-link schedule is a
+	// sequence, not a race.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// inst holds the per-link instruments; nil until the source site
+	// binds a registry. Atomic because BindMetrics may run while
+	// traffic is already flowing.
+	inst atomic.Pointer[linkCounters]
+}
+
+// linkCounters are one link's instruments plus the source site's
+// aggregates; every counter increments both.
+type linkCounters struct {
+	drops          *metrics.Counter
+	dups           *metrics.Counter
+	delays         *metrics.Counter
+	reorders       *metrics.Counter
+	partitionDrops *metrics.Counter
+	site           *siteMetrics
+}
+
+// bind installs per-link and per-site instruments from the source
+// site's registry.
+func (lk *link) bind(sm *siteMetrics, dst string) {
+	prefix := "fault.link." + dst + "."
+	lk.inst.Store(&linkCounters{
+		drops:          sm.reg.Counter(prefix + "drops"),
+		dups:           sm.reg.Counter(prefix + "dups"),
+		delays:         sm.reg.Counter(prefix + "delays"),
+		reorders:       sm.reg.Counter(prefix + "reorders"),
+		partitionDrops: sm.reg.Counter(prefix + "partition_drops"),
+		site:           sm,
+	})
+}
+
+func (lk *link) decide() Decision {
+	lk.rngMu.Lock()
+	defer lk.rngMu.Unlock()
+	return lk.faults.decide(lk.rng)
+}
+
+// linkFor returns (creating on first use) the state of one link.
+func (n *Network) linkFor(src, dst string) *link {
+	key := LinkKey{src, dst}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if lk, ok := n.links[key]; ok {
+		return lk
+	}
+	lk := &link{
+		faults: n.cfg.faultsFor(src, dst),
+		rng:    rand.New(rand.NewSource(linkSeed(n.cfg.Seed, src, dst))),
+	}
+	if sm, ok := n.sites[src]; ok {
+		lk.bind(sm, dst)
+	}
+	n.links[key] = lk
+	return lk
+}
+
+// Totals snapshots the network-wide injected-fault counters.
+func (n *Network) Totals() Totals {
+	return Totals{
+		Drops:          n.drops.Load(),
+		Dups:           n.dups.Load(),
+		Delays:         n.delays.Load(),
+		Reorders:       n.reorders.Load(),
+		PartitionDrops: n.partitionDrops.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner.
+
+// Partition assigns addrs to a partition group. Addresses never
+// assigned are implicitly in group 0; sends between different groups
+// black-hole and dials between them fail until Heal.
+func (n *Network) Partition(group int, addrs ...string) {
+	n.mu.Lock()
+	for _, a := range addrs {
+		n.islands[a] = group
+	}
+	n.mu.Unlock()
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.islands = make(map[string]int)
+	n.mu.Unlock()
+}
+
+// connected reports whether two addresses are in the same partition
+// group and neither is killed.
+func (n *Network) connected(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead[a] || n.dead[b] {
+		return false
+	}
+	return n.islands[a] == n.islands[b]
+}
+
+// KillSite cuts a site off abruptly: its listener and every endpoint
+// touching it close without goodbye, and dials to or from it fail until
+// a new Listen on the address revives it. Combined with Daemon.Kill
+// this emulates a machine losing power mid-conversation.
+func (n *Network) KillSite(addr string) {
+	n.mu.Lock()
+	n.dead[addr] = true
+	ln := n.lns[addr]
+	delete(n.lns, addr)
+	var victims []*endpoint
+	for ep := range n.eps {
+		if ep.src == addr || ep.dst == addr {
+			victims = append(victims, ep)
+			delete(n.eps, ep)
+		}
+	}
+	n.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, ep := range victims {
+		_ = ep.inner.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// transport.Network implementation.
+
+// Host returns a view of the network bound to one site address: links
+// dialed through the view are keyed (addr -> target), which is what
+// makes per-link fault config and per-site fault metrics possible.
+// Every daemon sharing one fault Network must use its own Host view.
+func (n *Network) Host(addr string) transport.Network {
+	return &hostView{n: n, src: addr}
+}
+
+type hostView struct {
+	n   *Network
+	src string
+}
+
+func (h *hostView) Listen(addr string) (transport.Listener, error) { return h.n.listen(addr) }
+func (h *hostView) Dial(addr string) (transport.Endpoint, error)   { return h.n.dial(h.src, addr) }
+
+// Listen binds a listener on the inner network. Listening on a killed
+// address revives it (crash-then-rejoin).
+func (n *Network) Listen(addr string) (transport.Listener, error) { return n.listen(addr) }
+
+// Dial establishes a link with an unknown source; the link gets the
+// default fault config. Prefer dialing through a Host view.
+func (n *Network) Dial(addr string) (transport.Endpoint, error) { return n.dial("", addr) }
+
+func (n *Network) listen(addr string) (transport.Listener, error) {
+	ln, err := n.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	delete(n.dead, addr)
+	n.lns[addr] = ln
+	n.mu.Unlock()
+	return &faultListener{n: n, inner: ln, addr: addr}, nil
+}
+
+func (n *Network) dial(src, dst string) (transport.Endpoint, error) {
+	n.mu.Lock()
+	if n.dead[src] || n.dead[dst] {
+		n.mu.Unlock()
+		return nil, transport.ErrNoListener
+	}
+	if n.islands[src] != n.islands[dst] {
+		n.mu.Unlock()
+		return nil, transport.ErrPartitioned
+	}
+	n.mu.Unlock()
+
+	inner, err := n.inner.Dial(dst)
+	if err != nil {
+		return nil, err
+	}
+	ep := &endpoint{n: n, inner: inner, src: src, dst: dst, lk: n.linkFor(src, dst)}
+	n.mu.Lock()
+	n.eps[ep] = struct{}{}
+	n.mu.Unlock()
+	return ep, nil
+}
+
+// faultListener wraps accepted endpoints so KillSite can find them.
+// Accepted endpoints never inject faults themselves: all SDVM sends go
+// over dialed links (the network manager dials each peer's listen
+// address), so injecting on the dialed side covers every real message
+// while keeping the source attribution exact.
+type faultListener struct {
+	n     *Network
+	inner transport.Listener
+	addr  string
+}
+
+func (l *faultListener) Accept() (transport.Endpoint, error) {
+	inner, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	ep := &endpoint{n: l.n, inner: inner, src: l.addr, dst: ""}
+	l.n.mu.Lock()
+	l.n.eps[ep] = struct{}{}
+	l.n.mu.Unlock()
+	return ep, nil
+}
+
+func (l *faultListener) Addr() string { return l.inner.Addr() }
+
+func (l *faultListener) Close() error {
+	l.n.mu.Lock()
+	if l.n.lns[l.addr] == l.inner {
+		delete(l.n.lns, l.addr)
+	}
+	l.n.mu.Unlock()
+	return l.inner.Close()
+}
+
+// endpoint wraps one side of a link. Faults are injected in Send on
+// dialed endpoints (lk != nil); accepted endpoints pass through.
+type endpoint struct {
+	n     *Network
+	inner transport.Endpoint
+	src   string
+	dst   string // "" on accepted endpoints (peer address is synthetic)
+	lk    *link
+}
+
+func (e *endpoint) Send(datagram []byte) error {
+	if e.lk == nil {
+		return e.inner.Send(datagram)
+	}
+	inst := e.lk.inst.Load()
+	if e.dst != "" && !e.n.connected(e.src, e.dst) {
+		// Black-hole, like a cut cable: the sender learns nothing.
+		e.n.partitionDrops.Add(1)
+		if inst != nil {
+			inst.partitionDrops.Inc()
+			inst.site.partitionDrops.Inc()
+		}
+		return nil
+	}
+	if e.lk.faults.zero() {
+		return e.inner.Send(datagram)
+	}
+
+	dec := e.lk.decide()
+	if dec.Drop {
+		e.n.drops.Add(1)
+		if inst != nil {
+			inst.drops.Inc()
+			inst.site.drops.Inc()
+		}
+		return nil
+	}
+	if dec.Dup {
+		e.n.dups.Add(1)
+		if inst != nil {
+			inst.dups.Inc()
+			inst.site.dups.Inc()
+		}
+	}
+	if bps := e.lk.faults.BytesPerSecond; bps > 0 {
+		// Bandwidth cap as sender backpressure: block for the
+		// serialization time, like a saturated NIC queue.
+		time.Sleep(time.Duration(float64(len(datagram)) / float64(bps) * float64(time.Second)))
+	}
+	if dec.delay > 0 {
+		if dec.Reorder {
+			e.n.reorders.Add(1)
+			if inst != nil {
+				inst.reorders.Inc()
+				inst.site.reorders.Inc()
+			}
+		} else {
+			e.n.delays.Add(1)
+			if inst != nil {
+				inst.delays.Inc()
+				inst.site.delays.Inc()
+			}
+		}
+		// Deliver late and asynchronously: later sends on this link
+		// overtake the held datagram, which is exactly how a delay
+		// spike reorders traffic. A send after the endpoint closed is
+		// swallowed by the inner transport's ErrClosed.
+		held := append([]byte(nil), datagram...)
+		dup := dec.Dup
+		time.AfterFunc(dec.delay, func() {
+			_ = e.inner.Send(held)
+			if dup {
+				_ = e.inner.Send(held)
+			}
+		})
+		return nil
+	}
+	if dec.Dup {
+		if err := e.inner.Send(datagram); err != nil {
+			return err
+		}
+	}
+	return e.inner.Send(datagram)
+}
+
+func (e *endpoint) Recv() ([]byte, error) { return e.inner.Recv() }
+
+func (e *endpoint) Close() error {
+	e.n.mu.Lock()
+	delete(e.n.eps, e)
+	e.n.mu.Unlock()
+	return e.inner.Close()
+}
+
+func (e *endpoint) RemoteAddr() string { return e.inner.RemoteAddr() }
+
+// String names the network for diagnostics.
+func (n *Network) String() string {
+	return fmt.Sprintf("fault.Network(seed=%d)", n.cfg.Seed)
+}

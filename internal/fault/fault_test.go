@@ -1,0 +1,278 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/transport/inproc"
+	"repro/internal/transport/transporttest"
+)
+
+// A zero-fault fault.Network must be indistinguishable from the fabric
+// it wraps: the full transport conformance suite runs through it.
+func TestZeroFaultConformance(t *testing.T) {
+	n := 0
+	transporttest.Run(t, func(t *testing.T) (transport.Network, func() string) {
+		f := inproc.New(inproc.LinkProfile{})
+		t.Cleanup(f.Close)
+		return NewNetwork(f, NetConfig{Seed: 1}), func() string {
+			n++
+			return fmt.Sprintf("site-%d", n)
+		}
+	})
+}
+
+// Host views must also be transparent with zero faults — they are what
+// the daemons actually dial through.
+func TestZeroFaultHostViewConformance(t *testing.T) {
+	n := 0
+	transporttest.Run(t, func(t *testing.T) (transport.Network, func() string) {
+		f := inproc.New(inproc.LinkProfile{})
+		t.Cleanup(f.Close)
+		return NewNetwork(f, NetConfig{Seed: 1}).Host("conformance-host"), func() string {
+			n++
+			return fmt.Sprintf("hsite-%d", n)
+		}
+	})
+}
+
+// Same (config, seed, link) must always produce the same fault
+// schedule; different seeds and different links must diverge.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := LinkFaults{
+		DropProb: 0.2, DupProb: 0.1,
+		DelayProb: 0.3, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond,
+		ReorderProb: 0.2, ReorderBy: 2 * time.Millisecond,
+	}
+	a := Schedule(cfg, 42, "s0", "s1", 256)
+	b := Schedule(cfg, 42, "s0", "s1", 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (config, seed, link) produced different schedules")
+	}
+	if reflect.DeepEqual(a, Schedule(cfg, 43, "s0", "s1", 256)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if reflect.DeepEqual(a, Schedule(cfg, 42, "s0", "s2", 256)) {
+		t.Fatal("different links produced identical schedules")
+	}
+	var faults int
+	for _, d := range a {
+		if d.Drop || d.Dup || d.Reorder || d.DelayUS > 0 {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("schedule injected nothing at these probabilities")
+	}
+}
+
+// A live Network must apply exactly the pure Schedule: the drop
+// pattern observed on a link equals the precomputed decisions.
+func TestLiveNetworkFollowsSchedule(t *testing.T) {
+	const seed, msgs = 7, 64
+	cfg := LinkFaults{DropProb: 0.5}
+	f := inproc.New(inproc.LinkProfile{})
+	defer f.Close()
+	n := NewNetwork(f, NetConfig{Seed: seed, Default: cfg})
+
+	l, err := n.Listen("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		ep, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := ep.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	ep, err := n.Host("src").Dial("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule(cfg, seed, "src", "dst", msgs)
+	var wantDrops uint64
+	for _, d := range want {
+		if d.Drop {
+			wantDrops++
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		if err := ep.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Totals().Drops; got != wantDrops {
+		t.Fatalf("live network dropped %d of %d, schedule says %d", got, msgs, wantDrops)
+	}
+}
+
+func recvLoop(l transport.Listener, got chan<- []byte) {
+	for {
+		ep, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			for {
+				b, err := ep.Recv()
+				if err != nil {
+					return
+				}
+				got <- b
+			}
+		}()
+	}
+}
+
+// Partitioned groups black-hole sends and refuse dials; Heal restores
+// both directions on the existing endpoints.
+func TestPartitionAndHeal(t *testing.T) {
+	f := inproc.New(inproc.LinkProfile{})
+	defer f.Close()
+	n := NewNetwork(f, NetConfig{Seed: 1})
+
+	l, err := n.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 16)
+	go recvLoop(l, got)
+
+	ep, err := n.Host("a").Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	if string(<-got) != "pre" {
+		t.Fatal("pre-partition datagram mangled")
+	}
+
+	n.Partition(1, "b")
+	if err := ep.Send([]byte("hole")); err != nil {
+		t.Fatalf("partitioned send must black-hole, got error %v", err)
+	}
+	if _, err := n.Host("a").Dial("b"); !errors.Is(err, transport.ErrPartitioned) {
+		t.Fatalf("cross-partition dial: got %v, want ErrPartitioned", err)
+	}
+	select {
+	case b := <-got:
+		t.Fatalf("datagram %q crossed a partition", b)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if n.Totals().PartitionDrops == 0 {
+		t.Fatal("partition drop not counted")
+	}
+
+	n.Heal()
+	if err := ep.Send([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if string(b) != "post" {
+			t.Fatalf("post-heal datagram %q", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+// KillSite cuts every endpoint touching the address and refuses new
+// dials; a fresh Listen revives the address.
+func TestKillSiteAndRevive(t *testing.T) {
+	f := inproc.New(inproc.LinkProfile{})
+	defer f.Close()
+	n := NewNetwork(f, NetConfig{Seed: 1})
+
+	l, err := n.Listen("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := n.Host("peer").Dial("victim"); err != nil {
+		t.Fatal(err)
+	}
+
+	n.KillSite("victim")
+	if _, err := n.Host("peer").Dial("victim"); err == nil {
+		t.Fatal("dial to a killed site succeeded")
+	}
+
+	l2, err := n.Listen("victim")
+	if err != nil {
+		t.Fatalf("revive Listen: %v", err)
+	}
+	defer l2.Close()
+	go func() {
+		for {
+			if _, err := l2.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := n.Host("peer").Dial("victim"); err != nil {
+		t.Fatalf("dial after revive: %v", err)
+	}
+}
+
+// Injected faults must surface in the site's metrics registry under the
+// fault.* prefix, both per-site and per-link.
+func TestFaultMetricsVisible(t *testing.T) {
+	cfg := LinkFaults{DropProb: 1}
+	f := inproc.New(inproc.LinkProfile{})
+	defer f.Close()
+	n := NewNetwork(f, NetConfig{Seed: 1, Default: cfg})
+
+	reg := metrics.NewRegistry()
+	n.BindMetrics("src", reg)
+
+	l, err := n.Listen("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	ep, err := n.Host("src").Dial("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := ep.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	byName := make(map[string]int64)
+	for _, s := range snap {
+		byName[s.Name] = s.Value
+	}
+	if byName["fault.drops"] != 8 {
+		t.Fatalf("fault.drops = %v, want 8 (snapshot %v)", byName["fault.drops"], byName)
+	}
+	if byName["fault.link.dst.drops"] != 8 {
+		t.Fatalf("fault.link.dst.drops = %v, want 8", byName["fault.link.dst.drops"])
+	}
+}

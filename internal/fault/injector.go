@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/msgbus"
+)
+
+// Injector applies site-lifecycle faults to a chaos cluster: hard
+// crashes (no sign-off), graceful leaves, dispatch stalls, and
+// crash-then-rejoin. It is driven by the scenario engine but usable
+// directly from tests.
+//
+// Counters land in site 0's metrics registry (the submitter, which
+// scenarios never kill) so one `sdvmstat -metrics` against it shows the
+// whole run's injected site faults next to the per-link fault.* series.
+type Injector struct {
+	c *Cluster
+
+	crashes *metrics.Counter
+	leaves  *metrics.Counter
+	stalls  *metrics.Counter
+	rejoins *metrics.Counter
+
+	mu sync.Mutex
+	// stalled tracks buses with a pending Resume so ResumeAll can
+	// release them even if the scenario ends mid-stall. guarded by mu
+	stalled map[*msgbus.Bus]bool
+}
+
+// NewInjector binds an injector (and its fault counters) to c.
+func NewInjector(c *Cluster) *Injector {
+	in := &Injector{c: c, stalled: make(map[*msgbus.Bus]bool)}
+	if len(c.Sites) > 0 && c.Sites[0].D.Metrics != nil {
+		reg := c.Sites[0].D.Metrics
+		in.crashes = reg.Counter("fault.site_crashes")
+		in.leaves = reg.Counter("fault.site_leaves")
+		in.stalls = reg.Counter("fault.site_stalls")
+		in.rejoins = reg.Counter("fault.site_rejoins")
+	}
+	return in
+}
+
+// site fetches slot i's current instance, requiring liveness want.
+func (in *Injector) site(i int, want bool) (*Site, error) {
+	if i < 0 || i >= len(in.c.Sites) {
+		return nil, fmt.Errorf("fault: no site %d", i)
+	}
+	s := in.c.Sites[i]
+	if s.Alive != want {
+		state := "dead"
+		if s.Alive {
+			state = "alive"
+		}
+		return nil, fmt.Errorf("fault: site %d (%s) is %s", i, s.Addr, state)
+	}
+	return s, nil
+}
+
+// Crash kills site i like a machine death: its links are cut first (so
+// in-flight sends black-hole, exactly as a yanked cable would) and the
+// daemon is stopped with no sign-off. Peers find out via heartbeats.
+func (in *Injector) Crash(i int) error {
+	s, err := in.site(i, true)
+	if err != nil {
+		return err
+	}
+	in.c.Net.KillSite(s.Addr)
+	s.D.Kill()
+	s.Alive = false
+	in.crashes.Inc()
+	return nil
+}
+
+// Leave signs site i off gracefully: frames relocate, peers are told.
+func (in *Injector) Leave(i int) error {
+	s, err := in.site(i, true)
+	if err != nil {
+		return err
+	}
+	err = s.D.SignOff()
+	s.Alive = false
+	in.leaves.Inc()
+	return err
+}
+
+// Stall freezes site i's message dispatch for d: the site stops
+// consuming bus traffic (including heartbeat probes) but its own
+// outstanding requests still complete — a GC pause or overloaded host,
+// not a crash. Dispatch resumes automatically after d.
+func (in *Injector) Stall(i int, d time.Duration) error {
+	s, err := in.site(i, true)
+	if err != nil {
+		return err
+	}
+	bus := s.D.Bus
+	bus.Pause()
+	in.mu.Lock()
+	in.stalled[bus] = true
+	in.mu.Unlock()
+	in.stalls.Inc()
+	time.AfterFunc(d, func() {
+		in.mu.Lock()
+		delete(in.stalled, bus)
+		in.mu.Unlock()
+		bus.Resume()
+	})
+	return nil
+}
+
+// ResumeAll releases every stall still pending; the scenario engine
+// calls it before checking invariants so a run never ends frozen.
+func (in *Injector) ResumeAll() {
+	in.mu.Lock()
+	buses := make([]*msgbus.Bus, 0, len(in.stalled))
+	for b := range in.stalled {
+		buses = append(buses, b)
+	}
+	in.stalled = make(map[*msgbus.Bus]bool)
+	in.mu.Unlock()
+	for _, b := range buses {
+		b.Resume()
+	}
+}
+
+// Rejoin replaces dead site i with a fresh instance: a new address, a
+// new logical id, an empty memory — the checkpoint/recovery machinery,
+// not the newcomer, must restore the lost work.
+func (in *Injector) Rejoin(i int) error {
+	s, err := in.site(i, false)
+	if err != nil {
+		return err
+	}
+	fresh, err := in.c.startSite(i, s.Gen+1)
+	if err != nil {
+		return err
+	}
+	in.c.Retired = append(in.c.Retired, s)
+	in.c.Sites[i] = fresh
+	in.rejoins.Inc()
+	return nil
+}

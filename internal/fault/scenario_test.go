@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Every canned scenario must hold every invariant. This is the same
+// suite CI's chaos job runs via sdvmchaos; running it under `go test`
+// keeps `-race` on the whole engine in the ordinary test flow too.
+func TestCannedScenarios(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) < 6 {
+		t.Fatalf("only %d canned scenarios, want >= 6", len(scenarios))
+	}
+	if testing.Short() {
+		scenarios = scenarios[:1]
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ck := range rep.Invariants {
+				if !ck.OK {
+					t.Errorf("invariant %s: %s", ck.Name, ck.Detail)
+				}
+			}
+		})
+	}
+}
+
+// The JSON report is a pure function of (scenario, seed): two live runs
+// must serialize byte-identically.
+func TestReportReproducible(t *testing.T) {
+	sc, ok := Lookup("lossy-link")
+	if !ok {
+		t.Fatal("lossy-link scenario missing")
+	}
+	var blobs [2][]byte
+	for i := range blobs {
+		rep, err := Run(sc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = b
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("same scenario+seed produced different reports:\n%s\n%s", blobs[0], blobs[1])
+	}
+}
+
+// Different seeds must change the fault schedule in the report.
+func TestReportSeedSensitive(t *testing.T) {
+	sc, _ := Lookup("lossy-link")
+	a := Schedule(sc.Link, 1, siteAddr(0, 0), siteAddr(1, 0), 16)
+	b := Schedule(sc.Link, 2, siteAddr(0, 0), siteAddr(1, 0), 16)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if bytes.Equal(aj, bj) {
+		t.Fatal("seed does not influence the schedule preview")
+	}
+}
+
+// The injector must refuse nonsense transitions.
+func TestInjectorRefusesBadTransitions(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Sites: 2, Seed: 1, Checkpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inj := NewInjector(c)
+	if err := inj.Rejoin(1); err == nil {
+		t.Error("rejoin of a live site succeeded")
+	}
+	if err := inj.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Crash(1); err == nil {
+		t.Error("double crash succeeded")
+	}
+	if err := inj.Leave(1); err == nil {
+		t.Error("leave of a dead site succeeded")
+	}
+	if err := inj.Crash(7); err == nil {
+		t.Error("crash of an unknown site succeeded")
+	}
+	if err := inj.Rejoin(1); err != nil {
+		t.Fatalf("rejoin after crash: %v", err)
+	}
+	if !poll(5*time.Second, func() bool { return c.Sites[0].D.CM.Size() == 2 }) {
+		t.Fatal("rejoined site never reached the roster")
+	}
+}
+
+// A stall must freeze dispatch without killing the site: the stalled
+// site stays in the roster and resumes on schedule.
+func TestStallResumes(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Sites: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inj := NewInjector(c)
+	if err := inj.Stall(1, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !poll(5*time.Second, func() bool {
+		reply, err := c.Sites[0].D.Bus.Request(c.Sites[1].D.Self(),
+			types.MgrCluster, types.MgrCluster, &wire.Ping{Nonce: 9}, 300*time.Millisecond)
+		if err != nil {
+			return false
+		}
+		pong, ok := reply.Payload.(*wire.Pong)
+		return ok && pong.Nonce == 9
+	}) {
+		t.Fatal("stalled site never resumed dispatch")
+	}
+}

@@ -22,10 +22,12 @@ package memory
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/metrics"
 	"repro/internal/msgbus"
 	"repro/internal/trace"
@@ -114,6 +116,21 @@ type Manager struct {
 	// SendFor or fetch backoff never outlives the site.
 	done      chan struct{}
 	closeOnce sync.Once
+
+	rngMu sync.Mutex
+	// rng jitters retry backoff so sites that miss the same owner at
+	// the same moment don't re-collide every round. Seeded per site by
+	// the daemon (SetSeed) to keep chaos runs reproducible. guarded by rngMu
+	rng *rand.Rand
+}
+
+// retryPolicy paces parameter-send and fetch retries: directory updates
+// propagate in a few ms, so start just above that and cap well below the
+// crash-detection timescale. Jitter desynchronises competing fetchers.
+var retryPolicy = backoff.Policy{
+	Min:    5 * time.Millisecond,
+	Max:    100 * time.Millisecond,
+	Jitter: 0.5,
 }
 
 // memMetrics bundles the attraction memory's instruments; every field is
@@ -198,6 +215,7 @@ func New(bus *msgbus.Bus, fire FireFunc) *Manager {
 		cacheEnabled:   true,
 		fetching:       make(map[types.GlobalAddr]chan struct{}),
 		done:           make(chan struct{}),
+		rng:            rand.New(rand.NewSource(1)),
 	}
 	m.traffic = func(types.ProgramID, int) {}
 	bus.Register(types.MgrMemory, m)
@@ -206,6 +224,21 @@ func New(bus *msgbus.Bus, fire FireFunc) *Manager {
 
 // SetTracer installs the event tracer (nil = off).
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// SetSeed reseeds the retry-jitter RNG. The daemon calls it once at
+// construction with a per-site seed so chaos runs are reproducible.
+func (m *Manager) SetSeed(seed int64) {
+	m.rngMu.Lock()
+	m.rng = rand.New(rand.NewSource(seed))
+	m.rngMu.Unlock()
+}
+
+// retryDelay computes the jittered backoff for the given retry attempt.
+func (m *Manager) retryDelay(attempt int) time.Duration {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return retryPolicy.Delay(attempt, m.rng)
+}
 
 // Close interrupts every in-flight retry pause. Idempotent; called by
 // the daemon on SignOff and Kill.
@@ -356,7 +389,7 @@ func (m *Manager) SendFor(prog types.ProgramID, target wire.Target, data []byte)
 		}
 		lastErr = err
 		m.met.fetchRetries.Inc()
-		if !m.pause(time.Duration(10*(attempt+1)) * time.Millisecond) {
+		if !m.pause(m.retryDelay(attempt)) {
 			break // shutting down: the send can never succeed now
 		}
 	}
@@ -560,7 +593,7 @@ func (m *Manager) fetch(addr types.GlobalAddr, migrate bool) (*wire.MemObject, e
 		}
 		lastErr = err
 		m.met.fetchRetries.Inc()
-		if !m.pause(time.Duration(10*(round+1)) * time.Millisecond) {
+		if !m.pause(m.retryDelay(round)) {
 			break // shutting down: stop chasing the directory
 		}
 	}

@@ -67,6 +67,12 @@ type Bus struct {
 	waiters map[uint64]chan *wire.Message
 	// closed marks the bus shut down for new requests. guarded by mu
 	closed bool
+	// pauseCh gates the dispatcher while non-nil (fault injection:
+	// a stalled site stops consuming bus messages; Resume closes the
+	// channel). Replies still complete — they bypass the dispatcher —
+	// so a stalled site looks slow, not dead, to its own requests.
+	// guarded by mu
+	pauseCh chan struct{}
 
 	handlersMu sync.RWMutex
 	handlers   [types.ManagerCount]Handler
@@ -203,6 +209,44 @@ func (b *Bus) Close() {
 		close(ch)
 	}
 	b.wg.Wait()
+}
+
+// Pause stalls the dispatcher before its next message: handlers stop
+// consuming until Resume. Messages keep queueing in the inbox (bounded),
+// exactly like a site whose event loop stopped being scheduled. Used by
+// the fault injector's stall fault; idempotent.
+func (b *Bus) Pause() {
+	b.mu.Lock()
+	if b.pauseCh == nil && !b.closed {
+		b.pauseCh = make(chan struct{})
+	}
+	b.mu.Unlock()
+}
+
+// Resume lifts a Pause. Idempotent; safe without a matching Pause.
+func (b *Bus) Resume() {
+	b.mu.Lock()
+	ch := b.pauseCh
+	b.pauseCh = nil
+	b.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// gate blocks while the bus is paused; Close unblocks it too so a
+// stalled site can still shut down.
+func (b *Bus) gate() {
+	b.mu.Lock()
+	ch := b.pauseCh
+	b.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case <-ch:
+	case <-b.done:
+	}
 }
 
 // Stats returns message counters (sent, received, dropped).
@@ -433,10 +477,12 @@ func (b *Bus) enqueue(m *wire.Message) {
 			ch <- m
 			return
 		}
-		// Late reply after timeout: drop.
-		b.dropped.Add(1)
-		b.met.countDropped()
-		return
+		// Late reply after timeout: fall through to the dispatcher
+		// instead of dropping. Replies can carry cargo that must not be
+		// destroyed (a HelpReply hands over a whole microframe); the
+		// destination manager decides whether a stale reply is salvage
+		// or noise. Handlers' type switches ignore reply payloads they
+		// don't expect.
 	}
 
 	select {
@@ -450,6 +496,7 @@ func (b *Bus) dispatchLoop() {
 	for {
 		select {
 		case m := <-b.inbox:
+			b.gate()
 			b.dispatch(m)
 		case <-b.done:
 			// Drain what is already queued, then stop.

@@ -155,6 +155,39 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// A reply that lands after the requester gave up must not be destroyed:
+// it is dispatched to the destination manager like an ordinary one-way
+// message, because replies can carry cargo (a HelpReply hands over a
+// whole microframe) whose loss would strand a computation.
+func TestLateReplyDispatched(t *testing.T) {
+	buses, _, _ := cluster(t, 2)
+	a, b := buses[0], buses[1]
+	b.Register(types.MgrScheduling, HandlerFunc(func(m *wire.Message) {
+		time.Sleep(150 * time.Millisecond) // outlive the requester's patience
+		_ = b.Reply(m, types.MgrScheduling, &wire.HelpReply{CantHelp: true})
+	}))
+	late := make(chan *wire.Message, 1)
+	a.Register(types.MgrScheduling, HandlerFunc(func(m *wire.Message) {
+		late <- m
+	}))
+	_, err := a.Request(b.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: a.Self()}, 30*time.Millisecond)
+	if !errors.Is(err, types.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	select {
+	case m := <-late:
+		if _, ok := m.Payload.(*wire.HelpReply); !ok {
+			t.Fatalf("late dispatch carried %T, want *wire.HelpReply", m.Payload)
+		}
+		if m.Reply == 0 {
+			t.Fatal("dispatched message lost its reply correlation id")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late reply was dropped instead of dispatched")
+	}
+}
+
 func TestErrorReplyBecomesError(t *testing.T) {
 	buses, _, _ := cluster(t, 2)
 	a, b := buses[0], buses[1]
@@ -283,7 +316,10 @@ func TestCloseFailsOutstandingRequests(t *testing.T) {
 	}
 }
 
-func TestLateReplyIsDropped(t *testing.T) {
+// A late reply whose destination manager has no handler registered
+// still ends in the drop counter — dispatch, not the reply path, makes
+// that call.
+func TestLateReplyWithoutHandlerIsDropped(t *testing.T) {
 	buses, _, _ := cluster(t, 2)
 	a, b := buses[0], buses[1]
 	b.Register(types.MgrCode, HandlerFunc(func(m *wire.Message) {
@@ -292,6 +328,8 @@ func TestLateReplyIsDropped(t *testing.T) {
 			_ = b.Reply(m, types.MgrCode, &wire.Pong{})
 		}()
 	}))
+	// a registers no MgrCode handler, so the dispatched late reply has
+	// nowhere to go.
 	_, err := a.Request(b.Self(), types.MgrCode, types.MgrCode, &wire.Ping{}, 30*time.Millisecond)
 	if !errors.Is(err, types.ErrTimeout) {
 		t.Fatalf("err = %v", err)
@@ -299,7 +337,7 @@ func TestLateReplyIsDropped(t *testing.T) {
 	time.Sleep(250 * time.Millisecond)
 	_, _, dropped := a.Stats()
 	if dropped == 0 {
-		t.Error("late reply not counted as dropped")
+		t.Error("unhandled late reply not counted as dropped")
 	}
 }
 

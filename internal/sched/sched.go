@@ -19,9 +19,11 @@
 package sched
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/msgbus"
@@ -72,6 +74,10 @@ type Config struct {
 	HelpRetryMax time.Duration
 	// MaxHelpFanout bounds how many distinct sites one help round asks.
 	MaxHelpFanout int
+	// Seed drives the help-retry jitter RNG, so idle sites that went
+	// hungry in the same round don't re-beg in lockstep. Zero means
+	// seed 1; the daemon passes a per-site seed for reproducible runs.
+	Seed int64
 	// NoCriticalPinning disables the §3.3 critical-path treatment
 	// (critical frames dispatch first and never migrate) for the A-7
 	// ablation.
@@ -122,6 +128,13 @@ type Manager struct {
 	readyKick   chan struct{}
 	done        chan struct{}
 	wg          sync.WaitGroup
+
+	// help paces the idle-site help-request poll; rng jitters it so
+	// starved sites spread out instead of re-begging in lockstep.
+	// guarded by rngMu (GetWork runs on every worker goroutine)
+	help  backoff.Policy
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// lastGrantor is the peer that most recently gave this site work;
 	// it is the first target of the next help round (work begets work:
@@ -229,9 +242,6 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, resolver Resolver, cfg Config) *M
 	if cfg.HelpRetryMin <= 0 {
 		cfg.HelpRetryMin = time.Millisecond
 	}
-	if cfg.HelpRetryMin <= 0 {
-		cfg.HelpRetryMin = 2 * time.Millisecond
-	}
 	if cfg.HelpRetryMax <= 0 {
 		// Polling is only the fallback: a turned-away requester is
 		// parked at the target, which pushes it the next executable
@@ -242,6 +252,9 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, resolver Resolver, cfg Config) *M
 	}
 	if cfg.MaxHelpFanout <= 0 {
 		cfg.MaxHelpFanout = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
 	m := &Manager{
 		bus:         bus,
@@ -255,6 +268,8 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, resolver Resolver, cfg Config) *M
 		readyKick:   make(chan struct{}, 1),
 		done:        make(chan struct{}),
 		knownProg:   func(types.ProgramID) bool { return true },
+		help:        backoff.Policy{Min: cfg.HelpRetryMin, Max: cfg.HelpRetryMax, Jitter: 0.5},
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
 	bus.Register(types.MgrScheduling, m)
 	return m
@@ -520,7 +535,7 @@ func (m *Manager) resolveLoop() {
 // GetWork blocks until a ready microframe is available and returns it,
 // issuing help requests to peers while idle. ok is false after Close.
 func (m *Manager) GetWork() (r *Ready, ok bool) {
-	backoff := m.cfg.HelpRetryMin
+	attempt := 0
 	for {
 		m.mu.Lock()
 		if m.closed {
@@ -558,27 +573,32 @@ func (m *Manager) GetWork() (r *Ready, ok bool) {
 				m.begging = false
 				m.mu.Unlock()
 				if helped {
-					backoff = m.cfg.HelpRetryMin
+					attempt = 0
 					continue
 				}
 			}
 		}
 
-		timer := time.NewTimer(backoff)
+		timer := time.NewTimer(m.helpDelay(attempt))
 		select {
 		case <-m.readyKick:
 			timer.Stop()
-			backoff = m.cfg.HelpRetryMin
+			attempt = 0
 		case <-timer.C:
-			backoff *= 2
-			if backoff > m.cfg.HelpRetryMax {
-				backoff = m.cfg.HelpRetryMax
-			}
+			attempt++
 		case <-m.done:
 			timer.Stop()
 			return nil, false
 		}
 	}
+}
+
+// helpDelay computes the jittered poll delay for an idle worker's n-th
+// consecutive empty-handed round.
+func (m *Manager) helpDelay(attempt int) time.Duration {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.help.Delay(attempt, m.rng)
 }
 
 // TryGetWork returns a ready frame if one is queued, without blocking or
@@ -894,6 +914,15 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 			}
 			m.mu.Unlock()
 			_ = m.bus.Reply(msg, types.MgrScheduling, &wire.HelpReply{CantHelp: true})
+		}
+	case *wire.HelpReply:
+		// A reply that arrived after the requester's timeout: the bus
+		// dispatches it here rather than dropping it. The granter has
+		// already surrendered the frame and logged the grant, so losing
+		// it now would strand the computation — salvage it exactly like
+		// a push.
+		if p.Frame != nil {
+			m.acceptForeignFrame(p.Frame, msg.Src)
 		}
 	case *wire.FramePush:
 		m.acceptForeignFrame(p.Frame, msg.Src)

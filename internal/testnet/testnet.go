@@ -13,6 +13,7 @@ import (
 	"repro/internal/msgbus"
 	"repro/internal/netmgr"
 	"repro/internal/security"
+	"repro/internal/transport"
 	"repro/internal/transport/inproc"
 	"repro/internal/types"
 )
@@ -36,14 +37,16 @@ type forwardResolver struct{ m *cluster.Manager }
 func (f *forwardResolver) PhysAddr(id types.SiteID) (string, error) { return f.m.PhysAddr(id) }
 func (f *forwardResolver) SiteIDs() []types.SiteID                  { return f.m.SiteIDs() }
 
-// NewNode wires a single site onto fab. The bus is started; the caller
-// attaches its manager-under-test and then Bootstrap()s or Join()s.
-func NewNode(t testing.TB, fab *inproc.Fabric, name string, cfg cluster.Config) *Node {
+// NewNode wires a single site onto net — usually an *inproc.Fabric, but
+// any transport.Network works (the chaos suite passes a fault-injecting
+// wrapper). The bus is started; the caller attaches its
+// manager-under-test and then Bootstrap()s or Join()s.
+func NewNode(t testing.TB, net transport.Network, name string, cfg cluster.Config) *Node {
 	t.Helper()
 	n := &Node{Name: name}
 	cfg.PhysAddr = name
 	fwd := &forwardResolver{}
-	n.Net = netmgr.New(fab, security.Plaintext{}, func(d []byte) { n.Bus.OnDatagram(d) })
+	n.Net = netmgr.New(net, security.Plaintext{}, func(d []byte) { n.Bus.OnDatagram(d) })
 	n.Bus = msgbus.New(fwd, n.Net)
 	n.CM = cluster.New(n.Bus, cfg)
 	fwd.m = n.CM
@@ -91,12 +94,21 @@ func NewCluster(t testing.TB, n int, attach func(i int, node *Node)) []*Node {
 // WaitFor polls cond until it holds or a 10s deadline expires.
 func WaitFor(t testing.TB, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	if !Poll(10*time.Second, cond) {
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+// Poll polls cond every 2ms until it holds (true) or timeout expires
+// (false). Exported for non-test harnesses (the chaos runner) that need
+// the same settle-wait without a testing.TB.
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		if cond() {
-			return
+			return true
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	t.Fatalf("timed out waiting for %s", what)
+	return cond()
 }
