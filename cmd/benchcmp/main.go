@@ -1,0 +1,120 @@
+// Command benchcmp compares two sdvm-bench JSON reports and fails when a
+// watched value regressed beyond a tolerance. CI uses it to hold the
+// benchmark trajectory: a fresh BENCH_2.json run must not be more than
+// 10 % slower than the committed BENCH_1.json point on the overhead
+// experiment's 1-site wall-clock.
+//
+// Usage:
+//
+//	benchcmp -base BENCH_1.json -new BENCH_2.json \
+//	         -exp overhead -value sdvm_ms -max-regress 0.10
+//
+// The watched value must exist in both reports' named experiment. All
+// other values the two experiments share are printed for the log but
+// not enforced.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+func load(path string) (*bench.Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func find(r *bench.Report, exp string) (bench.Summary, error) {
+	for _, s := range r.Experiments {
+		if s.Experiment == exp {
+			if s.Err != "" {
+				return s, fmt.Errorf("experiment %q recorded an error: %s", exp, s.Err)
+			}
+			return s, nil
+		}
+	}
+	return bench.Summary{}, fmt.Errorf("experiment %q not in report", exp)
+}
+
+func main() {
+	var (
+		basePath = flag.String("base", "BENCH_1.json", "baseline report")
+		newPath  = flag.String("new", "BENCH_2.json", "candidate report")
+		exp      = flag.String("exp", "overhead", "experiment to compare")
+		value    = flag.String("value", "sdvm_ms", "watched value inside the experiment")
+		maxReg   = flag.Float64("max-regress", 0.10, "tolerated relative increase of the watched value")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fail("%v", err)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	bs, err := find(base, *exp)
+	if err != nil {
+		fail("%s: %v", *basePath, err)
+	}
+	cs, err := find(cand, *exp)
+	if err != nil {
+		fail("%s: %v", *newPath, err)
+	}
+
+	// Print every shared value so the CI log shows the whole trajectory,
+	// not just the enforced number.
+	names := make([]string, 0, len(bs.Values))
+	for name := range bs.Values {
+		if _, ok := cs.Values[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %s (base %s @ %d CPUs -> new %s @ %d CPUs)\n",
+		*exp, *value, base.GoVersion, base.NumCPU, cand.GoVersion, cand.NumCPU)
+	for _, name := range names {
+		b, c := bs.Values[name], cs.Values[name]
+		delta := ""
+		if b != 0 {
+			delta = fmt.Sprintf("  (%+.1f%%)", 100*(c-b)/b)
+		}
+		fmt.Printf("  %-20s %14.3f -> %14.3f%s\n", name, b, c, delta)
+	}
+
+	b, ok := bs.Values[*value]
+	if !ok {
+		fail("%s: experiment %q has no value %q", *basePath, *exp, *value)
+	}
+	c, ok := cs.Values[*value]
+	if !ok {
+		fail("%s: experiment %q has no value %q", *newPath, *exp, *value)
+	}
+	if b <= 0 {
+		fail("baseline %s = %v is not positive; cannot compare", *value, b)
+	}
+	if reg := (c - b) / b; reg > *maxReg {
+		fail("%s.%s regressed %.1f%% (%.3f -> %.3f), tolerance %.0f%%",
+			*exp, *value, 100*reg, b, c, 100**maxReg)
+	}
+	fmt.Printf("benchcmp: %s.%s within tolerance (%.3f -> %.3f, limit +%.0f%%)\n",
+		*exp, *value, b, c, 100**maxReg)
+}

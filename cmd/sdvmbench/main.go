@@ -15,7 +15,12 @@
 //	sdvmbench -exp security          # A-3 encryption cost
 //	sdvmbench -exp idalloc           # A-4 id-allocation strategies
 //	sdvmbench -exp central           # A-5 central vs decentralized
+//	sdvmbench -exp memstress         # P-1 sharded attraction-memory throughput
+//	sdvmbench -exp helpstorm         # P-2 batched help grants + coalescing
 //	sdvmbench -exp all               # everything
+//
+// -exp also accepts a comma-separated list; the BENCH_2.json trajectory
+// point is `-exp overhead,memstress,helpstorm -json -out BENCH_2.json`.
 //
 // The -scale flag maps one Work unit to wall-clock microseconds; the
 // default 1000 (1 ms) runs the evaluation at roughly 1/30 of the paper's
@@ -34,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|all")
+		exp     = flag.String("exp", "all", "experiment(s), comma-separated: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|memstress|helpstorm|all")
 		full    = flag.Bool("full", false, "table1: run every published row (p up to 1000); slow")
 		scale   = flag.Int("scale", 1000, "wall-clock microseconds per Work unit")
 		cost    = flag.Float64("cost", 2.0, "Work units per prime-candidate test")
@@ -75,15 +80,21 @@ func main() {
 		return func(*bench.Summary) error { return f() }
 	}
 
-	all := *exp == "all"
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			want[e] = true
+		}
+	}
+	all := want["all"]
 	any := false
-	if all || *exp == "table1" {
+	if all || want["table1"] {
 		any = true
 		run("table1", "Table 1 — speedup of the parallel prime computation", plain(func() error {
 			return expTable1(spec, *cost, *full)
 		}))
 	}
-	if all || *exp == "overhead" {
+	if all || want["overhead"] {
 		any = true
 		run("overhead", "O-1 — SDVM overhead vs stand-alone sequential ([5]: ≈3 %)", func(s *bench.Summary) error {
 			if report == nil {
@@ -92,75 +103,93 @@ func main() {
 			return expOverhead(spec, *cost, s)
 		})
 	}
-	if all || *exp == "churn" {
+	if all || want["churn"] {
 		any = true
 		run("churn", "§3.4 — dynamic entry and exit at runtime", plain(func() error {
 			return expChurn(spec, *cost)
 		}))
 	}
-	if all || *exp == "crash" {
+	if all || want["crash"] {
 		any = true
 		run("crash", "§2.2/§6 — crash detection and recovery", plain(func() error {
 			return expCrash(spec, *cost)
 		}))
 	}
-	if all || *exp == "hetero" {
+	if all || want["hetero"] {
 		any = true
 		run("hetero", "§3.4 — heterogeneous cluster, on-the-fly compilation", plain(func() error {
 			return expHetero(spec, *cost)
 		}))
 	}
-	if all || *exp == "sched" {
+	if all || want["sched"] {
 		any = true
 		run("sched", "A-1 — scheduling policies (paper: FIFO local, LIFO help)", plain(func() error {
 			return expSched(spec, *cost)
 		}))
 	}
-	if all || *exp == "window" {
+	if all || want["window"] {
 		any = true
 		run("window", "A-2 — latency-hiding window (paper: ≈5)", plain(func() error {
 			return expWindow(spec)
 		}))
 	}
-	if all || *exp == "security" {
+	if all || want["security"] {
 		any = true
 		run("security", "A-3 — security manager on/off", plain(func() error {
 			return expSecurity(spec, *cost)
 		}))
 	}
-	if all || *exp == "idalloc" {
+	if all || want["idalloc"] {
 		any = true
 		run("idalloc", "A-4 — logical-id allocation strategies", plain(expIDAlloc))
 	}
-	if all || *exp == "replication" {
+	if all || want["replication"] {
 		any = true
 		run("replication", "A-6 — COMA read replication on/off (matmul)", plain(func() error {
 			return expReplication(spec)
 		}))
 	}
-	if all || *exp == "scale" {
+	if all || want["scale"] {
 		any = true
 		run("scale", "goal 5 — scalability curve", plain(func() error {
 			return expScale(spec, *cost)
 		}))
 	}
-	if all || *exp == "speeds" {
+	if all || want["speeds"] {
 		any = true
 		run("speeds", "§3.5 — load balancing across heterogeneous speeds", plain(func() error {
 			return expSpeeds(spec, *cost)
 		}))
 	}
-	if all || *exp == "pinning" {
+	if all || want["pinning"] {
 		any = true
 		run("pinning", "A-7 — critical-path scheduling hints on/off (§3.3)", plain(func() error {
 			return expPinning(spec, *cost)
 		}))
 	}
-	if all || *exp == "central" {
+	if all || want["central"] {
 		any = true
 		run("central", "A-5 — decentralized vs central scheduling", plain(func() error {
 			return expCentral(spec, *cost)
 		}))
+	}
+	if all || want["memstress"] {
+		any = true
+		run("memstress", "P-1 — sharded attraction-memory throughput, 1 vs 4 procs", func(s *bench.Summary) error {
+			if report == nil {
+				s = nil
+			}
+			return expMemStress(spec, s)
+		})
+	}
+	if all || want["helpstorm"] {
+		any = true
+		run("helpstorm", "P-2 — batched help grants and message coalescing", func(s *bench.Summary) error {
+			if report == nil {
+				s = nil
+			}
+			return expHelpStorm(spec, *cost, s)
+		})
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "sdvmbench: unknown experiment %q\n", *exp)
@@ -376,6 +405,52 @@ func expPinning(spec bench.Spec, cost float64) error {
 	}
 	fmt.Printf("    hints on: %v   off: %v\n",
 		res.With.Round(time.Millisecond), res.Without.Round(time.Millisecond))
+	return nil
+}
+
+func expMemStress(spec bench.Spec, sum *bench.Summary) error {
+	res, err := bench.MemStress(spec, 8, 16, 8000, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    GOMAXPROCS=1: %.0f ops/s   GOMAXPROCS=%d: %.0f ops/s   scaling: %.2fx   shard contention: %d\n",
+		res.Ops1, res.Procs, res.OpsN, res.Scaling, res.Contention)
+	fmt.Printf("    (a single-mutex manager pins scaling to ≈1x on any host; on a single-core\n")
+	fmt.Printf("     host the sharded one reads ≈1x too — contention is the signal there)\n")
+	if sum != nil {
+		sum.Values = map[string]float64{
+			"ops_per_sec_1p":   res.Ops1,
+			"ops_per_sec_np":   res.OpsN,
+			"procs":            float64(res.Procs),
+			"scaling":          res.Scaling,
+			"shard_contention": float64(res.Contention),
+		}
+	}
+	return nil
+}
+
+func expHelpStorm(spec bench.Spec, cost float64, sum *bench.Summary) error {
+	res, err := bench.HelpStorm(spec, 200, 20, cost)
+	if err != nil {
+		return err
+	}
+	avg := 0.0
+	if res.Grants > 0 {
+		avg = float64(res.GrantFrames) / float64(res.Grants)
+	}
+	fmt.Printf("    single grants: %v   batched+coalesced: %v\n",
+		res.Single.Round(time.Millisecond), res.Batched.Round(time.Millisecond))
+	fmt.Printf("    batched run: %d grants moved %d frames (avg %.1f/reply), %d messages coalesced\n",
+		res.Grants, res.GrantFrames, avg, res.Coalesced)
+	if sum != nil {
+		sum.Values = map[string]float64{
+			"single_ms":    float64(res.Single) / float64(time.Millisecond),
+			"batched_ms":   float64(res.Batched) / float64(time.Millisecond),
+			"grants":       float64(res.Grants),
+			"grant_frames": float64(res.GrantFrames),
+			"coalesced":    float64(res.Coalesced),
+		}
+	}
 	return nil
 }
 

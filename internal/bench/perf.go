@@ -1,0 +1,155 @@
+// Performance experiments behind the hot-path pass: sharded attraction
+// memory, batched help grants and per-peer message coalescing. These are
+// the P-experiments BENCH_2.json records next to the O-1 overhead point;
+// DESIGN.md §9 explains what each one locks in.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/workloads"
+)
+
+// MemStressResult is the P-1 sharded-memory throughput measurement.
+type MemStressResult struct {
+	Procs      int     // GOMAXPROCS of the parallel phase
+	Ops1       float64 // ops/sec with GOMAXPROCS=1
+	OpsN       float64 // ops/sec with GOMAXPROCS=Procs
+	Scaling    float64 // OpsN / Ops1
+	Contention uint64  // shard-lock waits over the whole run
+}
+
+// MemStress hammers one site's attraction memory from `workers`
+// goroutines doing partitioned writes and reads of their own objects,
+// once pinned to a single CPU and once at `procs`, and reports the
+// throughput ratio. On a single-mutex manager the ratio stays ≈1 no
+// matter how many CPUs the host has; the sharded manager tracks the
+// available parallelism (the ratio is necessarily ≈1 on a single-core
+// host too — the shard-contention counter is the signal there).
+func MemStress(spec Spec, workers, addrsPerWorker, rounds, procs int) (MemStressResult, error) {
+	s := spec
+	s.Sites = 1
+	s.Metrics = true
+	c, err := NewCluster(s)
+	if err != nil {
+		return MemStressResult{}, err
+	}
+	defer c.Close()
+	mem := c.Daemons[0].Mem
+
+	pid := types.MakeProgramID(1, 1)
+	addrs := make([]types.GlobalAddr, workers*addrsPerWorker)
+	for i := range addrs {
+		addrs[i] = mem.Alloc(pid, make([]byte, 64))
+	}
+
+	phase := func(p int) (float64, error) {
+		prev := runtime.GOMAXPROCS(p)
+		defer runtime.GOMAXPROCS(prev)
+		var (
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+		)
+		fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			mine := addrs[w*addrsPerWorker : (w+1)*addrsPerWorker]
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := make([]byte, 64)
+				for r := 0; r < rounds; r++ {
+					for _, a := range mine {
+						if err := mem.Write(a, 0, buf); err != nil {
+							fail(fmt.Errorf("worker %d write: %w", w, err))
+							return
+						}
+						if _, err := mem.Read(a); err != nil {
+							fail(fmt.Errorf("worker %d read: %w", w, err))
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(2*workers*addrsPerWorker*rounds) / elapsed.Seconds(), nil
+	}
+
+	ops1, err := phase(1)
+	if err != nil {
+		return MemStressResult{}, err
+	}
+	opsN, err := phase(procs)
+	if err != nil {
+		return MemStressResult{}, err
+	}
+	return MemStressResult{
+		Procs:      procs,
+		Ops1:       ops1,
+		OpsN:       opsN,
+		Scaling:    opsN / ops1,
+		Contention: mem.Stats().ShardContention,
+	}, nil
+}
+
+// HelpStormResult is the P-2 batched-grant / coalescing measurement.
+type HelpStormResult struct {
+	Single      time.Duration // HelpBatch=1, no coalescing (pre-batching behavior)
+	Batched     time.Duration // HelpBatch=8 + per-peer coalescing
+	Grants      int64         // batched run: help replies that granted frames
+	GrantFrames int64         // batched run: frames granted across those replies
+	Coalesced   int64         // batched run: messages delivered in multi-message envelopes
+}
+
+// HelpStorm runs the primes workload on a cluster whose idle sites keep
+// begging the busy one for work — the help-protocol hot path — once with
+// single-frame grants and once with batched grants plus per-peer message
+// coalescing, and reports the batching machinery's own counters from the
+// batched run.
+func HelpStorm(spec Spec, p, width int, cost float64) (HelpStormResult, error) {
+	s := spec
+	s.Sites = 4
+	s.Coalesce = false
+	s.HelpBatch = 1
+	single, err := RunPrimes(s, p, width, cost)
+	if err != nil {
+		return HelpStormResult{}, err
+	}
+
+	s.Coalesce = true
+	s.HelpBatch = 8
+	s.Metrics = true
+	c, err := NewCluster(s)
+	if err != nil {
+		return HelpStormResult{}, err
+	}
+	defer c.Close()
+	elapsed, raw, err := c.Run(workloads.PrimesApp(), workloads.PrimesArgs(p, width, cost)...)
+	if err != nil {
+		return HelpStormResult{}, err
+	}
+	primes := workloads.ParsePrimesResult(raw)
+	if len(primes) != p || primes[p-1] != workloads.NthPrime(p) {
+		return HelpStormResult{}, fmt.Errorf("bench: helpstorm result wrong (%d primes)", len(primes))
+	}
+	totals := c.MetricsTotals()
+	return HelpStormResult{
+		Single:  single,
+		Batched: elapsed,
+		// The grant histogram observes the batch size as a unitless
+		// Duration, so sum_ns is the total frames granted in batches.
+		Grants:      totals["sched.grant.batch.count"],
+		GrantFrames: totals["sched.grant.batch.sum_ns"],
+		Coalesced:   totals["net.coalesced"],
+	}, nil
+}

@@ -81,6 +81,13 @@ type Config struct {
 	LoadReportEvery time.Duration
 	// NoReadReplication disables COMA read replication (A-6 ablation).
 	NoReadReplication bool
+	// Coalesce enables per-peer small-message batching in the network
+	// manager: several datagrams to one peer travel in one sealed
+	// envelope. Liveness probes bypass the queue.
+	Coalesce bool
+	// HelpBatch caps how many frames one help reply may grant (0 =
+	// scheduler default; 1 restores single-frame grants).
+	HelpBatch int
 	// NoCriticalPinning disables the critical-path scheduling hints
 	// (A-7 ablation).
 	NoCriticalPinning bool
@@ -198,6 +205,9 @@ func New(cfg Config) *Daemon {
 
 	resolver := &busResolver{}
 	d.Net = netmgr.New(cfg.Network, cfg.Security, func(datagram []byte) { d.Bus.OnDatagram(datagram) })
+	if cfg.Coalesce {
+		d.Net.SetCoalescing(netmgr.Coalesce{Enabled: true})
+	}
 	d.Bus = msgbus.New(resolver, d.Net)
 	d.Net.SetMetrics(d.Metrics)
 	d.Bus.SetMetrics(d.Metrics)
@@ -223,6 +233,7 @@ func New(cfg Config) *Daemon {
 		LocalPolicy:       cfg.LocalPolicy,
 		HelpPolicy:        cfg.HelpPolicy,
 		NoCriticalPinning: cfg.NoCriticalPinning,
+		HelpBatch:         cfg.HelpBatch,
 		Seed:              siteSeed(cfg),
 	}
 	if cfg.CentralSched {

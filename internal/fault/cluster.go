@@ -27,6 +27,9 @@ type ClusterConfig struct {
 	// WorkUnit is the wall-clock span of one simulated Work unit
 	// (default 200µs).
 	WorkUnit time.Duration
+	// Batched enables message coalescing and wide help grants on every
+	// site (see Scenario.Batched).
+	Batched bool
 }
 
 // Site is one daemon instance in a chaos cluster. A rejoin after a
@@ -103,6 +106,10 @@ func (c *Cluster) startSite(index, gen int) (*Site, error) {
 		Metrics:       true,
 		TraceCapacity: 65536,
 		Seed:          c.cfg.Seed*1000 + int64(index) + 1,
+	}
+	if c.cfg.Batched {
+		cfg.Coalesce = true
+		cfg.HelpBatch = 8
 	}
 	if c.cfg.Checkpoint {
 		cfg.Checkpoint.Interval = 150 * time.Millisecond

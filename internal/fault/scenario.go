@@ -69,6 +69,13 @@ type Scenario struct {
 
 	// Checkpoint enables the crash-management stack.
 	Checkpoint bool `json:"checkpoint"`
+
+	// Batched runs the cluster with the hot-path batching knobs on:
+	// per-peer message coalescing and multi-frame help grants. Chaos
+	// coverage for the fast path — batched grants must survive crashes
+	// via the grant log, and coalesced envelopes must tolerate lossy
+	// links.
+	Batched bool `json:"batched,omitempty"`
 }
 
 // disruptive reports whether the scenario kills or isolates sites —
@@ -124,11 +131,12 @@ func Scenarios() []Scenario {
 				BytesPerSecond: 4 << 20,
 			},
 			Sites: 4, Primes: 40, Width: 8, Cost: 5,
+			Batched:  true,
 			Deadline: 30 * time.Second,
 		},
 		{
-			Name: "straggler-site",
-			Desc: "one site repeatedly freezes below the crash-declaration threshold; it must be waited out, not buried",
+			Name:  "straggler-site",
+			Desc:  "one site repeatedly freezes below the crash-declaration threshold; it must be waited out, not buried",
 			Sites: 4, Primes: 50, Width: 8, Cost: 5,
 			Checkpoint: true,
 			Steps: []Step{
@@ -138,8 +146,8 @@ func Scenarios() []Scenario {
 			Deadline: 30 * time.Second,
 		},
 		{
-			Name: "split-brain-heal",
-			Desc: "a minority site is cut off, declared crashed and recovered; the network heals and a fresh site takes its slot",
+			Name:  "split-brain-heal",
+			Desc:  "a minority site is cut off, declared crashed and recovered; the network heals and a fresh site takes its slot",
 			Sites: 4, Primes: 50, Width: 8, Cost: 10,
 			Checkpoint: true,
 			Steps: []Step{
@@ -151,8 +159,8 @@ func Scenarios() []Scenario {
 			Deadline: 40 * time.Second,
 		},
 		{
-			Name: "rolling-restart",
-			Desc: "every non-submitter site is hard-crashed and replaced in turn while the program runs",
+			Name:  "rolling-restart",
+			Desc:  "every non-submitter site is hard-crashed and replaced in turn while the program runs",
 			Sites: 4, Primes: 60, Width: 8, Cost: 25,
 			Checkpoint: true,
 			Steps: []Step{
@@ -166,8 +174,8 @@ func Scenarios() []Scenario {
 			Deadline: 45 * time.Second,
 		},
 		{
-			Name: "crash-during-checkpoint",
-			Desc: "a site dies between checkpoint epochs; replicas plus sender logs must reconstruct its state",
+			Name:  "crash-during-checkpoint",
+			Desc:  "a site dies between checkpoint epochs; replicas plus sender logs must reconstruct its state",
 			Sites: 4, Primes: 50, Width: 8, Cost: 20,
 			Checkpoint: true,
 			Steps: []Step{
@@ -177,10 +185,11 @@ func Scenarios() []Scenario {
 			Deadline: 40 * time.Second,
 		},
 		{
-			Name: "churn-storm",
-			Desc: "leaves, crashes, stalls and rejoins overlap — the paper's adaptive-cluster claim under concurrent churn",
+			Name:  "churn-storm",
+			Desc:  "leaves, crashes, stalls and rejoins overlap — the paper's adaptive-cluster claim under concurrent churn",
 			Sites: 5, Primes: 60, Width: 8, Cost: 20,
 			Checkpoint: true,
+			Batched:    true,
 			Steps: []Step{
 				{At: ms(250), Kind: StepLeave, Site: 4},
 				{At: ms(500), Kind: StepCrash, Site: 3},
@@ -241,6 +250,7 @@ func Run(sc Scenario, seed int64) (*Report, error) {
 		Seed:       seed,
 		Link:       sc.Link,
 		Checkpoint: sc.Checkpoint,
+		Batched:    sc.Batched,
 	})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,11 @@
 // the attraction memory checks whether this was the last missing
 // parameter. In this case the microframe has become executable and is
 // given to the scheduling manager."
+//
+// All address-keyed state is sharded: each global address hashes to one
+// of shardCount shards with its own mutex, so local reads, writes and
+// parameter applications on distinct addresses proceed in parallel
+// across cores instead of serializing on one manager-wide lock.
 package memory
 
 import (
@@ -39,9 +44,85 @@ import (
 // while we chase it, but never in a cycle longer than the cluster.
 const maxRedirects = 16
 
+// shardBits selects the shard count. 16 shards keep the per-shard
+// collision probability low at typical core counts while the fixed
+// array stays small enough to embed in the Manager.
+const (
+	shardBits  = 4
+	shardCount = 1 << shardBits
+)
+
 // FireFunc receives a microframe that just became executable. The daemon
 // wires this to the scheduling manager's Enqueue. It must not block.
 type FireFunc func(f *wire.Microframe)
+
+// memShard holds every piece of address-keyed state for one slice of
+// the address space. FrameID aliases GlobalAddr, so all maps concerning
+// one address land in the same shard and one lock covers its state
+// transitions (frame waiting → consumed, object resident → remote, …).
+type memShard struct {
+	mu sync.Mutex
+
+	// objects owned (resident) at this site, by address. guarded by mu
+	objects map[types.GlobalAddr]*wire.MemObject
+	// objOwner is the homesite directory for objects homed here:
+	// address -> site currently owning it. Entries exist only while the
+	// object lives elsewhere. guarded by mu
+	objOwner map[types.GlobalAddr]types.SiteID
+
+	// frames waiting (incomplete) at this site. guarded by mu
+	frames map[types.FrameID]*wire.Microframe
+	// frameOwner is the directory for frames homed here but currently
+	// held elsewhere (after migration at sign-off or help replies of
+	// incomplete frames). guarded by mu
+	frameOwner map[types.FrameID]types.SiteID
+
+	// remap overrides the homesite for addresses whose home left the
+	// cluster; learned from broadcast HomeUpdates during sign-off.
+	// guarded by mu
+	remap map[types.GlobalAddr]types.SiteID
+
+	// readCache holds validated read copies of remote objects
+	// (COMA read replication, paper §4: objects "migrate or even be
+	// copied to other sites"). Coherence is write-invalidate: the owner
+	// tracks a copyset per object and sends invalidations when the
+	// object changes or migrates. guarded by mu
+	readCache map[types.GlobalAddr][]byte
+	// copies is the owner-side copyset: sites holding read copies of a
+	// locally owned object. guarded by mu
+	copies map[types.GlobalAddr]map[types.SiteID]bool
+	// fetching single-flights remote reads: concurrent readers of one
+	// address share a single fetch instead of a thundering herd.
+	// guarded by mu
+	fetching map[types.GlobalAddr]chan struct{}
+
+	// consumed records frames that already fired, distinguishing the
+	// programming error "parameter for a consumed frame" from routing
+	// races worth retrying. guarded by mu
+	consumed map[types.FrameID]bool
+
+	// pendingRetries caps re-queues of parameters whose target frame is
+	// in flight, so a parameter for a frame that never materializes is
+	// eventually dropped instead of looping forever. guarded by mu
+	pendingRetries map[wire.Target]int
+}
+
+func (s *memShard) init() {
+	// Runs before the Manager is published, but taking the lock keeps
+	// the guarded-by discipline uniform (and costs nothing once).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = make(map[types.GlobalAddr]*wire.MemObject)
+	s.objOwner = make(map[types.GlobalAddr]types.SiteID)
+	s.frames = make(map[types.FrameID]*wire.Microframe)
+	s.frameOwner = make(map[types.FrameID]types.SiteID)
+	s.remap = make(map[types.GlobalAddr]types.SiteID)
+	s.readCache = make(map[types.GlobalAddr][]byte)
+	s.copies = make(map[types.GlobalAddr]map[types.SiteID]bool)
+	s.fetching = make(map[types.GlobalAddr]chan struct{})
+	s.consumed = make(map[types.FrameID]bool)
+	s.pendingRetries = make(map[wire.Target]int)
+}
 
 // Manager is one site's attraction memory.
 type Manager struct {
@@ -50,62 +131,27 @@ type Manager struct {
 	traffic func(prog types.ProgramID, bytes int)
 	tr      *trace.Tracer
 
-	mu        sync.Mutex
-	nextLocal uint64
+	nextLocal atomic.Uint64
 
-	// objects owned (resident) at this site, by address.
-	objects map[types.GlobalAddr]*wire.MemObject
-	// objOwner is the homesite directory for objects homed here:
-	// address -> site currently owning it. Entries exist only while the
-	// object lives elsewhere.
-	objOwner map[types.GlobalAddr]types.SiteID
+	// shards partitions all address-keyed state; see memShard.
+	shards [shardCount]memShard
 
-	// frames waiting (incomplete) at this site.
-	frames map[types.FrameID]*wire.Microframe
-	// frameOwner is the directory for frames homed here but currently
-	// held elsewhere (after migration at sign-off or help replies of
-	// incomplete frames).
-	frameOwner map[types.FrameID]types.SiteID
-
-	// remap overrides the homesite for addresses whose home left the
-	// cluster; learned from broadcast HomeUpdates during sign-off.
-	remap map[types.GlobalAddr]types.SiteID
-
-	// readCache holds validated read copies of remote objects
-	// (COMA read replication, paper §4: objects "migrate or even be
-	// copied to other sites"). Coherence is write-invalidate: the owner
-	// tracks a copyset per object and broadcasts MemInvalidate when the
-	// object changes or migrates.
-	readCache map[types.GlobalAddr][]byte
-	// copies is the owner-side copyset: sites holding read copies of a
-	// locally owned object.
-	copies map[types.GlobalAddr]map[types.SiteID]bool
 	// cacheEnabled allows the A-6 ablation to disable replication.
-	cacheEnabled bool
-	// fetching single-flights remote reads: concurrent readers of one
-	// address share a single fetch instead of a thundering herd.
-	fetching map[types.GlobalAddr]chan struct{}
+	cacheEnabled atomic.Bool
 
-	// consumed records frames that already fired, distinguishing the
-	// programming error "parameter for a consumed frame" from routing
-	// races worth retrying.
-	consumed map[types.FrameID]bool
-
-	// pendingRetries caps re-queues of parameters whose target frame is
-	// in flight, so a parameter for a frame that never materializes is
-	// eventually dropped instead of looping forever.
-	pendingRetries map[wire.Target]int
-
+	logMu sync.Mutex
 	// Sender-side logs for crash recovery ([4]): paramLog keeps every
 	// parameter sent to a remote frame, grantLog every frame handed to
 	// a peer (help replies, pushes). When a peer is declared crashed,
 	// Replay resends/re-injects them; duplicate applications are
 	// rejected by the Filled/consumed guards, and deterministic
 	// microthreads make re-execution converge on the same results.
+	// guarded by logMu
 	paramLog map[types.ProgramID][]loggedParam
+	// guarded by logMu
 	grantLog map[types.SiteID][]*wire.Microframe
 
-	stats Stats
+	counts counters
 
 	// met holds the metrics instruments. The zero value (all nil
 	// pointers) is fully inert, so no hot path needs an enabled check.
@@ -124,6 +170,27 @@ type Manager struct {
 	rng *rand.Rand
 }
 
+// shardFor maps an address to its shard. The multiply-xorshift mix
+// spreads sequentially allocated Local values (the common case) across
+// all shards instead of clustering them.
+func (m *Manager) shardFor(a types.GlobalAddr) *memShard {
+	h := a.Local*0x9e3779b97f4a7c15 + uint64(a.Home)*0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return &m.shards[h&(shardCount-1)]
+}
+
+// lockShard acquires s.mu, counting acquisitions that had to wait — the
+// mem.shard.contention counter is the sharding's own health signal: it
+// staying near zero under load means the partitioning works.
+func (m *Manager) lockShard(s *memShard) {
+	if s.mu.TryLock() {
+		return
+	}
+	m.counts.shardContention.Add(1)
+	m.met.shardContention.Inc()
+	s.mu.Lock()
+}
+
 // retryPolicy paces parameter-send and fetch retries: directory updates
 // propagate in a few ms, so start just above that and cap well below the
 // crash-detection timescale. Jitter desynchronises competing fetchers.
@@ -133,21 +200,39 @@ var retryPolicy = backoff.Policy{
 	Jitter: 0.5,
 }
 
+// counters hold the manager's statistics as atomics so hot paths can
+// bump them without widening any shard's critical section.
+type counters struct {
+	allocs          atomic.Uint64
+	localReads      atomic.Uint64
+	remoteReads     atomic.Uint64
+	localWrites     atomic.Uint64
+	remoteWrites    atomic.Uint64
+	paramsApplied   atomic.Uint64
+	framesFired     atomic.Uint64
+	migrations      atomic.Uint64
+	cacheHits       atomic.Uint64
+	invalidates     atomic.Uint64
+	invalidateAcks  atomic.Uint64
+	shardContention atomic.Uint64
+}
+
 // memMetrics bundles the attraction memory's instruments; every field is
 // nil-safe, so the zero value disables collection.
 type memMetrics struct {
-	localReads     *metrics.Counter
-	remoteReads    *metrics.Counter
-	cacheHits      *metrics.Counter
-	localWrites    *metrics.Counter
-	remoteWrites   *metrics.Counter
-	paramsApplied  *metrics.Counter
-	framesFired    *metrics.Counter
-	migrations     *metrics.Counter
-	fetchRetries   *metrics.Counter
-	invalidates    *metrics.Counter
-	invalidateAcks *metrics.Counter
-	invalidateRTT  *metrics.Histogram
+	localReads      *metrics.Counter
+	remoteReads     *metrics.Counter
+	cacheHits       *metrics.Counter
+	localWrites     *metrics.Counter
+	remoteWrites    *metrics.Counter
+	paramsApplied   *metrics.Counter
+	framesFired     *metrics.Counter
+	migrations      *metrics.Counter
+	fetchRetries    *metrics.Counter
+	invalidates     *metrics.Counter
+	invalidateAcks  *metrics.Counter
+	invalidateRTT   *metrics.Histogram
+	shardContention *metrics.Counter
 }
 
 // SetMetrics installs the instruments. Called once at daemon construction;
@@ -157,18 +242,19 @@ func (m *Manager) SetMetrics(reg *metrics.Registry) {
 		return
 	}
 	m.met = memMetrics{
-		localReads:     reg.Counter("mem.local_reads"),
-		remoteReads:    reg.Counter("mem.remote_reads"),
-		cacheHits:      reg.Counter("mem.cache_hits"),
-		localWrites:    reg.Counter("mem.local_writes"),
-		remoteWrites:   reg.Counter("mem.remote_writes"),
-		paramsApplied:  reg.Counter("mem.params_applied"),
-		framesFired:    reg.Counter("mem.frames_fired"),
-		migrations:     reg.Counter("mem.migrations"),
-		fetchRetries:   reg.Counter("mem.fetch_retries"),
-		invalidates:    reg.Counter("mem.invalidates"),
-		invalidateAcks: reg.Counter("mem.invalidate_acks"),
-		invalidateRTT:  reg.Histogram("mem.invalidate_rtt", nil),
+		localReads:      reg.Counter("mem.local_reads"),
+		remoteReads:     reg.Counter("mem.remote_reads"),
+		cacheHits:       reg.Counter("mem.cache_hits"),
+		localWrites:     reg.Counter("mem.local_writes"),
+		remoteWrites:    reg.Counter("mem.remote_writes"),
+		paramsApplied:   reg.Counter("mem.params_applied"),
+		framesFired:     reg.Counter("mem.frames_fired"),
+		migrations:      reg.Counter("mem.migrations"),
+		fetchRetries:    reg.Counter("mem.fetch_retries"),
+		invalidates:     reg.Counter("mem.invalidates"),
+		invalidateAcks:  reg.Counter("mem.invalidate_acks"),
+		invalidateRTT:   reg.Histogram("mem.invalidate_rtt", nil),
+		shardContention: reg.Counter("mem.shard.contention"),
 	}
 	reg.GaugeFunc("mem.objects", func() int64 { return int64(m.ObjectCount()) })
 	reg.GaugeFunc("mem.frames_waiting", func() int64 { return int64(m.FrameCount()) })
@@ -182,41 +268,35 @@ type loggedParam struct {
 
 // Stats counts attraction-memory activity for the site manager.
 type Stats struct {
-	Allocs         uint64
-	LocalReads     uint64
-	RemoteReads    uint64
-	LocalWrites    uint64
-	RemoteWrites   uint64
-	ParamsApplied  uint64
-	FramesFired    uint64
-	Migrations     uint64
-	CacheHits      uint64 // reads served from a local replica
-	Invalidates    uint64 // replicas dropped after a remote write
-	InvalidateAcks uint64 // invalidation round-trips confirmed by a Barrier reply
+	Allocs          uint64
+	LocalReads      uint64
+	RemoteReads     uint64
+	LocalWrites     uint64
+	RemoteWrites    uint64
+	ParamsApplied   uint64
+	FramesFired     uint64
+	Migrations      uint64
+	CacheHits       uint64 // reads served from a local replica
+	Invalidates     uint64 // replicas dropped after a remote write
+	InvalidateAcks  uint64 // invalidation round-trips confirmed by a Barrier reply
+	ShardContention uint64 // shard-lock acquisitions that had to wait
 }
 
 // New returns an attraction memory bound to bus, delivering executable
 // frames through fire. It registers itself for MgrMemory.
 func New(bus *msgbus.Bus, fire FireFunc) *Manager {
 	m := &Manager{
-		bus:            bus,
-		fire:           fire,
-		objects:        make(map[types.GlobalAddr]*wire.MemObject),
-		objOwner:       make(map[types.GlobalAddr]types.SiteID),
-		frames:         make(map[types.FrameID]*wire.Microframe),
-		frameOwner:     make(map[types.FrameID]types.SiteID),
-		remap:          make(map[types.GlobalAddr]types.SiteID),
-		consumed:       make(map[types.FrameID]bool),
-		pendingRetries: make(map[wire.Target]int),
-		paramLog:       make(map[types.ProgramID][]loggedParam),
-		grantLog:       make(map[types.SiteID][]*wire.Microframe),
-		readCache:      make(map[types.GlobalAddr][]byte),
-		copies:         make(map[types.GlobalAddr]map[types.SiteID]bool),
-		cacheEnabled:   true,
-		fetching:       make(map[types.GlobalAddr]chan struct{}),
-		done:           make(chan struct{}),
-		rng:            rand.New(rand.NewSource(1)),
+		bus:      bus,
+		fire:     fire,
+		paramLog: make(map[types.ProgramID][]loggedParam),
+		grantLog: make(map[types.SiteID][]*wire.Microframe),
+		done:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(1)),
 	}
+	for i := range m.shards {
+		m.shards[i].init()
+	}
+	m.cacheEnabled.Store(true)
 	m.traffic = func(types.ProgramID, int) {}
 	bus.Register(types.MgrMemory, m)
 	return m
@@ -262,12 +342,15 @@ func (m *Manager) pause(d time.Duration) bool {
 // SetReadReplication toggles COMA read replication (default on); the
 // A-6 ablation measures its effect.
 func (m *Manager) SetReadReplication(enabled bool) {
-	m.mu.Lock()
-	m.cacheEnabled = enabled
+	m.cacheEnabled.Store(enabled)
 	if !enabled {
-		m.readCache = make(map[types.GlobalAddr][]byte)
+		for i := range m.shards {
+			s := &m.shards[i]
+			m.lockShard(s)
+			s.readCache = make(map[types.GlobalAddr][]byte)
+			s.mu.Unlock()
+		}
 	}
-	m.mu.Unlock()
 }
 
 // SetTrafficHook installs the accounting manager's meter for parameter
@@ -280,15 +363,25 @@ func (m *Manager) SetTrafficHook(f func(prog types.ProgramID, bytes int)) {
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Allocs:          m.counts.allocs.Load(),
+		LocalReads:      m.counts.localReads.Load(),
+		RemoteReads:     m.counts.remoteReads.Load(),
+		LocalWrites:     m.counts.localWrites.Load(),
+		RemoteWrites:    m.counts.remoteWrites.Load(),
+		ParamsApplied:   m.counts.paramsApplied.Load(),
+		FramesFired:     m.counts.framesFired.Load(),
+		Migrations:      m.counts.migrations.Load(),
+		CacheHits:       m.counts.cacheHits.Load(),
+		Invalidates:     m.counts.invalidates.Load(),
+		InvalidateAcks:  m.counts.invalidateAcks.Load(),
+		ShardContention: m.counts.shardContention.Load(),
+	}
 }
 
 // newAddr issues a fresh global address homed at this site.
 func (m *Manager) newAddr() types.GlobalAddr {
-	m.nextLocal++
-	return types.GlobalAddr{Home: m.bus.Self(), Local: m.nextLocal}
+	return types.GlobalAddr{Home: m.bus.Self(), Local: m.nextLocal.Add(1)}
 }
 
 // ---------------------------------------------------------------------------
@@ -299,15 +392,16 @@ func (m *Manager) newAddr() types.GlobalAddr {
 // — "it will receive a global memory address ... and is thus accessible
 // from all sites in the cluster" (paper §4).
 func (m *Manager) Alloc(prog types.ProgramID, data []byte) types.GlobalAddr {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	addr := m.newAddr()
-	m.objects[addr] = &wire.MemObject{
+	s := m.shardFor(addr)
+	m.lockShard(s)
+	s.objects[addr] = &wire.MemObject{
 		Addr:    addr,
 		Program: prog,
 		Data:    append([]byte(nil), data...),
 	}
-	m.stats.Allocs++
+	s.mu.Unlock()
+	m.counts.allocs.Add(1)
 	return addr
 }
 
@@ -315,23 +409,24 @@ func (m *Manager) Alloc(prog types.ProgramID, data []byte) types.GlobalAddr {
 // is executable immediately and goes straight to the scheduler; any other
 // frame waits in the attraction memory for its parameters.
 func (m *Manager) NewFrame(thread types.ThreadID, arity int, prio types.Priority, hint uint32, targets ...wire.Target) types.FrameID {
-	m.mu.Lock()
 	id := m.newAddr()
 	f := wire.NewMicroframe(id, thread, arity, targets...)
 	f.Prio = prio
 	f.Hint = hint
+	s := m.shardFor(id)
+	m.lockShard(s)
 	if arity == 0 {
-		m.consumed[id] = true
-		m.stats.FramesFired++
+		s.consumed[id] = true
+		s.mu.Unlock()
+		m.counts.framesFired.Add(1)
 		m.met.framesFired.Inc()
-		m.mu.Unlock()
 		m.tr.Record(trace.EvFrameCreated, id, thread, "zero arity")
 		m.tr.Record(trace.EvFrameFired, id, thread, "")
 		m.fire(f)
 		return id
 	}
-	m.frames[id] = f
-	m.mu.Unlock()
+	s.frames[id] = f
+	s.mu.Unlock()
 	m.tr.Record(trace.EvFrameCreated, id, thread, fmt.Sprintf("arity %d", arity))
 	return id
 }
@@ -340,22 +435,23 @@ func (m *Manager) NewFrame(thread types.ThreadID, arity int, prio types.Priority
 // waiting frame, sign-off relocation, checkpoint recovery). The frame's
 // homesite is informed so future parameters find it.
 func (m *Manager) AdoptFrame(f *wire.Microframe) {
-	m.mu.Lock()
-	if m.consumed[f.ID] {
-		m.mu.Unlock()
+	s := m.shardFor(f.ID)
+	m.lockShard(s)
+	if s.consumed[f.ID] {
+		s.mu.Unlock()
 		return
 	}
 	if f.Executable() {
-		m.consumed[f.ID] = true
-		m.stats.FramesFired++
+		s.consumed[f.ID] = true
+		s.mu.Unlock()
+		m.counts.framesFired.Add(1)
 		m.met.framesFired.Inc()
-		m.mu.Unlock()
 		m.fire(f)
 		return
 	}
-	m.frames[f.ID] = f
+	s.frames[f.ID] = f
+	s.mu.Unlock()
 	self := m.bus.Self()
-	m.mu.Unlock()
 	m.tr.Record(trace.EvReceived, f.ID, f.Thread, "incomplete frame adopted")
 
 	if f.ID.Home != self {
@@ -377,9 +473,9 @@ func (m *Manager) Send(target wire.Target, data []byte) error {
 func (m *Manager) SendFor(prog types.ProgramID, target wire.Target, data []byte) error {
 	if prog != 0 {
 		m.traffic(prog, len(data))
-		m.mu.Lock()
+		m.logMu.Lock()
 		m.paramLog[prog] = append(m.paramLog[prog], loggedParam{target, append([]byte(nil), data...)})
-		m.mu.Unlock()
+		m.logMu.Unlock()
 	}
 	var lastErr error
 	for attempt := 0; attempt < 8; attempt++ {
@@ -399,9 +495,39 @@ func (m *Manager) SendFor(prog types.ProgramID, target wire.Target, data []byte)
 // RecordGrant logs a frame handed to a peer, for re-injection if that
 // peer crashes before the frame's results are observed.
 func (m *Manager) RecordGrant(grantee types.SiteID, f *wire.Microframe) {
-	m.mu.Lock()
+	m.logMu.Lock()
 	m.grantLog[grantee] = append(m.grantLog[grantee], f.Clone())
-	m.mu.Unlock()
+	m.logMu.Unlock()
+}
+
+// ReclaimGrants removes and returns the logged grants to grantee whose
+// frame ids are in ids. The scheduler calls it when the help reply
+// carrying those frames could not be delivered (the requester signed
+// off gracefully, so no crash declaration will ever replay them).
+// Sharing logMu with OnSiteCrashed makes the hand-back atomic with
+// crash replay: a frame is either returned here or replayed there,
+// never both.
+func (m *Manager) ReclaimGrants(grantee types.SiteID, ids []types.FrameID) []*wire.Microframe {
+	want := make(map[types.FrameID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	m.logMu.Lock()
+	defer m.logMu.Unlock()
+	var reclaimed, kept []*wire.Microframe
+	for _, f := range m.grantLog[grantee] {
+		if want[f.ID] {
+			reclaimed = append(reclaimed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) == 0 {
+		delete(m.grantLog, grantee)
+	} else {
+		m.grantLog[grantee] = kept
+	}
+	return reclaimed
 }
 
 // OnSiteCrashed replays this site's logs after dead was declared
@@ -409,7 +535,7 @@ func (m *Manager) RecordGrant(grantee types.SiteID, f *wire.Microframe) {
 // and every logged parameter of still-running programs is resent (stale
 // copies are dropped at the receivers).
 func (m *Manager) OnSiteCrashed(dead types.SiteID, running func(types.ProgramID) bool) {
-	m.mu.Lock()
+	m.logMu.Lock()
 	granted := m.grantLog[dead]
 	delete(m.grantLog, dead)
 	var params []loggedParam
@@ -418,7 +544,7 @@ func (m *Manager) OnSiteCrashed(dead types.SiteID, running func(types.ProgramID)
 			params = append(params, entries...)
 		}
 	}
-	m.mu.Unlock()
+	m.logMu.Unlock()
 
 	for _, f := range granted {
 		if running == nil || running(f.Thread.Program) {
@@ -433,18 +559,19 @@ func (m *Manager) OnSiteCrashed(dead types.SiteID, running func(types.ProgramID)
 
 // trySend attempts one delivery. done=false means "retry may help".
 func (m *Manager) trySend(target wire.Target, data []byte) (done bool, err error) {
-	m.mu.Lock()
-	if f, ok := m.frames[target.Addr]; ok {
-		err := m.applyLocked(f, int(target.Slot), data)
-		m.mu.Unlock()
+	s := m.shardFor(target.Addr)
+	m.lockShard(s)
+	if f, ok := s.frames[target.Addr]; ok {
+		err := m.applyLocked(s, f, int(target.Slot), data)
+		s.mu.Unlock()
 		return true, err
 	}
-	if m.consumed[target.Addr] {
-		m.mu.Unlock()
+	if s.consumed[target.Addr] {
+		s.mu.Unlock()
 		return true, &types.AddrError{Err: types.ErrNoSuchFrame, Addr: target.Addr}
 	}
-	dst := m.routeFrameLocked(target.Addr)
-	m.mu.Unlock()
+	dst := m.routeFrameLocked(s, target.Addr)
+	s.mu.Unlock()
 
 	if dst == types.InvalidSite || dst == m.bus.Self() {
 		// Nobody known to hold it (yet): relocation in flight.
@@ -458,38 +585,38 @@ func (m *Manager) trySend(target wire.Target, data []byte) (done bool, err error
 	return true, nil
 }
 
-// applyLocked fills a slot of a locally held frame, firing it if
-// complete. Caller holds m.mu; the fire callback runs without the lock.
-func (m *Manager) applyLocked(f *wire.Microframe, slot int, data []byte) error {
+// applyLocked fills a slot of a frame held in shard s, firing it if
+// complete. Caller holds s.mu; the fire callback runs without the lock.
+func (m *Manager) applyLocked(s *memShard, f *wire.Microframe, slot int, data []byte) error {
 	fires, err := f.Apply(slot, data)
 	if err != nil {
 		return err
 	}
-	m.stats.ParamsApplied++
+	m.counts.paramsApplied.Add(1)
 	m.met.paramsApplied.Inc()
 	if !fires {
 		m.tr.Record(trace.EvParamApplied, f.ID, f.Thread, fmt.Sprintf("slot %d, %d missing", slot, f.Missing()))
 		return nil
 	}
-	delete(m.frames, f.ID)
-	m.consumed[f.ID] = true
-	m.stats.FramesFired++
+	delete(s.frames, f.ID)
+	s.consumed[f.ID] = true
+	m.counts.framesFired.Add(1)
 	m.met.framesFired.Inc()
 	fire := m.fire
-	m.mu.Unlock()
+	s.mu.Unlock()
 	m.tr.Record(trace.EvFrameFired, f.ID, f.Thread, fmt.Sprintf("last slot %d", slot))
 	fire(f)
-	m.mu.Lock()
+	m.lockShard(s)
 	return nil
 }
 
 // routeFrameLocked decides where a parameter for a non-resident frame
-// should go. Caller holds m.mu.
-func (m *Manager) routeFrameLocked(id types.FrameID) types.SiteID {
-	if owner, ok := m.frameOwner[id]; ok {
+// should go. Caller holds s.mu.
+func (m *Manager) routeFrameLocked(s *memShard, id types.FrameID) types.SiteID {
+	if owner, ok := s.frameOwner[id]; ok {
 		return owner
 	}
-	if owner, ok := m.remap[id]; ok {
+	if owner, ok := s.remap[id]; ok {
 		return owner
 	}
 	if id.Home != m.bus.Self() {
@@ -502,43 +629,44 @@ func (m *Manager) routeFrameLocked(id types.FrameID) types.SiteID {
 // its owner if it is not resident ("when they are needed, they migrate to
 // the corresponding site" — reads take a copy, write intent migrates).
 func (m *Manager) Read(addr types.GlobalAddr) ([]byte, error) {
+	s := m.shardFor(addr)
 	for {
-		m.mu.Lock()
-		if o, ok := m.objects[addr]; ok {
-			m.stats.LocalReads++
-			m.met.localReads.Inc()
+		m.lockShard(s)
+		if o, ok := s.objects[addr]; ok {
 			data := append([]byte(nil), o.Data...)
-			m.mu.Unlock()
+			s.mu.Unlock()
+			m.counts.localReads.Add(1)
+			m.met.localReads.Inc()
 			return data, nil
 		}
-		if data, ok := m.readCache[addr]; ok {
-			m.stats.CacheHits++
-			m.met.cacheHits.Inc()
+		if data, ok := s.readCache[addr]; ok {
 			out := append([]byte(nil), data...)
-			m.mu.Unlock()
+			s.mu.Unlock()
+			m.counts.cacheHits.Add(1)
+			m.met.cacheHits.Inc()
 			return out, nil
 		}
-		if wait, inflight := m.fetching[addr]; inflight && m.cacheEnabled {
+		if wait, inflight := s.fetching[addr]; inflight && m.cacheEnabled.Load() {
 			// Another microthread is already fetching this object;
 			// share its result instead of stampeding the owner.
-			m.mu.Unlock()
+			s.mu.Unlock()
 			<-wait
 			continue
 		}
 		done := make(chan struct{})
-		m.fetching[addr] = done
-		m.stats.RemoteReads++
+		s.fetching[addr] = done
+		s.mu.Unlock()
+		m.counts.remoteReads.Add(1)
 		m.met.remoteReads.Inc()
-		m.mu.Unlock()
 
 		o, err := m.fetch(addr, false)
-		m.mu.Lock()
-		if err == nil && m.cacheEnabled {
-			m.readCache[addr] = append([]byte(nil), o.Data...)
+		m.lockShard(s)
+		if err == nil && m.cacheEnabled.Load() {
+			s.readCache[addr] = append([]byte(nil), o.Data...)
 		}
-		delete(m.fetching, addr)
+		delete(s.fetching, addr)
 		close(done)
-		m.mu.Unlock()
+		s.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
@@ -549,25 +677,29 @@ func (m *Manager) Read(addr types.GlobalAddr) ([]byte, error) {
 // Attract migrates the object to this site (ownership transfer) and
 // returns a copy of its contents — COMA attraction on write intent.
 func (m *Manager) Attract(addr types.GlobalAddr) ([]byte, error) {
-	m.mu.Lock()
-	if o, ok := m.objects[addr]; ok {
+	s := m.shardFor(addr)
+	m.lockShard(s)
+	if o, ok := s.objects[addr]; ok {
 		data := append([]byte(nil), o.Data...)
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return data, nil
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 
 	o, err := m.fetch(addr, true)
 	if err != nil {
 		return nil, err
 	}
 
-	m.mu.Lock()
-	m.objects[addr] = o
-	m.stats.Migrations++
+	m.lockShard(s)
+	s.objects[addr] = o
+	// The resident object supersedes any replica we held; a stale one
+	// left here would resurface once the object migrates away again.
+	delete(s.readCache, addr)
+	s.mu.Unlock()
+	m.counts.migrations.Add(1)
 	m.met.migrations.Inc()
 	self := m.bus.Self()
-	m.mu.Unlock()
 
 	// Keep the homesite directory current.
 	if addr.Home != self {
@@ -603,9 +735,10 @@ func (m *Manager) fetch(addr types.GlobalAddr, migrate bool) (*wire.MemObject, e
 // fetchOnce runs one redirect chase. retry reports whether the failure
 // is plausibly transient (in-flight migration).
 func (m *Manager) fetchOnce(addr types.GlobalAddr, migrate bool) (obj *wire.MemObject, retry bool, err error) {
-	m.mu.Lock()
-	dst := m.routeObjectLocked(addr)
-	m.mu.Unlock()
+	s := m.shardFor(addr)
+	m.lockShard(s)
+	dst := m.routeObjectLocked(s, addr)
+	s.mu.Unlock()
 	if dst == types.InvalidSite {
 		return nil, false, &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
 	}
@@ -635,13 +768,13 @@ func (m *Manager) fetchOnce(addr types.GlobalAddr, migrate bool) (obj *wire.MemO
 
 // takeCopysetLocked removes and returns the copyset of addr, excluding
 // skip (the site whose action triggered the invalidation — it holds the
-// fresh version). Caller holds m.mu.
-func (m *Manager) takeCopysetLocked(addr types.GlobalAddr, skip types.SiteID) []types.SiteID {
-	cs, ok := m.copies[addr]
+// fresh version). Caller holds s.mu.
+func (m *Manager) takeCopysetLocked(s *memShard, addr types.GlobalAddr, skip types.SiteID) []types.SiteID {
+	cs, ok := s.copies[addr]
 	if !ok {
 		return nil
 	}
-	delete(m.copies, addr)
+	delete(s.copies, addr)
 	out := make([]types.SiteID, 0, len(cs))
 	for id := range cs {
 		if id != skip {
@@ -651,23 +784,37 @@ func (m *Manager) takeCopysetLocked(addr types.GlobalAddr, skip types.SiteID) []
 	return out
 }
 
-// sendInvalidates drops replica holders' copies of addr and waits for
-// their acknowledgements (bounded), so a writer that has been acked can
-// rely on no stale replica surviving anywhere.
-func (m *Manager) sendInvalidates(addr types.GlobalAddr, sites []types.SiteID) {
-	if len(sites) == 0 {
+// invalidation accumulates, per holder site, every address that site
+// must drop, so one batched round-trip per holder replaces one
+// round-trip per (holder, address) pair.
+type invalidation map[types.SiteID][]types.GlobalAddr
+
+// add records that every site in sites holds a stale copy of addr.
+func (inv invalidation) add(addr types.GlobalAddr, sites []types.SiteID) {
+	for _, id := range sites {
+		inv[id] = append(inv[id], addr)
+	}
+}
+
+// sendInvalidates drops replica holders' copies and waits for their
+// acknowledgements (bounded), so a writer that has been acked can rely
+// on no stale replica surviving anywhere. All addresses for one holder
+// travel in a single MemInvalidateBatch under one shared deadline.
+func (m *Manager) sendInvalidates(inv invalidation) {
+	if len(inv) == 0 {
 		return
 	}
+	deadline := time.Now().Add(500 * time.Millisecond)
 	var wg sync.WaitGroup
 	var acked atomic.Uint64
-	for _, id := range sites {
-		id := id
+	for id, addrs := range inv {
+		id, addrs := id, addrs
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			start := time.Now()
 			reply, err := m.bus.Request(id, types.MgrMemory, types.MgrMemory,
-				&wire.MemInvalidate{Addr: addr}, 500*time.Millisecond)
+				&wire.MemInvalidateBatch{Addrs: addrs}, time.Until(deadline))
 			if err != nil {
 				return // bounded wait: a dead replica holder cannot ack
 			}
@@ -678,19 +825,17 @@ func (m *Manager) sendInvalidates(addr types.GlobalAddr, sites []types.SiteID) {
 		}()
 	}
 	wg.Wait()
-	m.mu.Lock()
-	m.stats.InvalidateAcks += acked.Load()
+	m.counts.invalidateAcks.Add(acked.Load())
 	m.met.invalidateAcks.Add(acked.Load())
-	m.mu.Unlock()
 }
 
 // routeObjectLocked picks the first site to ask about addr. Caller holds
-// m.mu.
-func (m *Manager) routeObjectLocked(addr types.GlobalAddr) types.SiteID {
-	if owner, ok := m.objOwner[addr]; ok {
+// s.mu.
+func (m *Manager) routeObjectLocked(s *memShard, addr types.GlobalAddr) types.SiteID {
+	if owner, ok := s.objOwner[addr]; ok {
 		return owner
 	}
-	if owner, ok := m.remap[addr]; ok {
+	if owner, ok := s.remap[addr]; ok {
 		return owner
 	}
 	if addr.Home != m.bus.Self() {
@@ -702,22 +847,24 @@ func (m *Manager) routeObjectLocked(addr types.GlobalAddr) types.SiteID {
 // Write stores data at offset within the object, extending it if needed.
 // Non-resident objects are written in place at their owner.
 func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
-	m.mu.Lock()
-	if o, ok := m.objects[addr]; ok {
+	s := m.shardFor(addr)
+	m.lockShard(s)
+	if o, ok := s.objects[addr]; ok {
 		writeAt(o, offset, data)
-		m.stats.LocalWrites++
+		inv := invalidation{}
+		inv.add(addr, m.takeCopysetLocked(s, addr, types.InvalidSite))
+		s.mu.Unlock()
+		m.counts.localWrites.Add(1)
 		m.met.localWrites.Inc()
-		invalidate := m.takeCopysetLocked(addr, types.InvalidSite)
-		m.mu.Unlock()
-		m.sendInvalidates(addr, invalidate)
+		m.sendInvalidates(inv)
 		return nil
 	}
 	// A stale local replica must not survive our own write-through.
-	delete(m.readCache, addr)
-	m.stats.RemoteWrites++
+	delete(s.readCache, addr)
+	dst := m.routeObjectLocked(s, addr)
+	s.mu.Unlock()
+	m.counts.remoteWrites.Add(1)
 	m.met.remoteWrites.Inc()
-	dst := m.routeObjectLocked(addr)
-	m.mu.Unlock()
 	if dst == types.InvalidSite {
 		return &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
 	}
@@ -762,18 +909,36 @@ func writeAt(o *wire.MemObject, offset int, data []byte) {
 // before shutdown"). Peers are told the new owner so the directories
 // stay coherent even though this site is about to vanish.
 func (m *Manager) EvacuateTo(successor types.SiteID) error {
-	m.mu.Lock()
-	frames := make([]*wire.Microframe, 0, len(m.frames))
-	for _, f := range m.frames {
-		frames = append(frames, f.Clone())
+	var frames []*wire.Microframe
+	var objects []wire.MemObject
+	self := m.bus.Self()
+	for i := range m.shards {
+		s := &m.shards[i]
+		m.lockShard(s)
+		for id, f := range s.frames {
+			frames = append(frames, f.Clone())
+			// Leave a forwarding trail: parameters and reads already in
+			// flight toward this site keep arriving while the daemon
+			// drains its inbox, and the local retry timer dies with the
+			// bus — they must be forwarded, not parked.
+			if id.Home == self {
+				s.frameOwner[id] = successor
+			} else {
+				s.remap[id] = successor
+			}
+		}
+		for addr, o := range s.objects {
+			objects = append(objects, *o.Clone())
+			if addr.Home == self {
+				s.objOwner[addr] = successor
+			} else {
+				s.remap[addr] = successor
+			}
+		}
+		s.frames = make(map[types.FrameID]*wire.Microframe)
+		s.objects = make(map[types.GlobalAddr]*wire.MemObject)
+		s.mu.Unlock()
 	}
-	objects := make([]wire.MemObject, 0, len(m.objects))
-	for _, o := range m.objects {
-		objects = append(objects, *o.Clone())
-	}
-	m.frames = make(map[types.FrameID]*wire.Microframe)
-	m.objects = make(map[types.GlobalAddr]*wire.MemObject)
-	m.mu.Unlock()
 
 	// Tell everyone where the addresses homed or owned here now live,
 	// before moving the data, so in-flight traffic re-routes.
@@ -784,14 +949,17 @@ func (m *Manager) EvacuateTo(successor types.SiteID) error {
 	for i := range objects {
 		updates = append(updates, &wire.HomeUpdate{Addr: objects[i].Addr, Owner: successor})
 	}
-	m.mu.Lock()
-	for addr, owner := range m.objOwner {
-		updates = append(updates, &wire.HomeUpdate{Addr: addr, Owner: owner})
+	for i := range m.shards {
+		s := &m.shards[i]
+		m.lockShard(s)
+		for addr, owner := range s.objOwner {
+			updates = append(updates, &wire.HomeUpdate{Addr: addr, Owner: owner})
+		}
+		for id, owner := range s.frameOwner {
+			updates = append(updates, &wire.HomeUpdate{Addr: id, Owner: owner})
+		}
+		s.mu.Unlock()
 	}
-	for id, owner := range m.frameOwner {
-		updates = append(updates, &wire.HomeUpdate{Addr: id, Owner: owner})
-	}
-	m.mu.Unlock()
 	for _, u := range updates {
 		_ = m.bus.Send(types.Broadcast, types.MgrMemory, types.MgrMemory, u)
 	}
@@ -814,17 +982,20 @@ func (m *Manager) EvacuateTo(successor types.SiteID) error {
 // Snapshot returns deep copies of all resident frames and objects of one
 // program, for checkpointing.
 func (m *Manager) Snapshot(prog types.ProgramID) (frames []*wire.Microframe, objects []wire.MemObject) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, f := range m.frames {
-		if f.Thread.Program == prog {
-			frames = append(frames, f.Clone())
+	for i := range m.shards {
+		s := &m.shards[i]
+		m.lockShard(s)
+		for _, f := range s.frames {
+			if f.Thread.Program == prog {
+				frames = append(frames, f.Clone())
+			}
 		}
-	}
-	for _, o := range m.objects {
-		if o.Program == prog {
-			objects = append(objects, *o.Clone())
+		for _, o := range s.objects {
+			if o.Program == prog {
+				objects = append(objects, *o.Clone())
+			}
 		}
+		s.mu.Unlock()
 	}
 	return frames, objects
 }
@@ -834,13 +1005,15 @@ func (m *Manager) Snapshot(prog types.ProgramID) (frames []*wire.Microframe, obj
 // broadcast — the restored addresses' homesite is typically the dead
 // site, so a directed directory update would go nowhere.
 func (m *Manager) Restore(frames []*wire.Microframe, objects []wire.MemObject) {
-	m.mu.Lock()
 	for i := range objects {
 		o := objects[i]
-		m.objects[o.Addr] = &o
+		s := m.shardFor(o.Addr)
+		m.lockShard(s)
+		s.objects[o.Addr] = &o
+		delete(s.readCache, o.Addr)
+		s.mu.Unlock()
 	}
 	self := m.bus.Self()
-	m.mu.Unlock()
 
 	for i := range objects {
 		if objects[i].Addr.Home != self {
@@ -861,22 +1034,26 @@ func (m *Manager) Restore(frames []*wire.Microframe, objects []wire.MemObject) {
 // the program has terminated and thus its microthreads can safely be
 // deleted from memory", paper §4).
 func (m *Manager) DropProgram(prog types.ProgramID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for id, f := range m.frames {
-		if f.Thread.Program == prog {
-			delete(m.frames, id)
+	for i := range m.shards {
+		s := &m.shards[i]
+		m.lockShard(s)
+		for id, f := range s.frames {
+			if f.Thread.Program == prog {
+				delete(s.frames, id)
+			}
 		}
-	}
-	for addr, o := range m.objects {
-		if o.Program == prog {
-			delete(m.objects, addr)
-			delete(m.objOwner, addr)
+		for addr, o := range s.objects {
+			if o.Program == prog {
+				delete(s.objects, addr)
+				delete(s.objOwner, addr)
+			}
 		}
+		// Replicas are not program-tagged; drop them all (cheap, and a
+		// terminated program's addresses never resolve again anyway).
+		s.readCache = make(map[types.GlobalAddr][]byte)
+		s.mu.Unlock()
 	}
-	// Replicas are not program-tagged; drop them all (cheap, and a
-	// terminated program's addresses never resolve again anyway).
-	m.readCache = make(map[types.GlobalAddr][]byte)
+	m.logMu.Lock()
 	delete(m.paramLog, prog)
 	for grantee, frames := range m.grantLog {
 		kept := frames[:0]
@@ -887,31 +1064,43 @@ func (m *Manager) DropProgram(prog types.ProgramID) {
 		}
 		m.grantLog[grantee] = kept
 	}
+	m.logMu.Unlock()
 }
 
 // FrameCount returns the number of waiting frames (site statistics).
 func (m *Manager) FrameCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.frames)
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		m.lockShard(s)
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // ObjectCount returns the number of resident objects.
 func (m *Manager) ObjectCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.objects)
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		m.lockShard(s)
+		n += len(s.objects)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // TakeFrame removes and returns a specific waiting frame (used when a
 // help reply hands a waiting frame away — rare, but the scheduler may
 // relocate incomplete frames during load balancing).
 func (m *Manager) TakeFrame(id types.FrameID) (*wire.Microframe, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, ok := m.frames[id]
+	s := m.shardFor(id)
+	m.lockShard(s)
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if ok {
-		delete(m.frames, id)
+		delete(s.frames, id)
 	}
 	return f, ok
 }
@@ -931,13 +1120,12 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 	case *wire.MemMigrate:
 		m.handleMigrate(p)
 	case *wire.MemInvalidate:
-		m.mu.Lock()
-		if _, ok := m.readCache[p.Addr]; ok {
-			delete(m.readCache, p.Addr)
-			m.stats.Invalidates++
-			m.met.invalidates.Inc()
+		m.dropReplicas(p.Addr)
+		_ = m.bus.Reply(msg, types.MgrMemory, &wire.Barrier{})
+	case *wire.MemInvalidateBatch:
+		for _, addr := range p.Addrs {
+			m.dropReplicas(addr)
 		}
-		m.mu.Unlock()
 		_ = m.bus.Reply(msg, types.MgrMemory, &wire.Barrier{})
 	case *wire.HomeUpdate:
 		m.handleHomeUpdate(msg.Src, p)
@@ -948,22 +1136,38 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 	}
 }
 
+// dropReplicas discards the local read copy of addr, if any.
+func (m *Manager) dropReplicas(addr types.GlobalAddr) {
+	s := m.shardFor(addr)
+	m.lockShard(s)
+	_, ok := s.readCache[addr]
+	if ok {
+		delete(s.readCache, addr)
+	}
+	s.mu.Unlock()
+	if ok {
+		m.counts.invalidates.Add(1)
+		m.met.invalidates.Inc()
+	}
+}
+
 func (m *Manager) handleApplyParam(p *wire.ApplyParam) {
-	m.mu.Lock()
-	if f, ok := m.frames[p.Dst.Addr]; ok {
+	s := m.shardFor(p.Dst.Addr)
+	m.lockShard(s)
+	if f, ok := s.frames[p.Dst.Addr]; ok {
 		// Errors here are dataflow programming errors (double-filled
 		// slot); they are counted but cannot be reported to the remote
 		// sender meaningfully.
-		_ = m.applyLocked(f, int(p.Dst.Slot), p.Data)
-		m.mu.Unlock()
+		_ = m.applyLocked(s, f, int(p.Dst.Slot), p.Data)
+		s.mu.Unlock()
 		return
 	}
-	if m.consumed[p.Dst.Addr] {
-		m.mu.Unlock()
+	if s.consumed[p.Dst.Addr] {
+		s.mu.Unlock()
 		return
 	}
-	dst := m.routeFrameLocked(p.Dst.Addr)
-	m.mu.Unlock()
+	dst := m.routeFrameLocked(s, p.Dst.Addr)
+	s.mu.Unlock()
 
 	if dst != types.InvalidSite && dst != m.bus.Self() {
 		if err := m.bus.Send(dst, types.MgrMemory, types.MgrMemory, p); err == nil {
@@ -976,14 +1180,14 @@ func (m *Manager) handleApplyParam(p *wire.ApplyParam) {
 	// Frame not here and not (reachably) known elsewhere: likely
 	// in-flight. Retry shortly rather than dropping the parameter, but
 	// give up after ~5s so dead programs cannot loop forever.
-	m.mu.Lock()
-	m.pendingRetries[p.Dst]++
-	tries := m.pendingRetries[p.Dst]
-	m.mu.Unlock()
+	m.lockShard(s)
+	s.pendingRetries[p.Dst]++
+	tries := s.pendingRetries[p.Dst]
 	if tries > 100 {
-		m.mu.Lock()
-		delete(m.pendingRetries, p.Dst)
-		m.mu.Unlock()
+		delete(s.pendingRetries, p.Dst)
+	}
+	s.mu.Unlock()
+	if tries > 100 {
 		return
 	}
 	dup := &wire.ApplyParam{Dst: p.Dst, Data: p.Data}
@@ -993,43 +1197,45 @@ func (m *Manager) handleApplyParam(p *wire.ApplyParam) {
 }
 
 func (m *Manager) handleMemRead(msg *wire.Message, p *wire.MemRead) {
-	m.mu.Lock()
-	if o, ok := m.objects[p.Addr]; ok {
+	s := m.shardFor(p.Addr)
+	m.lockShard(s)
+	if o, ok := s.objects[p.Addr]; ok {
 		reply := &wire.MemReadReply{Found: true, Object: *o.Clone()}
-		var invalidate []types.SiteID
+		inv := invalidation{}
 		if p.Migrate {
-			delete(m.objects, p.Addr)
+			delete(s.objects, p.Addr)
 			if p.Addr.Home == m.bus.Self() {
-				m.objOwner[p.Addr] = msg.Src
+				s.objOwner[p.Addr] = msg.Src
 			} else {
 				// Transit hint: until the homesite directory catches
 				// up, requests that still arrive here are forwarded to
 				// the new owner instead of bouncing via the home.
-				m.remap[p.Addr] = msg.Src
+				s.remap[p.Addr] = msg.Src
 			}
-			m.stats.Migrations++
-			m.met.migrations.Inc()
 			// Ownership moves: replicas keyed to this owner's copyset
 			// are dropped (the new owner starts a fresh copyset).
-			invalidate = m.takeCopysetLocked(p.Addr, msg.Src)
+			inv.add(p.Addr, m.takeCopysetLocked(s, p.Addr, msg.Src))
+			s.mu.Unlock()
+			m.counts.migrations.Add(1)
+			m.met.migrations.Inc()
 		} else {
-			m.stats.LocalReads++
-			if m.cacheEnabled && msg.Src.Valid() && msg.Src != m.bus.Self() {
-				cs, ok := m.copies[p.Addr]
+			if m.cacheEnabled.Load() && msg.Src.Valid() && msg.Src != m.bus.Self() {
+				cs, ok := s.copies[p.Addr]
 				if !ok {
 					cs = make(map[types.SiteID]bool)
-					m.copies[p.Addr] = cs
+					s.copies[p.Addr] = cs
 				}
 				cs[msg.Src] = true
 			}
+			s.mu.Unlock()
+			m.counts.localReads.Add(1)
 		}
-		m.mu.Unlock()
-		m.sendInvalidates(p.Addr, invalidate)
+		m.sendInvalidates(inv)
 		_ = m.bus.Reply(msg, types.MgrMemory, reply)
 		return
 	}
-	dst := m.routeObjectLocked(p.Addr)
-	m.mu.Unlock()
+	dst := m.routeObjectLocked(s, p.Addr)
+	s.mu.Unlock()
 
 	if dst == types.InvalidSite || dst == m.bus.Self() {
 		_ = m.bus.ReplyErr(msg, types.MgrMemory, wire.ErrCodeNoSuchObject, p.Addr.String())
@@ -1039,27 +1245,29 @@ func (m *Manager) handleMemRead(msg *wire.Message, p *wire.MemRead) {
 }
 
 func (m *Manager) handleMemWrite(msg *wire.Message, p *wire.MemWrite) {
-	m.mu.Lock()
-	if o, ok := m.objects[p.Addr]; ok {
+	s := m.shardFor(p.Addr)
+	m.lockShard(s)
+	if o, ok := s.objects[p.Addr]; ok {
 		writeAt(o, int(p.Offset), p.Data)
-		m.stats.LocalWrites++
+		inv := invalidation{}
+		inv.add(p.Addr, m.takeCopysetLocked(s, p.Addr, msg.Src))
+		s.mu.Unlock()
+		m.counts.localWrites.Add(1)
 		m.met.localWrites.Inc()
-		invalidate := m.takeCopysetLocked(p.Addr, msg.Src)
-		m.mu.Unlock()
-		if len(invalidate) == 0 {
+		if len(inv) == 0 {
 			_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: true})
 			return
 		}
 		// Collect invalidation acks off the dispatcher, then ack the
 		// writer: once the writer proceeds, no stale replica survives.
 		go func() {
-			m.sendInvalidates(p.Addr, invalidate)
+			m.sendInvalidates(inv)
 			_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: true})
 		}()
 		return
 	}
-	dst := m.routeObjectLocked(p.Addr)
-	m.mu.Unlock()
+	dst := m.routeObjectLocked(s, p.Addr)
+	s.mu.Unlock()
 
 	if dst == types.InvalidSite || dst == m.bus.Self() {
 		_ = m.bus.ReplyErr(msg, types.MgrMemory, wire.ErrCodeNoSuchObject, p.Addr.String())
@@ -1069,21 +1277,23 @@ func (m *Manager) handleMemWrite(msg *wire.Message, p *wire.MemWrite) {
 }
 
 func (m *Manager) handleMigrate(p *wire.MemMigrate) {
-	m.mu.Lock()
 	self := m.bus.Self()
 	var updates []*wire.HomeUpdate
 	for i := range p.Objects {
 		o := p.Objects[i]
-		m.objects[o.Addr] = &o
+		s := m.shardFor(o.Addr)
+		m.lockShard(s)
+		s.objects[o.Addr] = &o
+		delete(s.readCache, o.Addr)
 		if o.Addr.Home == self {
-			delete(m.objOwner, o.Addr) // we own it again
+			delete(s.objOwner, o.Addr) // we own it again
 		} else {
 			updates = append(updates, &wire.HomeUpdate{Addr: o.Addr, Owner: self})
 		}
+		s.mu.Unlock()
 	}
-	m.stats.Migrations += uint64(len(p.Objects))
+	m.counts.migrations.Add(uint64(len(p.Objects)))
 	m.met.migrations.Add(uint64(len(p.Objects)))
-	m.mu.Unlock()
 
 	for _, u := range updates {
 		_ = m.bus.Send(u.Addr.Home, types.MgrMemory, types.MgrMemory, u)
@@ -1091,39 +1301,40 @@ func (m *Manager) handleMigrate(p *wire.MemMigrate) {
 }
 
 func (m *Manager) handleHomeUpdate(from types.SiteID, p *wire.HomeUpdate) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.shardFor(p.Addr)
+	m.lockShard(s)
+	defer s.mu.Unlock()
 	self := m.bus.Self()
 	if p.Addr.Home == self {
 		// Directory update for an address we created.
 		if p.Owner == self {
-			delete(m.objOwner, p.Addr)
-			delete(m.frameOwner, p.Addr)
+			delete(s.objOwner, p.Addr)
+			delete(s.frameOwner, p.Addr)
 			return
 		}
-		if m.consumed[p.Addr] {
+		if s.consumed[p.Addr] {
 			return
 		}
 		// The address may name a frame or an object; record in both
 		// directories (lookups check residency first, so a stale entry
 		// in the wrong directory is harmless).
-		if _, resident := m.objects[p.Addr]; !resident {
-			if _, fresident := m.frames[p.Addr]; !fresident {
-				m.objOwner[p.Addr] = p.Owner
-				m.frameOwner[p.Addr] = p.Owner
+		if _, resident := s.objects[p.Addr]; !resident {
+			if _, fresident := s.frames[p.Addr]; !fresident {
+				s.objOwner[p.Addr] = p.Owner
+				s.frameOwner[p.Addr] = p.Owner
 			}
 		}
 		return
 	}
 	// Broadcast remap from an evacuating site.
-	if _, resident := m.objects[p.Addr]; resident {
+	if _, resident := s.objects[p.Addr]; resident {
 		return
 	}
-	if _, resident := m.frames[p.Addr]; resident {
+	if _, resident := s.frames[p.Addr]; resident {
 		return
 	}
 	if p.Owner == self {
 		return
 	}
-	m.remap[p.Addr] = p.Owner
+	s.remap[p.Addr] = p.Owner
 }

@@ -1,0 +1,304 @@
+package memory
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+// TestShardedModelEquivalence drives a seeded random sequence of
+// Alloc/Read/Write/Attract operations from both sites of a two-site
+// cluster against a plain single-map reference model. The sharded
+// manager must agree with the model after every read, and after a full
+// evacuation the survivor must still serve exactly the model contents.
+func TestShardedModelEquivalence(t *testing.T) {
+	_, mems, _ := memCluster(t, 2)
+	a, b := mems[0], mems[1]
+	rng := rand.New(rand.NewSource(42))
+	model := map[types.GlobalAddr][]byte{}
+	var addrs []types.GlobalAddr
+
+	site := func() *Manager {
+		if rng.Intn(2) == 0 {
+			return a
+		}
+		return b
+	}
+
+	const ops = 400
+	for i := 0; i < ops; i++ {
+		op := rng.Intn(10)
+		switch {
+		case op < 2 || len(addrs) == 0: // alloc
+			data := randBytes(rng, 1+rng.Intn(32))
+			addr := site().Alloc(prog(), data)
+			model[addr] = append([]byte(nil), data...)
+			addrs = append(addrs, addr)
+		case op < 5: // write (possibly remote, possibly extending)
+			addr := addrs[rng.Intn(len(addrs))]
+			off := rng.Intn(len(model[addr]) + 4)
+			data := randBytes(rng, 1+rng.Intn(16))
+			if err := site().Write(addr, off, data); err != nil {
+				t.Fatalf("op %d: write %v: %v", i, addr, err)
+			}
+			cur := model[addr]
+			if need := off + len(data); need > len(cur) {
+				grown := make([]byte, need)
+				copy(grown, cur)
+				cur = grown
+			}
+			copy(cur[off:], data)
+			model[addr] = cur
+		case op < 8: // read
+			addr := addrs[rng.Intn(len(addrs))]
+			got, err := site().Read(addr)
+			if err != nil {
+				t.Fatalf("op %d: read %v: %v", i, addr, err)
+			}
+			if !bytes.Equal(got, model[addr]) {
+				t.Fatalf("op %d: read %v = %x, model %x", i, addr, got, model[addr])
+			}
+		default: // attract (ownership migration)
+			addr := addrs[rng.Intn(len(addrs))]
+			got, err := site().Attract(addr)
+			if err != nil {
+				t.Fatalf("op %d: attract %v: %v", i, addr, err)
+			}
+			if !bytes.Equal(got, model[addr]) {
+				t.Fatalf("op %d: attract %v = %x, model %x", i, addr, got, model[addr])
+			}
+		}
+	}
+
+	// Drain site b; the survivor must then serve the whole model.
+	if err := b.EvacuateTo(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range addrs {
+		got, err := a.Read(addr)
+		if err != nil {
+			t.Fatalf("post-evacuation read %v: %v", addr, err)
+		}
+		if !bytes.Equal(got, model[addr]) {
+			t.Fatalf("post-evacuation read %v = %x, model %x", addr, got, model[addr])
+		}
+	}
+}
+
+// TestShardedConcurrentStress hammers one manager from many goroutines:
+// partitioned writers bump per-address counters while readers assert the
+// values never go backwards, and a dataflow mix of frames fires
+// alongside. Run under -race this is the sharding's main safety net.
+func TestShardedConcurrentStress(t *testing.T) {
+	_, mems, fires := memCluster(t, 1)
+	m := mems[0]
+
+	const (
+		writers   = 8
+		perWriter = 16
+		rounds    = 40
+	)
+	addrs := make([]types.GlobalAddr, writers*perWriter)
+	for i := range addrs {
+		addrs[i] = m.Alloc(prog(), make([]byte, 8))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		mine := addrs[w*perWriter : (w+1)*perWriter]
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for r := 1; r <= rounds; r++ {
+				for _, addr := range mine {
+					binary.BigEndian.PutUint64(buf, uint64(r))
+					if err := m.Write(addr, 0, buf); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers assert per-address monotonicity: a counter that decreases
+	// means a lost or reordered write inside the sharded state.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			last := map[types.GlobalAddr]uint64{}
+			for i := 0; i < writers*perWriter*rounds/4; i++ {
+				addr := addrs[rng.Intn(len(addrs))]
+				got, err := m.Read(addr)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				v := binary.BigEndian.Uint64(got)
+				if v < last[addr] {
+					t.Errorf("read of %v went backwards: %d after %d", addr, v, last[addr])
+					return
+				}
+				last[addr] = v
+			}
+		}(int64(r) + 7)
+	}
+	// Dataflow mix: frames created and completed concurrently with the
+	// object traffic must all fire exactly once.
+	const frames = 64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < frames; i++ {
+			id := m.NewFrame(thread(uint32(1000+i)), 1, types.PriorityNormal, 0)
+			if err := m.Send(wire.Target{Addr: id, Slot: 0}, []byte{1}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := fires[0].count(); got != frames {
+		t.Fatalf("%d frames fired, want %d", got, frames)
+	}
+	for i, addr := range addrs {
+		got, err := m.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.BigEndian.Uint64(got); v != rounds {
+			t.Fatalf("addr %d final counter = %d, want %d", i, v, rounds)
+		}
+	}
+	t.Logf("shard contention under stress: %d", m.Stats().ShardContention)
+}
+
+// TestShardDistribution pins the shardFor hash: sequentially allocated
+// addresses (the overwhelmingly common pattern) must spread across all
+// shards instead of clustering, or the sharding buys nothing.
+func TestShardDistribution(t *testing.T) {
+	m := &Manager{}
+	counts := map[*memShard]int{}
+	const n = 1 << 10
+	for i := uint64(1); i <= n; i++ {
+		counts[m.shardFor(types.GlobalAddr{Home: 1, Local: i})]++
+	}
+	if len(counts) != shardCount {
+		t.Fatalf("%d shards used, want %d", len(counts), shardCount)
+	}
+	for s, c := range counts {
+		// Perfectly uniform would be n/shardCount; allow 2x skew.
+		if c > 2*n/shardCount {
+			t.Fatalf("shard %p got %d of %d addresses", s, c, n)
+		}
+	}
+}
+
+// TestReclaimGrantsIsExclusiveWithCrashReplay pins the hand-back the
+// scheduler uses when a help reply bounces off a departed requester:
+// reclaimed frames leave the grant log, so a later crash declaration
+// for the same grantee replays only what was never taken back — each
+// frame re-enters the dataflow exactly once.
+func TestReclaimGrantsIsExclusiveWithCrashReplay(t *testing.T) {
+	_, mems, _ := memCluster(t, 2)
+	granter := mems[0]
+
+	const n = 6
+	var ids []types.FrameID
+	for i := 0; i < n; i++ {
+		id := granter.NewFrame(thread(uint32(i)), 1, types.PriorityNormal, 0)
+		f, ok := granter.TakeFrame(id)
+		if !ok {
+			t.Fatalf("frame %v not resident", id)
+		}
+		granter.RecordGrant(2, f)
+		ids = append(ids, id)
+	}
+
+	back := granter.ReclaimGrants(2, ids[:3])
+	if len(back) != 3 {
+		t.Fatalf("reclaimed %d frames, want 3", len(back))
+	}
+	got := map[types.FrameID]bool{}
+	for _, f := range back {
+		got[f.ID] = true
+	}
+	for _, id := range ids[:3] {
+		if !got[id] {
+			t.Fatalf("frame %v missing from the reclaimed set", id)
+		}
+	}
+
+	// The crash declaration replays only the half still in the log.
+	granter.OnSiteCrashed(2, nil)
+	if c := granter.FrameCount(); c != 3 {
+		t.Fatalf("%d frames replayed after partial reclaim, want 3", c)
+	}
+	// And nothing is left to reclaim: the log entry was consumed.
+	if rest := granter.ReclaimGrants(2, ids); len(rest) != 0 {
+		t.Fatalf("%d frames reclaimed from a consumed log", len(rest))
+	}
+}
+
+// TestBatchGrantSurvivesGranterCrash models a batched help-grant: N
+// frames handed to one peer in a single reply, logged individually, all
+// re-injected into the local dataflow when that peer is declared dead.
+func TestBatchGrantSurvivesGranterCrash(t *testing.T) {
+	_, mems, fires := memCluster(t, 2)
+	granter := mems[0]
+
+	const n = 8
+	var ids []types.FrameID
+	for i := 0; i < n; i++ {
+		id := granter.NewFrame(thread(uint32(i)), 1, types.PriorityNormal, 0)
+		f, ok := granter.TakeFrame(id)
+		if !ok {
+			t.Fatalf("frame %v not resident", id)
+		}
+		granter.RecordGrant(2, f)
+		ids = append(ids, id)
+	}
+	if got := granter.FrameCount(); got != 0 {
+		t.Fatalf("%d frames still resident after grant", got)
+	}
+
+	granter.OnSiteCrashed(2, nil)
+	if got := granter.FrameCount(); got != n {
+		t.Fatalf("%d frames recovered from grant log, want %d", got, n)
+	}
+
+	// Completing the recovered frames fires each exactly once.
+	for _, id := range ids {
+		if err := granter.Send(wire.Target{Addr: id, Slot: 0}, []byte{9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fires[0].count() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := fires[0].count(); got != n {
+		t.Fatalf("%d recovered frames fired, want %d", got, n)
+	}
+	// A second crash notice must not duplicate anything: the log was
+	// consumed by the first replay.
+	granter.OnSiteCrashed(2, nil)
+	if got := granter.FrameCount(); got != 0 {
+		t.Fatalf("%d frames after duplicate crash notice, want 0", got)
+	}
+}

@@ -55,6 +55,25 @@ type Sender interface {
 	Send(physAddr string, datagram []byte) error
 }
 
+// HintedSender is optionally implemented by senders that coalesce
+// small messages: SendUrgent bypasses the batching queue. The bus uses
+// it for liveness probes (Ping/Pong), whose round-trip time must
+// measure the network rather than a flush timer.
+type HintedSender interface {
+	SendUrgent(physAddr string, datagram []byte) error
+}
+
+// transmit sends buf to physAddr, routing liveness probes around any
+// coalescing queue the sender may have.
+func (b *Bus) transmit(kind wire.Kind, physAddr string, buf []byte) error {
+	if kind == wire.KindPing || kind == wire.KindPong {
+		if hs, ok := b.sender.(HintedSender); ok {
+			return hs.SendUrgent(physAddr, buf)
+		}
+	}
+	return b.sender.Send(physAddr, buf)
+}
+
 // Bus is one site's message manager.
 type Bus struct {
 	self     atomic.Uint32 // logical id; updates once at sign-on
@@ -382,7 +401,7 @@ func (b *Bus) RequestAddr(physAddr string, dstMgr, srcMgr types.ManagerID, p wir
 	b.sent.Add(1)
 	buf := m.EncodeBytes()
 	b.met.countOut(m.Payload.Kind(), len(buf))
-	if err := b.sender.Send(physAddr, buf); err != nil {
+	if err := b.transmit(m.Payload.Kind(), physAddr, buf); err != nil {
 		cleanup()
 		return nil, err
 	}
@@ -442,7 +461,7 @@ func (b *Bus) sendRemote(m *wire.Message) error {
 	b.sent.Add(1)
 	buf := m.EncodeBytes()
 	b.met.countOut(m.Payload.Kind(), len(buf))
-	return b.sender.Send(addr, buf)
+	return b.transmit(m.Payload.Kind(), addr, buf)
 }
 
 // OnDatagram is the network manager's delivery callback: parse and

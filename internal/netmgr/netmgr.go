@@ -15,13 +15,41 @@
 package netmgr
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/security"
 	"repro/internal/transport"
 )
+
+// Envelope tags. Every plaintext datagram on the wire starts with one
+// tag byte so a receiver can always tell a single message from a
+// coalesced batch, regardless of whether its own sender coalesces.
+const (
+	tagSingle = 0x00
+	tagBatch  = 0x01 // followed by uint32-length-prefixed messages
+)
+
+// Coalesce configures per-peer small-message batching. Several logical
+// datagrams headed for the same peer are packed into one sealed
+// envelope, amortizing the per-datagram seal + syscall cost that
+// dominates for SDVM-sized messages. Off by default.
+type Coalesce struct {
+	Enabled  bool
+	MaxBytes int           // flush when a peer's pending batch reaches this size; default 8192
+	MaxDelay time.Duration // longest a message may wait for companions; default 500µs
+}
+
+// peerBatch accumulates not-yet-flushed datagrams for one peer.
+type peerBatch struct {
+	mu      sync.Mutex
+	pending [][]byte    // guarded by mu
+	bytes   int         // guarded by mu
+	timer   *time.Timer // guarded by mu; armed iff pending is non-empty
+}
 
 // Handler consumes one verified incoming datagram. It is called from a
 // per-connection receive goroutine; implementations hand off long work.
@@ -46,6 +74,13 @@ type Manager struct {
 	// peerBytes caches per-peer byte counters by physical address.
 	// guarded by mu
 	peerBytes map[string]*metrics.Counter
+
+	// co holds the coalescing knobs. Written once by SetCoalescing
+	// before Listen, read-only afterwards.
+	co Coalesce
+	// batches holds the per-peer pending batches by physical address.
+	// guarded by mu
+	batches map[string]*peerBatch
 }
 
 // netMetrics bundles the datagram-level instruments.
@@ -57,6 +92,7 @@ type netMetrics struct {
 	recvBytes   *metrics.Counter
 	sendErrs    *metrics.Counter
 	openRejects *metrics.Counter
+	coalesced   *metrics.Counter
 }
 
 // SetMetrics installs the instruments. Must be called before Listen; a nil
@@ -73,6 +109,7 @@ func (m *Manager) SetMetrics(reg *metrics.Registry) {
 		recvBytes:   reg.Counter("net.recv_bytes"),
 		sendErrs:    reg.Counter("net.send_errors"),
 		openRejects: reg.Counter("net.open_rejects"),
+		coalesced:   reg.Counter("net.coalesced"),
 	}
 	m.mu.Lock()
 	m.peerBytes = make(map[string]*metrics.Counter)
@@ -103,7 +140,38 @@ func New(net transport.Network, sec security.Layer, handler Handler) *Manager {
 		handler: handler,
 		conns:   make(map[string]transport.Endpoint),
 		live:    make(map[transport.Endpoint]bool),
+		batches: make(map[string]*peerBatch),
 	}
+}
+
+// SetCoalescing installs the batching knobs. Must be called before
+// Listen. With coalescing enabled, Send becomes fire-and-forget: the
+// datagram is queued and transmitted within MaxDelay (or sooner, once
+// MaxBytes of traffic for that peer accumulates); transmission errors
+// surface through the net.send_errors counter instead of the return
+// value. Receivers decode batches unconditionally, so coalescing may
+// be enabled per site.
+func (m *Manager) SetCoalescing(c Coalesce) {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 8192
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 500 * time.Microsecond
+	}
+	m.co = c
+}
+
+// batch returns the pending-batch accumulator for physAddr, creating
+// it on first use.
+func (m *Manager) batch(physAddr string) *peerBatch {
+	m.mu.Lock()
+	pb, ok := m.batches[physAddr]
+	if !ok {
+		pb = &peerBatch{}
+		m.batches[physAddr] = pb
+	}
+	m.mu.Unlock()
+	return pb
 }
 
 // Listen binds the site's listening point and starts the accept loop.
@@ -181,15 +249,62 @@ func (m *Manager) recvLoop(ep transport.Endpoint) {
 			}
 			continue
 		}
-		m.handler(plain)
+		m.deliver(plain)
+	}
+}
+
+// deliver unpacks one opened envelope and hands each contained message
+// to the handler. Batches are decoded unconditionally: whether a peer
+// coalesces is its own business.
+func (m *Manager) deliver(plain []byte) {
+	if len(plain) == 0 {
+		return
+	}
+	switch plain[0] {
+	case tagSingle:
+		m.handler(plain[1:])
+	case tagBatch:
+		buf := plain[1:]
+		for len(buf) >= 4 {
+			n := binary.BigEndian.Uint32(buf[:4])
+			buf = buf[4:]
+			if uint64(n) > uint64(len(buf)) {
+				return // truncated batch: drop the remainder
+			}
+			m.handler(buf[:n])
+			buf = buf[n:]
+		}
+	default:
+		// Unknown envelope tag (future protocol revision): drop.
 	}
 }
 
 // Send seals and transmits one datagram to the peer listening at
 // physAddr. A cached connection is reused; on send failure one fresh
 // dial is attempted before giving up (the peer may have restarted).
+// With coalescing enabled the datagram is queued for the peer's next
+// batch instead and nil is returned immediately.
 func (m *Manager) Send(physAddr string, datagram []byte) error {
-	if err := m.send(physAddr, datagram); err != nil {
+	if m.co.Enabled {
+		m.enqueue(physAddr, datagram)
+		if mm := m.met; mm != nil {
+			mm.sendDgrams.Inc()
+			mm.sendBytes.Add(uint64(len(datagram)))
+			m.peerCounter(physAddr).Add(uint64(len(datagram)))
+		}
+		return nil
+	}
+	return m.SendUrgent(physAddr, datagram)
+}
+
+// SendUrgent transmits one datagram immediately, bypassing any
+// coalescing queue. Liveness probes use this: a ping that waits out a
+// flush timer measures the timer, not the network.
+func (m *Manager) SendUrgent(physAddr string, datagram []byte) error {
+	env := make([]byte, 1+len(datagram))
+	env[0] = tagSingle
+	copy(env[1:], datagram)
+	if err := m.send(physAddr, env); err != nil {
 		if mm := m.met; mm != nil {
 			mm.sendErrs.Inc()
 		}
@@ -201,6 +316,72 @@ func (m *Manager) Send(physAddr string, datagram []byte) error {
 		m.peerCounter(physAddr).Add(uint64(len(datagram)))
 	}
 	return nil
+}
+
+// enqueue appends datagram to physAddr's pending batch, flushing when
+// the batch is full and arming the delay timer otherwise.
+func (m *Manager) enqueue(physAddr string, datagram []byte) {
+	pb := m.batch(physAddr)
+	pb.mu.Lock()
+	pb.pending = append(pb.pending, datagram)
+	pb.bytes += len(datagram) + 4
+	if pb.bytes >= m.co.MaxBytes {
+		pending := pb.pending
+		pb.pending, pb.bytes = nil, 0
+		if pb.timer != nil {
+			pb.timer.Stop()
+			pb.timer = nil
+		}
+		pb.mu.Unlock()
+		m.flush(physAddr, pending)
+		return
+	}
+	if pb.timer == nil {
+		pb.timer = time.AfterFunc(m.co.MaxDelay, func() { m.flushPeer(physAddr, pb) })
+	}
+	pb.mu.Unlock()
+}
+
+// flushPeer drains pb's pending batch (fired by the delay timer).
+func (m *Manager) flushPeer(physAddr string, pb *peerBatch) {
+	pb.mu.Lock()
+	pending := pb.pending
+	pb.pending, pb.bytes = nil, 0
+	pb.timer = nil
+	pb.mu.Unlock()
+	if len(pending) > 0 {
+		m.flush(physAddr, pending)
+	}
+}
+
+// flush seals and transmits one stolen batch. Called with no locks
+// held.
+func (m *Manager) flush(physAddr string, pending [][]byte) {
+	var env []byte
+	if len(pending) == 1 {
+		env = make([]byte, 1+len(pending[0]))
+		env[0] = tagSingle
+		copy(env[1:], pending[0])
+	} else {
+		size := 1
+		for _, d := range pending {
+			size += 4 + len(d)
+		}
+		env = make([]byte, 1, size)
+		env[0] = tagBatch
+		for _, d := range pending {
+			env = binary.BigEndian.AppendUint32(env, uint32(len(d)))
+			env = append(env, d...)
+		}
+		if mm := m.met; mm != nil {
+			mm.coalesced.Add(uint64(len(pending)))
+		}
+	}
+	if err := m.send(physAddr, env); err != nil {
+		if mm := m.met; mm != nil {
+			mm.sendErrs.Inc()
+		}
+	}
 }
 
 func (m *Manager) send(physAddr string, datagram []byte) error {
@@ -291,10 +472,26 @@ func (m *Manager) Forget(physAddr string) {
 	if ok {
 		delete(m.conns, physAddr)
 	}
+	pb := m.batches[physAddr]
+	delete(m.batches, physAddr)
 	m.mu.Unlock()
+	if pb != nil {
+		dropBatch(pb)
+	}
 	if ok {
 		ep.Close()
 	}
+}
+
+// dropBatch discards a peer's pending messages and disarms its timer.
+func dropBatch(pb *peerBatch) {
+	pb.mu.Lock()
+	pb.pending, pb.bytes = nil, 0
+	if pb.timer != nil {
+		pb.timer.Stop()
+		pb.timer = nil
+	}
+	pb.mu.Unlock()
 }
 
 // Close shuts the manager down: the listener stops, all connections
@@ -315,8 +512,13 @@ func (m *Manager) Close() {
 		conns = append(conns, ep)
 	}
 	m.conns = make(map[string]transport.Endpoint)
+	batches := m.batches
+	m.batches = make(map[string]*peerBatch)
 	m.mu.Unlock()
 
+	for _, pb := range batches {
+		dropBatch(pb)
+	}
 	if l != nil {
 		l.Close()
 	}

@@ -230,6 +230,131 @@ func TestCloseIsIdempotentAndTerminal(t *testing.T) {
 	}
 }
 
+func TestCoalescingDeliversAll(t *testing.T) {
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+	cb := newCollect()
+	a := New(fab, security.Plaintext{}, func([]byte) {})
+	a.SetCoalescing(Coalesce{Enabled: true, MaxDelay: time.Millisecond})
+	b := New(fab, security.Plaintext{}, cb.handler)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	if _, err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := b.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := a.Send(addrB, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[byte]bool{}
+	for i := 0; i < n; i++ {
+		d := cb.wait(t)
+		if len(d) != 1 {
+			t.Fatalf("datagram %q, want one byte", d)
+		}
+		if got[d[0]] {
+			t.Fatalf("byte %d delivered twice", d[0])
+		}
+		got[d[0]] = true
+	}
+}
+
+func TestCoalescingFlushesOnSize(t *testing.T) {
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+	cb := newCollect()
+	a := New(fab, security.Plaintext{}, func([]byte) {})
+	// A long MaxDelay proves the size threshold, not the timer, flushed.
+	a.SetCoalescing(Coalesce{Enabled: true, MaxBytes: 64, MaxDelay: time.Minute})
+	b := New(fab, security.Plaintext{}, cb.handler)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	if _, err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := b.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3 × (20+4) = 72 ≥ 64: the third Send crosses the threshold.
+	for i := 0; i < 3; i++ {
+		if err := a.Send(addrB, make([]byte, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		cb.wait(t)
+	}
+}
+
+func TestSendUrgentBypassesQueue(t *testing.T) {
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+	cb := newCollect()
+	a := New(fab, security.Plaintext{}, func([]byte) {})
+	// With an hour-long flush delay, only the bypass path can deliver.
+	a.SetCoalescing(Coalesce{Enabled: true, MaxDelay: time.Hour})
+	b := New(fab, security.Plaintext{}, cb.handler)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	if _, err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := b.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.SendUrgent(addrB, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.wait(t); string(got) != "ping" {
+		t.Fatalf("delivered %q", got)
+	}
+}
+
+func TestConcurrentCoalescedSends(t *testing.T) {
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+	cb := newCollect()
+	a := New(fab, security.Plaintext{}, func([]byte) {})
+	a.SetCoalescing(Coalesce{Enabled: true, MaxBytes: 256, MaxDelay: time.Millisecond})
+	b := New(fab, security.Plaintext{}, cb.handler)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	if _, err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := b.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Send(addrB, []byte("m")); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		cb.wait(t)
+	}
+}
+
 func TestConcurrentSendsOneTarget(t *testing.T) {
 	a, _, _, cb, _, addrB := newPairT(t, security.Plaintext{})
 	const n = 200

@@ -53,6 +53,14 @@ type grantLogger interface {
 	RecordGrant(grantee types.SiteID, f *wire.Microframe)
 }
 
+// grantReclaimer takes logged grants back when the reply carrying them
+// could not be delivered (the requester signed off between asking and
+// receiving). Reclaiming must be atomic with crash replay so a batch is
+// either replayed by OnSiteCrashed or re-queued here — never both.
+type grantReclaimer interface {
+	ReclaimGrants(grantee types.SiteID, ids []types.FrameID) []*wire.Microframe
+}
+
 // Ready pairs an executable microframe with its resolved code pointer —
 // what the scheduling manager hands the processing manager.
 type Ready struct {
@@ -74,6 +82,12 @@ type Config struct {
 	HelpRetryMax time.Duration
 	// MaxHelpFanout bounds how many distinct sites one help round asks.
 	MaxHelpFanout int
+	// HelpBatch bounds how many frames one help reply may carry. The
+	// granter surrenders up to half its surplus, capped here, so one
+	// round-trip moves a batch sized by queue depth (bulk work transfer
+	// amortizes the request latency). 0 means the default of 4; 1
+	// restores single-frame grants.
+	HelpBatch int
 	// Seed drives the help-retry jitter RNG, so idle sites that went
 	// hungry in the same round don't re-beg in lockstep. Zero means
 	// seed 1; the daemon passes a per-site seed for reproducible runs.
@@ -118,6 +132,14 @@ type Manager struct {
 	stats      Stats
 	closed     bool
 	begging    bool // one help round in flight per site
+
+	// fallback is where frames arriving after Close are pushed. The site
+	// manager sets it to the sign-off successor before closing the
+	// scheduler: late help replies and pushes keep trickling in while
+	// the daemon drains its bus inbox, and they should follow the queue
+	// and memory to the site that inherited them rather than go to a
+	// random roster pick. guarded by mu
+	fallback types.SiteID
 
 	// terminated programs: frames of these are dropped on sight.
 	dead map[types.ProgramID]bool
@@ -181,7 +203,13 @@ type schedMetrics struct {
 	surrendered     *metrics.Counter
 	resolveErrs     *metrics.Counter
 	dispatchLatency *metrics.Histogram
+	grantBatch      *metrics.Histogram
 }
+
+// grantBatchBounds buckets the help-grant batch-size histogram. The
+// histogram counts frames, not time; sizes are encoded as durations
+// because the metrics package has a single histogram type.
+var grantBatchBounds = []time.Duration{1, 2, 4, 8, 16}
 
 // SetMetrics installs the instruments and queue-depth gauges. Must be
 // called before Start; a nil registry leaves metrics disabled.
@@ -200,6 +228,7 @@ func (m *Manager) SetMetrics(reg *metrics.Registry) {
 		surrendered:     reg.Counter("sched.frames_surrendered"),
 		resolveErrs:     reg.Counter("sched.resolve_errs"),
 		dispatchLatency: reg.Histogram("sched.dispatch_latency", nil),
+		grantBatch:      reg.Histogram("sched.grant.batch", grantBatchBounds),
 	}
 	m.mu.Lock()
 	m.enqueuedAt = make(map[types.FrameID]time.Time)
@@ -253,6 +282,9 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, resolver Resolver, cfg Config) *M
 	if cfg.MaxHelpFanout <= 0 {
 		cfg.MaxHelpFanout = 3
 	}
+	if cfg.HelpBatch <= 0 {
+		cfg.HelpBatch = 4
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -305,6 +337,17 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	close(m.done)
 	m.wg.Wait()
+}
+
+// SetFallback names the site that inherits frames arriving after Close.
+// The site manager calls it with the sign-off successor before closing
+// the scheduler, so late pushes and help replies that drain from the
+// bus inbox still find a home once the goodbye broadcast has emptied
+// the roster.
+func (m *Manager) SetFallback(dst types.SiteID) {
+	m.mu.Lock()
+	m.fallback = dst
+	m.mu.Unlock()
 }
 
 // Stats returns a snapshot of the counters.
@@ -362,12 +405,26 @@ func (m *Manager) enqueue(f *wire.Microframe, allowScatter bool) {
 		return
 	}
 	if m.closed {
+		fb := m.fallback
 		m.mu.Unlock()
 		// Signing off (or shut down): this frame must not die with us.
-		// Hand it to any other site; each push is also grant-logged so
-		// a crash of the successor replays it.
-		if target := m.cm.PickHelpTarget(nil); target.Valid() {
-			_ = m.PushFrame(target, f)
+		// Prefer the designated sign-off successor — the site that just
+		// inherited our queue and memory — over a random roster pick, so
+		// late arrivals drained from the bus inbox follow the rest of
+		// the state. Each push is grant-logged, so a crash of the target
+		// replays it. If the successor itself is unreachable, fall back
+		// to any roster pick rather than dropping the frame.
+		target := fb
+		if !target.Valid() || target == m.bus.Self() {
+			target = m.cm.PickHelpTarget(nil)
+		}
+		if target.Valid() && target != m.bus.Self() {
+			if m.PushFrame(target, f) == nil {
+				return
+			}
+			if alt := m.cm.PickHelpTarget(map[types.SiteID]bool{target: true}); alt.Valid() && alt != m.bus.Self() {
+				_ = m.PushFrame(alt, f)
+			}
 		}
 		return
 	}
@@ -388,18 +445,7 @@ func (m *Manager) enqueue(f *wire.Microframe, allowScatter bool) {
 		m.executable.len()+len(m.ready) >= 2 {
 		if dst := m.scatterTargetLocked(); dst.Valid() {
 			m.mu.Unlock()
-			m.tr.Record(trace.EvGranted, f.ID, f.Thread, "scatter to "+dst.String())
-			if g, ok := m.adopter.(grantLogger); ok {
-				g.RecordGrant(dst, f)
-			}
-			m.mu.Lock()
-			m.stats.HelpServed++
-			m.mu.Unlock()
-			if m.met != nil {
-				m.met.helpServed.Inc()
-			}
-			_ = m.bus.Send(dst, types.MgrScheduling, types.MgrScheduling,
-				&wire.FramePush{Frame: f})
+			m.pushGranted(dst, f, "scatter")
 			return
 		}
 	}
@@ -414,17 +460,46 @@ func (m *Manager) enqueue(f *wire.Microframe, allowScatter bool) {
 	m.tr.Record(trace.EvEnqueued, f.ID, f.Thread, "")
 	m.notifyResolve()
 	if push != nil {
-		if g, ok := m.adopter.(grantLogger); ok {
-			g.RecordGrant(push.dst, push.frame)
-		}
-		m.mu.Lock()
-		m.stats.HelpServed++
-		m.mu.Unlock()
-		if m.met != nil {
-			m.met.helpServed.Inc()
-		}
-		_ = m.bus.Send(push.dst, types.MgrScheduling, types.MgrScheduling,
-			&wire.FramePush{Frame: push.frame})
+		m.pushGranted(push.dst, push.frame, "parked push")
+	}
+}
+
+// pushGranted grant-logs f and ships it to dst. A push that cannot be
+// delivered must not lose the frame: the target was picked from stale
+// state (a parked help requester, a scatter round-robin slot) and may
+// have signed off since — gracefully, so no crash declaration will ever
+// replay the logged grant. The send error is the only signal; on it the
+// grant is taken back from the log and the frame requeued locally.
+func (m *Manager) pushGranted(dst types.SiteID, f *wire.Microframe, why string) {
+	g, logged := m.adopter.(grantLogger)
+	if logged {
+		g.RecordGrant(dst, f)
+	}
+	m.tr.Record(trace.EvGranted, f.ID, f.Thread, why+" to "+dst.String())
+	m.mu.Lock()
+	m.stats.HelpServed++
+	m.mu.Unlock()
+	if m.met != nil {
+		m.met.helpServed.Inc()
+	}
+	err := m.bus.Send(dst, types.MgrScheduling, types.MgrScheduling, &wire.FramePush{Frame: f})
+	if err == nil {
+		return
+	}
+	// dst is gone; stop feeding it.
+	m.mu.Lock()
+	delete(m.parked, dst)
+	m.mu.Unlock()
+	salvage := []*wire.Microframe{f}
+	if rec, ok := m.adopter.(grantReclaimer); ok && logged {
+		// Atomic with crash replay: if a racing crash declaration for
+		// dst already consumed the log entry, the reclaim comes back
+		// empty and the frame is not injected twice.
+		salvage = rec.ReclaimGrants(dst, []types.FrameID{f.ID})
+	}
+	for _, r := range salvage {
+		m.tr.Record(trace.EvReceived, r.ID, r.Thread, "undeliverable "+why+" to "+dst.String()+" reclaimed")
+		m.enqueueForeign(r)
 	}
 }
 
@@ -712,7 +787,7 @@ func (m *Manager) askForHelp() bool {
 			continue
 		}
 		hr, ok := reply.Payload.(*wire.HelpReply)
-		if !ok || hr.CantHelp || hr.Frame == nil {
+		if !ok || hr.CantHelp || len(hr.Frames) == 0 {
 			m.mu.Lock()
 			m.stats.HelpDenied++
 			m.mu.Unlock()
@@ -723,12 +798,16 @@ func (m *Manager) askForHelp() bool {
 		}
 
 		m.mu.Lock()
-		m.stats.HelpGranted++
+		m.stats.HelpGranted += uint64(len(hr.Frames))
 		m.mu.Unlock()
 		if m.met != nil {
-			m.met.helpGranted.Inc()
+			m.met.helpGranted.Add(uint64(len(hr.Frames)))
 		}
-		m.acceptForeignFrame(hr.Frame, reply.Src)
+		for _, f := range hr.Frames {
+			if f != nil {
+				m.acceptForeignFrame(f, reply.Src)
+			}
+		}
 		return true
 	}
 	return false
@@ -814,6 +893,38 @@ func (m *Manager) surrenderFrame() *wire.Microframe {
 	return nil
 }
 
+// surrenderBatch picks up to HelpBatch frames to give away in one help
+// reply: half the current surplus (beyond the keep-one rule), so a deep
+// queue sheds work in bulk while a shallow one still grants a single
+// frame. surrenderFrame re-checks the keep rule on every pick, so a
+// concurrent dispatch can only shrink the batch, never under-keep.
+func (m *Manager) surrenderBatch() []*wire.Microframe {
+	m.mu.Lock()
+	total := m.executable.len() + len(m.ready)
+	keep := 1
+	if m.cfg.CentralSite.Valid() && m.cfg.CentralSite == m.bus.Self() {
+		keep = 0
+	}
+	m.mu.Unlock()
+	surplus := total - keep
+	if surplus <= 0 {
+		return nil
+	}
+	n := (surplus + 1) / 2
+	if n > m.cfg.HelpBatch {
+		n = m.cfg.HelpBatch
+	}
+	var out []*wire.Microframe
+	for len(out) < n {
+		f := m.surrenderFrame()
+		if f == nil {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 // surrenderedLocked counts one frame given away to a peer. Caller holds
 // m.mu.
 func (m *Manager) surrenderedLocked(id types.FrameID) {
@@ -895,12 +1006,38 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 	case *wire.HelpRequest:
 		// Refresh the requester's statistics while we are at it (the
 		// paper piggybacks status propagation on normal actions).
-		if f := m.surrenderFrame(); f != nil {
-			if g, ok := m.adopter.(grantLogger); ok {
-				g.RecordGrant(p.Requester, f)
+		if frames := m.surrenderBatch(); len(frames) > 0 {
+			g, logged := m.adopter.(grantLogger)
+			for _, f := range frames {
+				if logged {
+					g.RecordGrant(p.Requester, f)
+				}
+				m.tr.Record(trace.EvGranted, f.ID, f.Thread, "help reply to "+p.Requester.String())
 			}
-			m.tr.Record(trace.EvGranted, f.ID, f.Thread, "help reply to "+p.Requester.String())
-			_ = m.bus.Reply(msg, types.MgrScheduling, &wire.HelpReply{Frame: f})
+			if m.met != nil {
+				m.met.grantBatch.Observe(time.Duration(len(frames)))
+			}
+			if err := m.bus.Reply(msg, types.MgrScheduling, &wire.HelpReply{Frames: frames}); err != nil {
+				// The requester vanished between asking and receiving
+				// (graceful sign-off closes its endpoint without a crash
+				// declaration, so nothing would ever replay the batch).
+				// Take the grants back and run them here. ReclaimGrants
+				// shares the grant log's mutex with OnSiteCrashed, so a
+				// racing crash declaration replays a frame or we requeue
+				// it — never both.
+				salvage := frames
+				if rec, ok := m.adopter.(grantReclaimer); ok && logged {
+					ids := make([]types.FrameID, len(frames))
+					for i, f := range frames {
+						ids[i] = f.ID
+					}
+					salvage = rec.ReclaimGrants(p.Requester, ids)
+				}
+				for _, f := range salvage {
+					m.tr.Record(trace.EvGranted, f.ID, f.Thread, "help reply undeliverable, reclaimed")
+					m.enqueueForeign(f)
+				}
+			}
 		} else {
 			m.mu.Lock()
 			m.stats.HelpRefused++
@@ -918,11 +1055,13 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 	case *wire.HelpReply:
 		// A reply that arrived after the requester's timeout: the bus
 		// dispatches it here rather than dropping it. The granter has
-		// already surrendered the frame and logged the grant, so losing
-		// it now would strand the computation — salvage it exactly like
-		// a push.
-		if p.Frame != nil {
-			m.acceptForeignFrame(p.Frame, msg.Src)
+		// already surrendered the whole batch and logged the grants, so
+		// losing it now would strand the computation — salvage every
+		// frame exactly like a push.
+		for _, f := range p.Frames {
+			if f != nil {
+				m.acceptForeignFrame(f, msg.Src)
+			}
 		}
 	case *wire.FramePush:
 		m.acceptForeignFrame(p.Frame, msg.Src)

@@ -197,15 +197,69 @@ func TestHelpReplyLIFO(t *testing.T) {
 		t.Fatal(err)
 	}
 	hr := reply.Payload.(*wire.HelpReply)
-	if hr.CantHelp {
+	if hr.CantHelp || len(hr.Frames) == 0 {
 		t.Fatal("unexpected can't-help")
 	}
-	// LIFO must surrender the newest executable frame (local 4) —
+	// LIFO must surrender the newest executable frame (local 4) first —
 	// unless the resolver already moved some to ready; the newest
 	// still-queued frame is what LIFO yields. Accept local >= 2 but
-	// assert it is not the oldest.
-	if hr.Frame.ID.Local == 1 {
-		t.Fatalf("LIFO help reply returned the oldest frame")
+	// assert the first surrendered frame is not the oldest.
+	if hr.Frames[0].ID.Local == 1 {
+		t.Fatalf("LIFO help reply returned the oldest frame first")
+	}
+}
+
+func TestHelpReplyBatchesDeepQueue(t *testing.T) {
+	// Central mode pins all frames at the master and never scatters, so
+	// the queue depth at help-request time is deterministic.
+	_, mgrs := schedCluster(t, 2, Config{CentralSite: 1, HelpBatch: 4})
+	master, worker := mgrs[0], mgrs[1] // bootstrap has id 1
+	for i := uint64(1); i <= 8; i++ {
+		master.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	reply, err := worker.bus.Request(master.bus.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: worker.bus.Self()}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := reply.Payload.(*wire.HelpReply)
+	if hr.CantHelp {
+		t.Fatal("deep queue refused to help")
+	}
+	// Surplus is 8 (a central master keeps nothing); half of it capped
+	// by HelpBatch=4 must arrive in one reply.
+	if len(hr.Frames) != 4 {
+		t.Fatalf("got %d frames in one help reply, want 4", len(hr.Frames))
+	}
+	seen := map[types.GlobalAddr]bool{}
+	for _, f := range hr.Frames {
+		if f == nil {
+			t.Fatal("nil frame in batch")
+		}
+		if seen[f.ID] {
+			t.Fatalf("frame %v granted twice in one batch", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	if s := master.Stats(); s.HelpServed != 4 {
+		t.Fatalf("HelpServed = %d, want 4", s.HelpServed)
+	}
+}
+
+func TestHelpBatchOneRestoresSingleGrants(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{CentralSite: 1, HelpBatch: 1})
+	master, worker := mgrs[0], mgrs[1]
+	for i := uint64(1); i <= 6; i++ {
+		master.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	reply, err := worker.bus.Request(master.bus.Self(), types.MgrScheduling, types.MgrScheduling,
+		&wire.HelpRequest{Requester: worker.bus.Self()}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := reply.Payload.(*wire.HelpReply)
+	if hr.CantHelp || len(hr.Frames) != 1 {
+		t.Fatalf("HelpBatch=1 granted %d frames, want exactly 1", len(hr.Frames))
 	}
 }
 
@@ -292,6 +346,162 @@ func TestGrantsAreRecorded(t *testing.T) {
 	// proactive scatter of the surplus third frame.
 	if ad.grants[b.bus.Self()] == 0 {
 		t.Fatalf("grants = %v", ad.grants)
+	}
+}
+
+// reclaimAdopter extends fakeAdopter with the grant-log hand-back the
+// attraction memory offers: ReclaimGrants returns the stored frames so
+// the scheduler can requeue a batch whose reply bounced.
+type reclaimAdopter struct {
+	fakeAdopter
+	stored    map[types.SiteID][]*wire.Microframe
+	reclaimed int
+}
+
+func newReclaimAdopter() *reclaimAdopter {
+	return &reclaimAdopter{
+		fakeAdopter: fakeAdopter{grants: make(map[types.SiteID]int)},
+		stored:      make(map[types.SiteID][]*wire.Microframe),
+	}
+}
+
+func (a *reclaimAdopter) RecordGrant(grantee types.SiteID, f *wire.Microframe) {
+	a.fakeAdopter.RecordGrant(grantee, f)
+	a.mu.Lock()
+	a.stored[grantee] = append(a.stored[grantee], f.Clone())
+	a.mu.Unlock()
+}
+
+func (a *reclaimAdopter) ReclaimGrants(grantee types.SiteID, ids []types.FrameID) []*wire.Microframe {
+	want := make(map[types.FrameID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out, kept []*wire.Microframe
+	for _, f := range a.stored[grantee] {
+		if want[f.ID] {
+			out = append(out, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	a.stored[grantee] = kept
+	a.reclaimed += len(out)
+	return out
+}
+
+// TestHelpReplyUndeliverableReclaimed models the sign-off race that used
+// to strand computations: a site asks for help and then leaves before
+// the reply arrives. The reply cannot be delivered, no crash is ever
+// declared (the leave was graceful), so without the salvage path the
+// whole granted batch would be lost. The granter must take the grants
+// back from the log and requeue every frame locally.
+func TestHelpReplyUndeliverableReclaimed(t *testing.T) {
+	// Central mode keeps all frames at the master, so the queue depth is
+	// deterministic (see TestHelpReplyBatchesDeepQueue).
+	_, mgrs := schedCluster(t, 2, Config{CentralSite: 1, HelpBatch: 4})
+	master := mgrs[0]
+	ad := newReclaimAdopter()
+	master.SetAdopter(ad)
+
+	const n = 8
+	for i := uint64(1); i <= n; i++ {
+		master.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+	testnet.WaitFor(t, "queued", func() bool { return master.QueueLen() == n })
+
+	// A help request from a site no longer in the roster: the reply's
+	// address lookup fails, which is exactly what a granter sees when
+	// the requester signed off between asking and receiving.
+	ghost := types.SiteID(4242)
+	master.HandleMessage(&wire.Message{
+		Src:     ghost,
+		Dst:     master.bus.Self(),
+		SrcMgr:  types.MgrScheduling,
+		DstMgr:  types.MgrScheduling,
+		Seq:     999,
+		Payload: &wire.HelpRequest{Requester: ghost},
+	})
+
+	// The batch was surrendered, the reply bounced, and every frame must
+	// be back in the queue with its grant-log entries consumed.
+	testnet.WaitFor(t, "requeued", func() bool { return master.QueueLen() == n })
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	if ad.grants[ghost] != 4 {
+		t.Fatalf("grants logged to ghost = %d, want 4", ad.grants[ghost])
+	}
+	if ad.reclaimed != 4 {
+		t.Fatalf("reclaimed = %d, want 4", ad.reclaimed)
+	}
+	if len(ad.stored[ghost]) != 0 {
+		t.Fatalf("%d grant-log entries left for the ghost, want 0", len(ad.stored[ghost]))
+	}
+}
+
+// TestParkedPushUndeliverableReclaimed pins the loss channel behind the
+// long-standing TestSignOffMidRun flake: a hungry site gets parked, then
+// signs off; the next surplus frame is pushed to it, the send fails, and
+// the frame used to vanish — grant-logged to a site that never crashes,
+// so nothing ever replayed it. The push must reclaim the grant and
+// requeue the frame locally.
+func TestParkedPushUndeliverableReclaimed(t *testing.T) {
+	_, mgrs := schedCluster(t, 2, Config{})
+	m := mgrs[0]
+	ad := newReclaimAdopter()
+	m.SetAdopter(ad)
+
+	// A help request from a site that departs right after: refused
+	// (empty queue), so the requester is parked for the next surplus.
+	ghost := types.SiteID(4242)
+	m.HandleMessage(&wire.Message{
+		Src:     ghost,
+		Dst:     m.bus.Self(),
+		SrcMgr:  types.MgrScheduling,
+		DstMgr:  types.MgrScheduling,
+		Seq:     1,
+		Payload: &wire.HelpRequest{Requester: ghost},
+	})
+
+	// The second enqueue makes a surplus and feeds the parked ghost;
+	// that push bounces and the frame must come back.
+	m.Enqueue(frameFor(1, 1, types.PriorityNormal))
+	m.Enqueue(frameFor(1, 2, types.PriorityNormal))
+	testnet.WaitFor(t, "requeued", func() bool { return m.QueueLen() == 2 })
+
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	if ad.reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1", ad.reclaimed)
+	}
+	if len(ad.stored[ghost]) != 0 {
+		t.Fatalf("%d grant-log entries left for the ghost, want 0", len(ad.stored[ghost]))
+	}
+}
+
+// TestClosedEnqueueFollowsSuccessor pins the other half of the sign-off
+// fix: a frame arriving after Close must be pushed to the designated
+// sign-off successor — the site that inherited the leaver's queue and
+// memory — not to a random roster pick (and never dropped).
+func TestClosedEnqueueFollowsSuccessor(t *testing.T) {
+	_, mgrs := schedCluster(t, 3, Config{})
+	leaver, other, heir := mgrs[0], mgrs[1], mgrs[2]
+
+	leaver.SetFallback(heir.bus.Self())
+	leaver.Close()
+
+	// A late help reply drains from the leaver's bus inbox after Close.
+	f := frameFor(1, 77, types.PriorityNormal)
+	leaver.enqueueForeign(f)
+
+	r, ok := heir.GetWork()
+	if !ok || r.Frame.ID != f.ID {
+		t.Fatal("late frame did not reach the sign-off successor")
+	}
+	if n := other.QueueLen(); n != 0 {
+		t.Fatalf("%d frames at a non-successor site", n)
 	}
 }
 

@@ -218,11 +218,17 @@ func (m *Manager) SignOff() error {
 	m.Close()
 
 	// 2. Stop the scheduler — no new work is accepted or handed out —
-	//    and let in-flight microthreads finish.
+	//    and let in-flight microthreads finish. The successor is picked
+	//    (and told to the scheduler) first: frames that arrive after
+	//    Close — late help replies, pushes drained from the bus inbox
+	//    after the goodbye empties the roster — fall back to it instead
+	//    of being dropped.
+	successor := m.PickSuccessor()
+	if successor != types.InvalidSite {
+		m.sched.SetFallback(successor)
+	}
 	m.sched.Close()
 	m.exec.Wait()
-
-	successor := m.PickSuccessor()
 	if successor == types.InvalidSite {
 		// Last site standing: nothing to relocate to.
 		m.cm.AnnounceSignOff()

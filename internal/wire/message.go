@@ -91,6 +91,10 @@ const (
 	KindMetricsQuery
 	KindMetricsReply
 
+	// Batched write-invalidation: all addresses one holder site must
+	// drop travel in one round-trip instead of one per address.
+	KindMemInvalidateBatch
+
 	kindCount
 )
 
@@ -99,53 +103,54 @@ const (
 func NumKinds() int { return int(kindCount) }
 
 var kindNames = map[Kind]string{
-	KindInvalid:           "invalid",
-	KindSignOnRequest:     "sign-on-request",
-	KindSignOnReply:       "sign-on-reply",
-	KindSiteAnnounce:      "site-announce",
-	KindSignOffNotice:     "sign-off-notice",
-	KindLoadReport:        "load-report",
-	KindIDBlockRequest:    "id-block-request",
-	KindIDBlockReply:      "id-block-reply",
-	KindPing:              "ping",
-	KindPong:              "pong",
-	KindHelpRequest:       "help-request",
-	KindHelpReply:         "help-reply",
-	KindFramePush:         "frame-push",
-	KindApplyParam:        "apply-param",
-	KindMemRead:           "mem-read",
-	KindMemReadReply:      "mem-read-reply",
-	KindMemWrite:          "mem-write",
-	KindMemWriteAck:       "mem-write-ack",
-	KindMemMigrate:        "mem-migrate",
-	KindHomeUpdate:        "home-update",
-	KindFrameRelocate:     "frame-relocate",
-	KindCodeRequest:       "code-request",
-	KindCodeReply:         "code-reply",
-	KindCodePublish:       "code-publish",
-	KindIORequest:         "io-request",
-	KindIOReply:           "io-reply",
-	KindFrontendOutput:    "frontend-output",
-	KindProgramRegister:   "program-register",
-	KindProgramTerminated: "program-terminated",
-	KindProgramQuery:      "program-query",
-	KindProgramInfo:       "program-info",
-	KindCheckpointStore:   "checkpoint-store",
-	KindCheckpointAck:     "checkpoint-ack",
-	KindCrashNotice:       "crash-notice",
-	KindRecoverRequest:    "recover-request",
-	KindRecoverReply:      "recover-reply",
-	KindError:             "error",
-	KindBarrier:           "barrier",
-	KindUsageQuery:        "usage-query",
-	KindUsageReply:        "usage-reply",
-	KindStatusQuery:       "status-query",
-	KindStatusReply:       "status-reply",
-	KindInputRequest:      "input-request",
-	KindInputReply:        "input-reply",
-	KindMemInvalidate:     "mem-invalidate",
-	KindMetricsQuery:      "metrics-query",
-	KindMetricsReply:      "metrics-reply",
+	KindInvalid:            "invalid",
+	KindSignOnRequest:      "sign-on-request",
+	KindSignOnReply:        "sign-on-reply",
+	KindSiteAnnounce:       "site-announce",
+	KindSignOffNotice:      "sign-off-notice",
+	KindLoadReport:         "load-report",
+	KindIDBlockRequest:     "id-block-request",
+	KindIDBlockReply:       "id-block-reply",
+	KindPing:               "ping",
+	KindPong:               "pong",
+	KindHelpRequest:        "help-request",
+	KindHelpReply:          "help-reply",
+	KindFramePush:          "frame-push",
+	KindApplyParam:         "apply-param",
+	KindMemRead:            "mem-read",
+	KindMemReadReply:       "mem-read-reply",
+	KindMemWrite:           "mem-write",
+	KindMemWriteAck:        "mem-write-ack",
+	KindMemMigrate:         "mem-migrate",
+	KindHomeUpdate:         "home-update",
+	KindFrameRelocate:      "frame-relocate",
+	KindCodeRequest:        "code-request",
+	KindCodeReply:          "code-reply",
+	KindCodePublish:        "code-publish",
+	KindIORequest:          "io-request",
+	KindIOReply:            "io-reply",
+	KindFrontendOutput:     "frontend-output",
+	KindProgramRegister:    "program-register",
+	KindProgramTerminated:  "program-terminated",
+	KindProgramQuery:       "program-query",
+	KindProgramInfo:        "program-info",
+	KindCheckpointStore:    "checkpoint-store",
+	KindCheckpointAck:      "checkpoint-ack",
+	KindCrashNotice:        "crash-notice",
+	KindRecoverRequest:     "recover-request",
+	KindRecoverReply:       "recover-reply",
+	KindError:              "error",
+	KindBarrier:            "barrier",
+	KindUsageQuery:         "usage-query",
+	KindUsageReply:         "usage-reply",
+	KindStatusQuery:        "status-query",
+	KindStatusReply:        "status-reply",
+	KindInputRequest:       "input-request",
+	KindInputReply:         "input-reply",
+	KindMemInvalidate:      "mem-invalidate",
+	KindMetricsQuery:       "metrics-query",
+	KindMetricsReply:       "metrics-reply",
+	KindMemInvalidateBatch: "mem-invalidate-batch",
 }
 
 func (k Kind) String() string {

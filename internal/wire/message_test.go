@@ -36,7 +36,8 @@ func samplePayloads() []Payload {
 		&Ping{Nonce: 1234567},
 		&Pong{Nonce: 1234567},
 		&HelpRequest{Requester: 6, Load: 0.0, Speed: 1.2},
-		&HelpReply{CantHelp: false, Frame: frame},
+		&HelpReply{CantHelp: false, Frames: []*Microframe{frame}},
+		&HelpReply{CantHelp: false, Frames: []*Microframe{frame, NewMicroframe(addr, tid, 1)}},
 		&HelpReply{CantHelp: true},
 		&FramePush{Frame: frame},
 		&ApplyParam{Dst: Target{Addr: addr, Slot: 2}, Data: []byte("result")},
@@ -49,6 +50,7 @@ func samplePayloads() []Payload {
 		&MemWriteAck{OK: false, Redirect: 3},
 		&MemMigrate{Objects: []MemObject{{Addr: addr, Data: []byte{5}, Version: 1}}},
 		&MemInvalidate{Addr: addr},
+		&MemInvalidateBatch{Addrs: []types.GlobalAddr{addr, {Home: 4, Local: 12}}},
 		&HomeUpdate{Addr: addr, Owner: 8},
 		&FrameRelocate{Frames: []*Microframe{frame, NewMicroframe(addr, tid, 0)}},
 		&CodeRequest{Thread: tid, Platform: 3},

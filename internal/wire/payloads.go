@@ -260,27 +260,46 @@ func (p *HelpRequest) UnmarshalWire(r *Reader) {
 	p.Speed = r.Float64()
 }
 
-// HelpReply answers a HelpRequest: either one executable microframe or a
-// can't-help flag (paper §4).
+// HelpReply answers a HelpRequest: either a batch of executable
+// microframes or a can't-help flag (paper §4). Carrying several frames
+// per round-trip amortizes the request latency when the granter's queue
+// is deep (bulk work transfer, as in work-stealing VMs).
 type HelpReply struct {
 	CantHelp bool
-	Frame    *Microframe // set when CantHelp is false
+	Frames   []*Microframe // non-empty when CantHelp is false
 }
 
 func (*HelpReply) Kind() Kind { return KindHelpReply }
 
 func (p *HelpReply) MarshalWire(w *Writer) {
 	w.Bool(p.CantHelp)
-	if !p.CantHelp {
-		p.Frame.MarshalWire(w)
+	if p.CantHelp {
+		return
+	}
+	w.Uint32(uint32(len(p.Frames)))
+	for _, f := range p.Frames {
+		f.MarshalWire(w)
 	}
 }
 
 func (p *HelpReply) UnmarshalWire(r *Reader) {
 	p.CantHelp = r.Bool()
-	if !p.CantHelp {
-		p.Frame = &Microframe{}
-		p.Frame.UnmarshalWire(r)
+	if p.CantHelp {
+		return
+	}
+	n := r.Uint32()
+	if n > maxSliceLen {
+		r.fail("help reply batch")
+		return
+	}
+	if n == 0 {
+		return
+	}
+	p.Frames = make([]*Microframe, 0, n)
+	for i := 0; i < int(n) && r.Err() == nil; i++ {
+		f := &Microframe{}
+		f.UnmarshalWire(r)
+		p.Frames = append(p.Frames, f)
 	}
 }
 
@@ -995,6 +1014,7 @@ func init() {
 	register(KindInputRequest, func() Payload { return &InputRequest{} })
 	register(KindInputReply, func() Payload { return &InputReply{} })
 	register(KindMemInvalidate, func() Payload { return &MemInvalidate{} })
+	register(KindMemInvalidateBatch, func() Payload { return &MemInvalidateBatch{} })
 }
 
 // Usage is one site's resource account for one program.
@@ -1094,6 +1114,39 @@ func (*MemInvalidate) Kind() Kind { return KindMemInvalidate }
 func (p *MemInvalidate) MarshalWire(w *Writer) { w.Addr(p.Addr) }
 
 func (p *MemInvalidate) UnmarshalWire(r *Reader) { p.Addr = r.Addr() }
+
+// MemInvalidateBatch carries every address one replica holder must drop
+// in a single round-trip. The owner groups invalidations per holder site
+// and the holder acknowledges the whole batch with one Barrier, so a
+// write (or migration) pays at most one round-trip per holder site
+// instead of one per (address, holder) pair.
+type MemInvalidateBatch struct {
+	Addrs []types.GlobalAddr
+}
+
+func (*MemInvalidateBatch) Kind() Kind { return KindMemInvalidateBatch }
+
+func (p *MemInvalidateBatch) MarshalWire(w *Writer) {
+	w.Uint32(uint32(len(p.Addrs)))
+	for _, a := range p.Addrs {
+		w.Addr(a)
+	}
+}
+
+func (p *MemInvalidateBatch) UnmarshalWire(r *Reader) {
+	n := r.Uint32()
+	if n > maxSliceLen {
+		r.fail("invalidate batch")
+		return
+	}
+	if n == 0 {
+		return
+	}
+	p.Addrs = make([]types.GlobalAddr, 0, n)
+	for i := 0; i < int(n) && r.Err() == nil; i++ {
+		p.Addrs = append(p.Addrs, r.Addr())
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Site status payloads (paper §4, site manager).
