@@ -17,13 +17,19 @@
 //
 //	-q               print findings only, no summary
 //	-json            emit findings as a JSON array on stdout
-//	-baseline FILE   suppress findings recorded in FILE (a -json dump);
+//	-baseline FILE   suppress findings recorded in FILE (a -json dump,
+//	                 optionally annotated with per-entry "why" fields);
 //	                 matching ignores line numbers, so a baseline
 //	                 survives unrelated edits above a finding
+//	-analyzers CSV   run only the named analyzers ("wiretaint,lockhold"),
+//	                 or all but the negated ones ("-allocfree,-lockorder")
+//	-timings         print per-analyzer wall-clock timings to stderr
+//	-budget DUR      exit nonzero if the whole run exceeds DUR (0 = off)
 //
 // A typical adoption path for a new analyzer: run `sdvmlint -json >
-// baseline.json` once, commit the baseline, and burn it down finding by
-// finding while CI blocks only regressions.
+// baseline.json` once, commit the baseline with a justification per
+// entry, and burn it down finding by finding while CI blocks only
+// regressions.
 //
 // See internal/analysis and DESIGN.md ("Static analysis & race policy").
 package main
@@ -34,48 +40,58 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
-
-// jsonFinding is the stable serialized form of one finding. File is
-// relative to the module root so baselines are machine-independent.
-type jsonFinding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
-}
 
 func main() {
 	quiet := flag.Bool("q", false, "print findings only, no summary")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	baseline := flag.String("baseline", "", "suppress findings recorded in this file (a previous -json dump)")
+	analyzerSpec := flag.String("analyzers", "", "comma-separated analyzers to run, or to skip when every entry starts with '-'")
+	timings := flag.Bool("timings", false, "print per-analyzer wall-clock timings to stderr")
+	budget := flag.Duration("budget", 0, "fail if the whole analysis run exceeds this duration (0 disables)")
 	flag.Parse()
 
+	analyzers, err := selectAnalyzers(analysis.All(), *analyzerSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdvmlint:", err)
+		os.Exit(2)
+	}
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdvmlint:", err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	prog, err := analysis.Load(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdvmlint:", err)
 		os.Exit(2)
 	}
-	findings := analysis.Run(prog, analysis.All())
+	loadTime := time.Since(start)
+	findings, perAnalyzer := analysis.RunWithTimings(prog, analyzers)
+	total := time.Since(start)
+	if *timings {
+		fmt.Fprintf(os.Stderr, "sdvmlint: load %v\n", loadTime.Round(time.Millisecond))
+		for _, tm := range perAnalyzer {
+			fmt.Fprintf(os.Stderr, "sdvmlint: %-14s %v\n", tm.Analyzer, tm.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr, "sdvmlint: total %v\n", total.Round(time.Millisecond))
+	}
 	if *baseline != "" {
-		findings, err = applyBaseline(findings, root, *baseline)
+		findings, err = analysis.ApplyBaseline(findings, root, *baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdvmlint:", err)
 			os.Exit(2)
 		}
 	}
 	if *asJSON {
-		out := make([]jsonFinding, 0, len(findings))
+		out := make([]analysis.JSONFinding, 0, len(findings))
 		for _, f := range findings {
-			out = append(out, toJSON(root, f))
+			out = append(out, analysis.ToJSON(root, f))
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -93,55 +109,74 @@ func main() {
 			len(findings), len(prog.Pkgs))
 		os.Exit(1)
 	}
+	if *budget > 0 && total > *budget {
+		fmt.Fprintf(os.Stderr, "sdvmlint: run took %v, over the %v budget\n",
+			total.Round(time.Millisecond), *budget)
+		os.Exit(1)
+	}
 	if !*quiet && !*asJSON {
 		fmt.Fprintf(os.Stderr, "sdvmlint: clean (%d packages)\n", len(prog.Pkgs))
 	}
 }
 
-func toJSON(root string, f analysis.Finding) jsonFinding {
-	file := f.Pos.Filename
-	if rel, err := filepath.Rel(root, file); err == nil {
-		file = filepath.ToSlash(rel)
+// selectAnalyzers resolves the -analyzers flag against the full suite.
+// An empty spec keeps everything. A spec whose entries all start with
+// '-' runs the suite minus those analyzers; otherwise exactly the named
+// analyzers run, in suite order. Unknown names are errors, so a typo
+// cannot silently skip a gate.
+func selectAnalyzers(all []analysis.Analyzer, spec string) ([]analysis.Analyzer, error) {
+	if spec == "" {
+		return all, nil
 	}
-	return jsonFinding{
-		File:     file,
-		Line:     f.Pos.Line,
-		Col:      f.Pos.Column,
-		Analyzer: f.Analyzer,
-		Message:  f.Message,
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name()] = true
 	}
-}
-
-// applyBaseline drops findings recorded in the baseline file. Matching
-// is on (file, analyzer, message) — deliberately not line: edits above
-// a baselined finding move it without changing what it is. Each
-// baseline entry suppresses at most as many findings as it was recorded
-// with, so a duplicated regression still surfaces.
-func applyBaseline(findings []analysis.Finding, root, path string) ([]analysis.Finding, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("reading baseline: %w", err)
-	}
-	var base []jsonFinding
-	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
-	}
-	budget := make(map[jsonFinding]int, len(base))
-	for _, b := range base {
-		b.Line, b.Col = 0, 0
-		budget[b]++
-	}
-	var out []analysis.Finding
-	for _, f := range findings {
-		k := toJSON(root, f)
-		k.Line, k.Col = 0, 0
-		if budget[k] > 0 {
-			budget[k]--
+	include := make(map[string]bool)
+	exclude := make(map[string]bool)
+	for _, raw := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
 			continue
 		}
-		out = append(out, f)
+		neg := strings.HasPrefix(name, "-")
+		if neg {
+			name = name[1:]
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, knownNames(all))
+		}
+		if neg {
+			exclude[name] = true
+		} else {
+			include[name] = true
+		}
+	}
+	if len(include) > 0 && len(exclude) > 0 {
+		return nil, fmt.Errorf("-analyzers mixes selections and exclusions: %q", spec)
+	}
+	var out []analysis.Analyzer
+	for _, a := range all {
+		if len(include) > 0 && !include[a.Name()] {
+			continue
+		}
+		if exclude[a.Name()] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-analyzers %q selects nothing", spec)
 	}
 	return out, nil
+}
+
+func knownNames(all []analysis.Analyzer) string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name()
+	}
+	return strings.Join(names, ", ")
 }
 
 // moduleRoot walks from the working directory up to the nearest go.mod.

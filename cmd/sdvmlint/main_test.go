@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -22,7 +23,7 @@ func TestApplyBaselineIgnoresLines(t *testing.T) {
 	root := t.TempDir()
 	// Baseline recorded at line 10; the same finding has since moved to
 	// line 42 and must still be suppressed.
-	base := []jsonFinding{{File: "a/b.go", Line: 10, Col: 3, Analyzer: "lockhold", Message: "boom"}}
+	base := []analysis.JSONFinding{{File: "a/b.go", Line: 10, Col: 3, Analyzer: "lockhold", Message: "boom"}}
 	data, err := json.Marshal(base)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +37,7 @@ func TestApplyBaselineIgnoresLines(t *testing.T) {
 		mkFinding(filepath.Join(root, "a/b.go"), 42, "lockhold", "boom"),
 		mkFinding(filepath.Join(root, "a/b.go"), 50, "lockhold", "other"),
 	}
-	out, err := applyBaseline(findings, root, path)
+	out, err := analysis.ApplyBaseline(findings, root, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestApplyBaselineBudget(t *testing.T) {
 	root := t.TempDir()
 	// One baseline entry must not absorb two identical findings: the
 	// second occurrence is a regression.
-	base := []jsonFinding{{File: "x.go", Analyzer: "sleepfree", Message: "nap"}}
+	base := []analysis.JSONFinding{{File: "x.go", Analyzer: "sleepfree", Message: "nap"}}
 	data, _ := json.Marshal(base)
 	path := filepath.Join(root, "baseline.json")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
@@ -59,7 +60,7 @@ func TestApplyBaselineBudget(t *testing.T) {
 		mkFinding(filepath.Join(root, "x.go"), 1, "sleepfree", "nap"),
 		mkFinding(filepath.Join(root, "x.go"), 2, "sleepfree", "nap"),
 	}
-	out, err := applyBaseline(findings, root, path)
+	out, err := analysis.ApplyBaseline(findings, root, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +69,89 @@ func TestApplyBaselineBudget(t *testing.T) {
 	}
 }
 
+func TestApplyBaselineWhyIgnoredInMatching(t *testing.T) {
+	root := t.TempDir()
+	// A justification on the baseline entry must not break matching.
+	base := []analysis.JSONFinding{{
+		File: "y.go", Analyzer: "allocfree", Message: "make allocates",
+		Why: "decode builds the message; zero-alloc codec is ROADMAP item 4",
+	}}
+	data, _ := json.Marshal(base)
+	path := filepath.Join(root, "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := []analysis.Finding{
+		mkFinding(filepath.Join(root, "y.go"), 9, "allocfree", "make allocates"),
+	}
+	out, err := analysis.ApplyBaseline(findings, root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("annotated baseline entry must still suppress, got %v", out)
+	}
+}
+
 func TestToJSONRelativizes(t *testing.T) {
 	root := string(filepath.Separator) + filepath.Join("mod", "root")
 	f := mkFinding(filepath.Join(root, "internal", "x.go"), 7, "guardedby", "m")
-	j := toJSON(root, f)
+	j := analysis.ToJSON(root, f)
 	if j.File != "internal/x.go" {
 		t.Fatalf("want module-relative slash path, got %q", j.File)
+	}
+}
+
+func names(as []analysis.Analyzer) string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name()
+	}
+	return strings.Join(out, ",")
+}
+
+func TestSelectAnalyzersAll(t *testing.T) {
+	all := analysis.All()
+	got, err := selectAnalyzers(all, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names(got) != names(all) {
+		t.Fatalf("empty spec must keep the whole suite, got %s", names(got))
+	}
+}
+
+func TestSelectAnalyzersInclude(t *testing.T) {
+	got, err := selectAnalyzers(analysis.All(), "allocfree,wiretaint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suite order, not spec order.
+	if names(got) != "wiretaint,allocfree" {
+		t.Fatalf("want wiretaint,allocfree in suite order, got %s", names(got))
+	}
+}
+
+func TestSelectAnalyzersExclude(t *testing.T) {
+	all := analysis.All()
+	got, err := selectAnalyzers(all, "-wiretaint,-allocfree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all)-2 {
+		t.Fatalf("want %d analyzers, got %s", len(all)-2, names(got))
+	}
+	for _, a := range got {
+		if a.Name() == "wiretaint" || a.Name() == "allocfree" {
+			t.Fatalf("excluded analyzer still present: %s", names(got))
+		}
+	}
+}
+
+func TestSelectAnalyzersErrors(t *testing.T) {
+	for _, spec := range []string{"nosuch", "lockhold,-allocfree", "-lockhold,nosuch"} {
+		if _, err := selectAnalyzers(analysis.All(), spec); err == nil {
+			t.Errorf("spec %q: want error, got none", spec)
+		}
 	}
 }

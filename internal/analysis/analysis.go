@@ -23,12 +23,23 @@
 //     module is never read or written plainly, in any package;
 //   - chanowner: every channel struct field has exactly one closing
 //     owner, closes stay in the declaring package, and no send follows
-//     the close in straight-line code.
+//     the close in straight-line code;
+//   - wiretaint: values decoded from network bytes must pass a
+//     recognized validation (bounds clamp, roster membership, Valid())
+//     before sizing allocations, indexing, bounding loops or choosing
+//     routing destinations — tracked interprocedurally through
+//     per-function transfer summaries;
+//   - allocfree: functions annotated //sdvm:hotpath must not allocate
+//     transitively — make/new/append, interface boxing, closures,
+//     string conversions and known-allocating stdlib calls are reported
+//     with a root-to-site witness chain.
 //
-// The last four analyzers (and the interprocedural halves of lockhold
+// The last six analyzers (and the interprocedural halves of lockhold
 // and guardedby) run on a conservative whole-module call graph built in
-// callgraph.go/ipstate.go; its construction rules and soundness caveats
-// are documented on the engine.
+// callgraph.go/ipstate.go; the shared dataflow propagation (witness
+// chains, may-fact fixpoints, forward reachability) lives in
+// dataflow.go. Construction rules and soundness caveats are documented
+// on the engine and the framework.
 //
 // A finding can be suppressed with a line directive — on the offending
 // line or the line above it:
@@ -44,6 +55,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer report.
@@ -74,22 +86,41 @@ func All() []Analyzer {
 		newLockorder(),
 		newAtomicmix(),
 		newChanowner(),
+		newWiretaint(),
+		newAllocfree(),
 	}
+}
+
+// Timing records one analyzer's wall-clock cost for a run.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
 }
 
 // Run executes the analyzers and filters findings through the
 // //sdvmlint:allow directives, returning the survivors sorted by
 // position.
 func Run(prog *Program, analyzers []Analyzer) []Finding {
+	findings, _ := RunWithTimings(prog, analyzers)
+	return findings
+}
+
+// RunWithTimings is Run plus per-analyzer wall-clock timings, in
+// analyzer order. The first analyzer's timing absorbs the lazy
+// call-graph engine construction the interprocedural passes share.
+func RunWithTimings(prog *Program, analyzers []Analyzer) ([]Finding, []Timing) {
 	allow := collectAllows(prog)
 	var out []Finding
+	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
+		start := time.Now()
 		for _, f := range a.Run(prog) {
 			if allow.allowed(a.Name(), f.Pos) {
 				continue
 			}
 			out = append(out, f)
 		}
+		timings = append(timings, Timing{Analyzer: a.Name(), Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
@@ -100,7 +131,7 @@ func Run(prog *Program, analyzers []Analyzer) []Finding {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
+	return out, timings
 }
 
 // allowSet records, per file and line, which analyzers are suppressed. A

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// JSONFinding is the stable serialized form of one finding, shared by
+// the driver's -json output, the committed lint.baseline.json and the
+// repo-clean test. File is relative to the module root so baselines are
+// machine-independent. Why carries the human justification for a
+// baseline entry; it never affects matching.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Why      string `json:"why,omitempty"`
+}
+
+// ToJSON converts a finding to its serialized form, relativizing the
+// file path against the module root.
+func ToJSON(root string, f Finding) JSONFinding {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return JSONFinding{
+		File:     file,
+		Line:     f.Pos.Line,
+		Col:      f.Pos.Column,
+		Analyzer: f.Analyzer,
+		Message:  f.Message,
+	}
+}
+
+// ApplyBaseline drops findings recorded in the baseline file (a -json
+// dump, optionally annotated with per-entry "why" justifications).
+// Matching is on (file, analyzer, message) — deliberately not line:
+// edits above a baselined finding move it without changing what it is.
+// Each baseline entry suppresses at most as many findings as it was
+// recorded with, so a duplicated regression still surfaces.
+func ApplyBaseline(findings []Finding, root, path string) ([]Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []JSONFinding
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	budget := make(map[JSONFinding]int, len(base))
+	for _, b := range base {
+		b.Line, b.Col, b.Why = 0, 0, ""
+		budget[b]++
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := ToJSON(root, f)
+		k.Line, k.Col = 0, 0
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

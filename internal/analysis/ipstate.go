@@ -28,8 +28,9 @@ import (
 //     one witness predecessor per lock for chain reconstruction. This
 //     feeds the lock-order graph.
 type funcSum struct {
-	obj      *types.Func  // nil for function literals
-	lit      *ast.FuncLit // nil for declared functions
+	obj      *types.Func   // nil for function literals
+	lit      *ast.FuncLit  // nil for declared functions
+	decl     *ast.FuncDecl // nil for function literals
 	pkg      *Package
 	pos      token.Pos
 	name     string
@@ -76,12 +77,9 @@ type callOp struct {
 }
 
 // blockChain is a mayBlock witness: the ultimate blocking operation and
-// the callee names leading to it.
-type blockChain struct {
-	what  string
-	pos   token.Pos
-	chain []string
-}
+// the callee names leading to it (the generic witness shape from
+// dataflow.go).
+type blockChain = dfChain
 
 // entrySrc is one witness predecessor for a lock in mayEntry.
 type entrySrc struct {
@@ -158,7 +156,7 @@ func (v *ipVisitor) enterFunc(node ast.Node) {
 	switch n := node.(type) {
 	case *ast.FuncDecl:
 		fn, _ := v.pkg.Info.Defs[n.Name].(*types.Func)
-		sum = &funcSum{obj: fn, pkg: v.pkg, pos: n.Pos(), name: displayName(fn), exported: n.Name.IsExported()}
+		sum = &funcSum{obj: fn, decl: n, pkg: v.pkg, pos: n.Pos(), name: displayName(fn), exported: n.Name.IsExported()}
 		if fn != nil {
 			v.eng.byObj[fn] = sum
 		}
@@ -357,39 +355,20 @@ func (v *ipVisitor) classify(op *callOp, obj types.Object) bool {
 // computeMayBlock is a reverse reachability fixpoint: a function may
 // block if it blocks directly or synchronously calls one that may.
 // Goroutine launches and unresolved dynamic calls do not propagate.
+// It runs on the generic may-fact propagation from dataflow.go.
 func (e *engine) computeMayBlock() {
+	res := e.propagateMay(
+		func(s *funcSum) *dfChain {
+			if len(s.blocks) > 0 {
+				b := s.blocks[0]
+				return &dfChain{what: b.what, pos: b.pos}
+			}
+			return nil
+		},
+		func(c *callOp) bool { return !c.isGo && !c.dynamic },
+	)
 	for _, s := range e.sums {
-		if len(s.blocks) > 0 {
-			b := s.blocks[0]
-			s.mayBlock = &blockChain{what: b.what, pos: b.pos}
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, s := range e.sums {
-			if s.mayBlock != nil {
-				continue
-			}
-			for i := range s.calls {
-				c := &s.calls[i]
-				if c.isGo || c.dynamic {
-					continue
-				}
-				for _, t := range c.callees {
-					if t.mayBlock == nil {
-						continue
-					}
-					chain := make([]string, 0, len(t.mayBlock.chain)+1)
-					chain = append(append(chain, t.name), t.mayBlock.chain...)
-					s.mayBlock = &blockChain{what: t.mayBlock.what, pos: t.mayBlock.pos, chain: chain}
-					changed = true
-					break
-				}
-				if s.mayBlock != nil {
-					break
-				}
-			}
-		}
+		s.mayBlock = res[s]
 	}
 }
 

@@ -31,3 +31,28 @@ func calls() {
 
 	func() { helper() }() // want "static call to fixture.calls.func@32" "static call to fixture.helper"
 }
+
+// Closure and bound-method edges: the dataflow summaries (allocfree,
+// wiretaint) walk exactly these, so their resolution is pinned here.
+func closures() {
+	// A literal stored in a variable is no longer statically resolvable
+	// at its call site, but its own body still gets static edges.
+	g := func() { helper() } // want "static call to fixture.helper"
+	g()                      // want "dynamic call (unresolved)"
+
+	// A deferred literal runs synchronously at return: static edge to
+	// the literal, and the literal's body edges resolve as usual.
+	defer func() { helper() }() // want "static call to fixture.closures.func@45" "static call to fixture.helper"
+
+	// A goroutine launching a literal gets a go edge to the literal.
+	go func() { helper() }() // want "goroutine launch of fixture.closures.func@48" "static call to fixture.helper"
+}
+
+func boundMethods(m *mgr) {
+	// A method value detaches the receiver: the call site is dynamic.
+	h := m.run
+	h() // want "dynamic call (unresolved)"
+
+	// A method expression names the method statically.
+	(*mgr).run(m) // want "static call to fixture.mgr.run"
+}

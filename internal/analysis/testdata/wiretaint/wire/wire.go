@@ -1,0 +1,55 @@
+// Package wire is a miniature of the real codec, just enough for
+// wiretaint's source rules: a Reader whose decode methods taint their
+// results, the SliceLen validated count reader (whose result is clean
+// by design), and payload structs a remote peer populates.
+package wire
+
+// SiteID is a logical site. Valid is the membership check the analyzer
+// recognizes.
+type SiteID uint32
+
+// Valid reports whether the id can belong to a live site.
+func (s SiteID) Valid() bool { return s != 0 }
+
+// Payload is a decoded message body; every field is attacker-chosen.
+type Payload struct {
+	Count  uint32
+	Offset uint32
+	Home   SiteID
+}
+
+// Reader decodes values from a byte buffer.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Uint32 reads a little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.off+4 > len(r.buf) {
+		return 0
+	}
+	v := uint32(r.buf[r.off]) | uint32(r.buf[r.off+1])<<8 |
+		uint32(r.buf[r.off+2])<<16 | uint32(r.buf[r.off+3])<<24
+	r.off += 4
+	return v
+}
+
+// SiteID reads a logical site id.
+func (r *Reader) SiteID() SiteID { return SiteID(r.Uint32()) }
+
+// SliceLen reads an element count and validates it against the bytes
+// remaining, so the result is safe to size an allocation with.
+func (r *Reader) SliceLen(elemSize int, what string) int {
+	n := r.Uint32()
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if int64(n)*int64(elemSize) > int64(r.Remaining()) {
+		return 0
+	}
+	return int(n)
+}

@@ -238,7 +238,15 @@ func (m *Manager) localFile(handle types.GlobalAddr) (*os.File, error) {
 	return f, nil
 }
 
+// maxIOChunk bounds a single read request (the reply must fit in one
+// transport datagram). Request lengths arrive off the wire; a negative
+// or oversized one is a corrupt request, not a real read.
+const maxIOChunk = 1 << 20
+
 func (m *Manager) localRead(handle types.GlobalAddr, offset int64, length int) ([]byte, error) {
+	if length < 0 || length > maxIOChunk {
+		return nil, fmt.Errorf("iomgr: read length %d out of range", length)
+	}
 	f, err := m.localFile(handle)
 	if err != nil {
 		return nil, err

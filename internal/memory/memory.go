@@ -850,7 +850,10 @@ func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
 	s := m.shardFor(addr)
 	m.lockShard(s)
 	if o, ok := s.objects[addr]; ok {
-		writeAt(o, offset, data)
+		if !writeAt(o, offset, data) {
+			s.mu.Unlock()
+			return fmt.Errorf("memory: write %v: offset %d + %d bytes out of bounds", addr, offset, len(data))
+		}
 		inv := invalidation{}
 		inv.add(addr, m.takeCopysetLocked(s, addr, types.InvalidSite))
 		s.mu.Unlock()
@@ -890,14 +893,28 @@ func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
 	return fmt.Errorf("memory: write %v: redirect chain too long", addr)
 }
 
-func writeAt(o *wire.MemObject, offset int, data []byte) {
-	if need := offset + len(data); need > len(o.Data) {
+// maxObjectSize bounds a memory object's backing array. An object must
+// fit in one transport datagram to migrate or checkpoint, so growth
+// beyond that is a corrupt or malicious request, not a real write.
+const maxObjectSize = 16 << 20
+
+// writeAt stores data at offset, growing the object if needed. It
+// reports false for an out-of-bounds write (negative offset, or growth
+// past maxObjectSize): offsets arrive off the wire and must not size
+// allocations unchecked.
+func writeAt(o *wire.MemObject, offset int, data []byte) bool {
+	need := offset + len(data)
+	if offset < 0 || need > maxObjectSize {
+		return false
+	}
+	if need > len(o.Data) {
 		grown := make([]byte, need)
 		copy(grown, o.Data)
 		o.Data = grown
 	}
 	copy(o.Data[offset:], data)
 	o.Version++
+	return true
 }
 
 // ---------------------------------------------------------------------------
@@ -1248,7 +1265,11 @@ func (m *Manager) handleMemWrite(msg *wire.Message, p *wire.MemWrite) {
 	s := m.shardFor(p.Addr)
 	m.lockShard(s)
 	if o, ok := s.objects[p.Addr]; ok {
-		writeAt(o, int(p.Offset), p.Data)
+		if !writeAt(o, int(p.Offset), p.Data) {
+			s.mu.Unlock()
+			_ = m.bus.ReplyErr(msg, types.MgrMemory, wire.ErrCodeGeneric, "memory: write out of bounds")
+			return
+		}
 		inv := invalidation{}
 		inv.add(p.Addr, m.takeCopysetLocked(s, p.Addr, msg.Src))
 		s.mu.Unlock()
@@ -1296,6 +1317,9 @@ func (m *Manager) handleMigrate(p *wire.MemMigrate) {
 	m.met.migrations.Add(uint64(len(p.Objects)))
 
 	for _, u := range updates {
+		if !u.Addr.Home.Valid() {
+			continue // corrupt migration payload: no directory to update
+		}
 		_ = m.bus.Send(u.Addr.Home, types.MgrMemory, types.MgrMemory, u)
 	}
 }

@@ -109,6 +109,7 @@ func pickIndex(n int, policy types.SchedulingClass, prio func(i int) types.Prior
 	case types.SchedPriority:
 		best := 0
 		for i := 1; i < n; i++ {
+			//sdvmlint:allow allocfree -- prio is a caller-stack closure invoked inline, not stored
 			if prio(i) > prio(best) {
 				best = i
 			}

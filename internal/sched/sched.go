@@ -695,7 +695,9 @@ func (m *Manager) TryGetWork() (*Ready, bool) {
 
 // takeReadyLocked removes one entry from the ready queue per policy;
 // critical-path frames always dispatch first (paper §3.3). Caller holds
-// m.mu.
+// m.mu. This is the dispatch inner loop: it must not allocate.
+//
+//sdvm:hotpath
 func (m *Manager) takeReadyLocked(policy types.SchedulingClass) *Ready {
 	idx := -1
 	for i, r := range m.ready {
@@ -705,12 +707,13 @@ func (m *Manager) takeReadyLocked(policy types.SchedulingClass) *Ready {
 		}
 	}
 	if idx < 0 {
+		//sdvmlint:allow allocfree -- closure does not escape pickIndex and stays on the stack
 		idx = pickIndex(len(m.ready), policy, func(i int) types.Priority {
 			return m.ready[i].Frame.Prio
 		})
 	}
 	r := m.ready[idx]
-	m.ready = append(m.ready[:idx], m.ready[idx+1:]...)
+	m.ready = append(m.ready[:idx], m.ready[idx+1:]...) //sdvmlint:allow allocfree -- removal append shrinks, never grows
 	return r
 }
 
@@ -718,7 +721,11 @@ func (m *Manager) takeReadyLocked(policy types.SchedulingClass) *Ready {
 // ready entry for a help grant, or nil. Ties break by the help policy,
 // mirroring frameQueue.popSurrender — a LIFO help reply surrenders the
 // newest equal-priority frame regardless of which queue the resolver
-// has moved it to. Caller holds m.mu.
+// has moved it to. Caller holds m.mu. Runs on the dispatch path, so the
+// k-th matching index is found by a second scan instead of collecting
+// matches into a slice.
+//
+//sdvm:hotpath
 func (m *Manager) takeReadySurrenderLocked(policy types.SchedulingClass) *Ready {
 	if len(m.ready) == 0 {
 		return nil
@@ -732,15 +739,26 @@ func (m *Manager) takeReadySurrenderLocked(policy types.SchedulingClass) *Ready 
 	if lowest >= types.PriorityCritical {
 		return nil
 	}
-	var idxs []int
-	for i, r := range m.ready {
+	count := 0
+	for _, r := range m.ready {
 		if r.Frame.Prio == lowest {
-			idxs = append(idxs, i)
+			count++
 		}
 	}
-	idx := idxs[pickIndex(len(idxs), policy, func(int) types.Priority { return 0 })]
+	//sdvmlint:allow allocfree -- closure does not escape pickIndex and stays on the stack
+	k := pickIndex(count, policy, func(int) types.Priority { return 0 })
+	idx := -1
+	for i, r := range m.ready {
+		if r.Frame.Prio == lowest {
+			if k == 0 {
+				idx = i
+				break
+			}
+			k--
+		}
+	}
 	r := m.ready[idx]
-	m.ready = append(m.ready[:idx], m.ready[idx+1:]...)
+	m.ready = append(m.ready[:idx], m.ready[idx+1:]...) //sdvmlint:allow allocfree -- removal append shrinks, never grows
 	return r
 }
 

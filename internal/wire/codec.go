@@ -237,6 +237,27 @@ func (r *Reader) String() string {
 	return string(b)
 }
 
+// SliceLen reads a uint32 element count and validates it against the
+// bytes remaining in the buffer: a well-formed encoding carries at
+// least elemSize bytes per element, so any larger count is a corrupt or
+// malicious length prefix, failed here — before the caller allocates.
+// This is the only sanctioned way to size a slice from wire data; the
+// wiretaint analyzer treats its result as clean.
+func (r *Reader) SliceLen(elemSize int, what string) int {
+	n := r.Uint32()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if int64(n)*int64(elemSize) > int64(r.Remaining()) {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
 // SiteID reads a logical site id.
 func (r *Reader) SiteID() types.SiteID { return types.SiteID(r.Uint32()) }
 

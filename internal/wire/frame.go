@@ -6,6 +6,21 @@ import (
 	"repro/internal/types"
 )
 
+// Minimum encoded sizes of the repeated wire elements, used to validate
+// decoded element counts (Reader.SliceLen) against the remaining payload
+// before sizing allocations. A value below the real minimum is safe (the
+// count bound just gets looser); one above it would reject valid
+// messages.
+const (
+	targetWireSize       = 16 // Addr (12) + Slot (4)
+	memObjectWireSize    = 32 // Addr (12) + ProgramID (8) + Version (8) + Bytes32 length (4)
+	microframeWireSize   = 38 // ID (12) + Thread (12) + Prio (2) + Hint (4) + arity (4) + target count (4)
+	siteInfoWireSize     = 36 // SiteID (4) + empty String (4) + Platform (2) + Speed+Load (16) + QueueLen+Programs (8) + two bools
+	usageWireSize        = 60 // ProgramID (8) + SiteID (4) + six 8-byte counters
+	addrWireSize         = 12 // SiteID (4) + Local (8)
+	metricSampleWireSize = 12 // empty String (4) + Int64 (8)
+)
+
 // Target is one pre-wired result destination of a microframe: when the
 // microthread produces result i, the processing manager sends it to
 // Targets[i] — the parameter slot Slot of the microframe at Addr
@@ -151,30 +166,22 @@ func (f *Microframe) UnmarshalWire(r *Reader) {
 	f.Thread = r.ThreadID()
 	f.Prio = types.Priority(r.Int16())
 	f.Hint = r.Uint32()
-	arity := r.Uint32()
-	if arity > maxSliceLen {
-		r.fail("frame arity")
-		return
-	}
+	arity := r.SliceLen(1, "frame arity") // one Filled byte per slot, minimum
 	f.Params = make([][]byte, arity)
 	f.Filled = make([]bool, arity)
-	for i := 0; i < int(arity) && r.Err() == nil; i++ {
+	for i := 0; i < arity && r.Err() == nil; i++ {
 		f.Filled[i] = r.Bool()
 		if f.Filled[i] {
 			f.Params[i] = r.Bytes32()
 		}
 	}
-	ntgt := r.Uint32()
-	if ntgt > maxSliceLen {
-		r.fail("frame targets")
-		return
-	}
+	ntgt := r.SliceLen(targetWireSize, "frame targets")
 	if ntgt == 0 {
 		f.Target = nil
 		return
 	}
 	f.Target = make([]Target, ntgt)
-	for i := 0; i < int(ntgt) && r.Err() == nil; i++ {
+	for i := 0; i < ntgt && r.Err() == nil; i++ {
 		f.Target[i].unmarshal(r)
 	}
 }

@@ -217,6 +217,8 @@ func (m *Message) String() string {
 const headerSize = 4 + 4 + 1 + 1 + 8 + 8 + 2
 
 // Encode serializes m into w.
+//
+//sdvm:hotpath
 func (m *Message) Encode(w *Writer) {
 	w.SiteID(m.Src)
 	w.SiteID(m.Dst)
@@ -240,6 +242,8 @@ func (m *Message) EncodeBytes() []byte {
 }
 
 // Decode parses one message from r.
+//
+//sdvm:hotpath
 func Decode(r *Reader) (*Message, error) {
 	m := &Message{
 		Src:    r.SiteID(),

@@ -51,16 +51,12 @@ func (p *MetricsReply) MarshalWire(w *Writer) {
 
 func (p *MetricsReply) UnmarshalWire(r *Reader) {
 	p.Site = r.SiteID()
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("metrics-reply sample count")
-		return
-	}
+	n := r.SliceLen(metricSampleWireSize, "metrics-reply sample count")
 	if n == 0 {
 		return
 	}
-	p.Samples = make([]MetricSample, 0, min(int(n), 4096))
-	for i := uint32(0); i < n && r.Err() == nil; i++ {
+	p.Samples = make([]MetricSample, 0, min(n, 4096))
+	for i := 0; i < n && r.Err() == nil; i++ {
 		var s MetricSample
 		s.Name = r.String()
 		s.Value = r.Int64()

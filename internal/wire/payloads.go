@@ -101,16 +101,12 @@ func (p *SignOnReply) MarshalWire(w *Writer) {
 
 func (p *SignOnReply) UnmarshalWire(r *Reader) {
 	p.Assigned = r.SiteID()
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("cluster list")
-		return
-	}
+	n := r.SliceLen(siteInfoWireSize, "cluster list")
 	if n == 0 {
 		return
 	}
 	p.Cluster = make([]types.SiteInfo, 0, n)
-	for i := 0; i < int(n) && r.Err() == nil; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		p.Cluster = append(p.Cluster, unmarshalSiteInfo(r))
 	}
 }
@@ -131,16 +127,12 @@ func (p *SiteAnnounce) MarshalWire(w *Writer) {
 }
 
 func (p *SiteAnnounce) UnmarshalWire(r *Reader) {
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("announce list")
-		return
-	}
+	n := r.SliceLen(siteInfoWireSize, "announce list")
 	if n == 0 {
 		return
 	}
 	p.Sites = make([]types.SiteInfo, 0, n)
-	for i := 0; i < int(n) && r.Err() == nil; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		p.Sites = append(p.Sites, unmarshalSiteInfo(r))
 	}
 }
@@ -287,16 +279,12 @@ func (p *HelpReply) UnmarshalWire(r *Reader) {
 	if p.CantHelp {
 		return
 	}
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("help reply batch")
-		return
-	}
+	n := r.SliceLen(microframeWireSize, "help reply batch")
 	if n == 0 {
 		return
 	}
 	p.Frames = make([]*Microframe, 0, n)
-	for i := 0; i < int(n) && r.Err() == nil; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		f := &Microframe{}
 		f.UnmarshalWire(r)
 		p.Frames = append(p.Frames, f)
@@ -442,16 +430,12 @@ func (p *MemMigrate) MarshalWire(w *Writer) {
 }
 
 func (p *MemMigrate) UnmarshalWire(r *Reader) {
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("migrate list")
-		return
-	}
+	n := r.SliceLen(memObjectWireSize, "migrate list")
 	if n == 0 {
 		return
 	}
 	p.Objects = make([]MemObject, n)
-	for i := 0; i < int(n) && r.Err() == nil; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		p.Objects[i].unmarshal(r)
 	}
 }
@@ -492,16 +476,12 @@ func (p *FrameRelocate) MarshalWire(w *Writer) {
 }
 
 func (p *FrameRelocate) UnmarshalWire(r *Reader) {
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("relocate list")
-		return
-	}
+	n := r.SliceLen(microframeWireSize, "relocate list")
 	if n == 0 {
 		return
 	}
 	p.Frames = make([]*Microframe, 0, n)
-	for i := 0; i < int(n) && r.Err() == nil; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		f := &Microframe{}
 		f.UnmarshalWire(r)
 		p.Frames = append(p.Frames, f)
@@ -788,32 +768,24 @@ func (p *CheckpointStore) UnmarshalWire(r *Reader) {
 	p.Program = r.ProgramID()
 	p.Epoch = r.Uint64()
 	p.Origin = r.SiteID()
-	nf := r.Uint32()
-	if nf > maxSliceLen {
-		r.fail("checkpoint frames")
-		return
-	}
+	nf := r.SliceLen(microframeWireSize, "checkpoint frames")
 	if nf == 0 {
 		p.Frames = nil
 	} else {
 		p.Frames = make([]*Microframe, 0, nf)
 	}
-	for i := 0; i < int(nf) && r.Err() == nil; i++ {
+	for i := 0; i < nf && r.Err() == nil; i++ {
 		f := &Microframe{}
 		f.UnmarshalWire(r)
 		p.Frames = append(p.Frames, f)
 	}
-	no := r.Uint32()
-	if no > maxSliceLen {
-		r.fail("checkpoint objects")
-		return
-	}
+	no := r.SliceLen(memObjectWireSize, "checkpoint objects")
 	if no == 0 {
 		p.Objects = nil
 		return
 	}
 	p.Objects = make([]MemObject, no)
-	for i := 0; i < int(no) && r.Err() == nil; i++ {
+	for i := 0; i < no && r.Err() == nil; i++ {
 		p.Objects[i].unmarshal(r)
 	}
 }
@@ -893,32 +865,24 @@ func (p *RecoverReply) MarshalWire(w *Writer) {
 func (p *RecoverReply) UnmarshalWire(r *Reader) {
 	p.Found = r.Bool()
 	p.Epoch = r.Uint64()
-	nf := r.Uint32()
-	if nf > maxSliceLen {
-		r.fail("recover frames")
-		return
-	}
+	nf := r.SliceLen(microframeWireSize, "recover frames")
 	if nf == 0 {
 		p.Frames = nil
 	} else {
 		p.Frames = make([]*Microframe, 0, nf)
 	}
-	for i := 0; i < int(nf) && r.Err() == nil; i++ {
+	for i := 0; i < nf && r.Err() == nil; i++ {
 		f := &Microframe{}
 		f.UnmarshalWire(r)
 		p.Frames = append(p.Frames, f)
 	}
-	no := r.Uint32()
-	if no > maxSliceLen {
-		r.fail("recover objects")
-		return
-	}
+	no := r.SliceLen(memObjectWireSize, "recover objects")
 	if no == 0 {
 		p.Objects = nil
 		return
 	}
 	p.Objects = make([]MemObject, no)
-	for i := 0; i < int(no) && r.Err() == nil; i++ {
+	for i := 0; i < no && r.Err() == nil; i++ {
 		p.Objects[i].unmarshal(r)
 	}
 }
@@ -1088,16 +1052,12 @@ func (p *UsageReply) MarshalWire(w *Writer) {
 }
 
 func (p *UsageReply) UnmarshalWire(r *Reader) {
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("usage list")
-		return
-	}
+	n := r.SliceLen(usageWireSize, "usage list")
 	if n == 0 {
 		return
 	}
 	p.Accounts = make([]Usage, n)
-	for i := 0; i < int(n) && r.Err() == nil; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		p.Accounts[i].unmarshal(r)
 	}
 }
@@ -1134,16 +1094,12 @@ func (p *MemInvalidateBatch) MarshalWire(w *Writer) {
 }
 
 func (p *MemInvalidateBatch) UnmarshalWire(r *Reader) {
-	n := r.Uint32()
-	if n > maxSliceLen {
-		r.fail("invalidate batch")
-		return
-	}
+	n := r.SliceLen(addrWireSize, "invalidate batch")
 	if n == 0 {
 		return
 	}
 	p.Addrs = make([]types.GlobalAddr, 0, n)
-	for i := 0; i < int(n) && r.Err() == nil; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		p.Addrs = append(p.Addrs, r.Addr())
 	}
 }
