@@ -1,0 +1,175 @@
+// Allocation-gate mode: instead of comparing two sdvm-bench JSON
+// reports, parse `go test -benchmem` text output and enforce two
+// invariants the zero-allocation wire path depends on:
+//
+//  1. every benchmark matching -require-zero reports 0 allocs/op
+//     (and the regex must match at least one benchmark, so a renamed
+//     benchmark cannot silently disable the gate), and
+//  2. no benchmark present in the committed allocation baseline
+//     (-allocs-base, a JSON object of name -> allocs/op) reports more
+//     allocs/op than the baseline records.
+//
+// Usage:
+//
+//	go test -run=NONE -bench . -benchmem ./internal/wire | tee bench.txt
+//	benchcmp -allocs bench.txt -allocs-base bench.allocs.json \
+//	         -require-zero '^BenchmarkEncode/|^BenchmarkDecode/'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchmemLine matches one result line of -benchmem output, e.g.
+//
+//	BenchmarkEncode/apply-param-4   6799770   174.8 ns/op   312 B/op   3 allocs/op
+//
+// capturing the benchmark name and the allocs/op count.
+var benchmemLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s.*?(\d+) allocs/op`)
+
+// gomaxprocsSuffix is the trailing "-N" go test appends to benchmark
+// names. Stripping it keeps baselines portable across CPU counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchmem extracts {benchmark name -> allocs/op} from go test
+// -benchmem output. Lines that are not benchmark results (headers,
+// PASS, ok) are ignored. A benchmark appearing twice keeps the larger
+// count, so a flaky extra allocation cannot hide behind a clean rerun.
+func parseBenchmem(r io.Reader) (map[string]int, error) {
+	out := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		m := benchmemLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[name]; !ok || n > prev {
+			out[name] = n
+		}
+	}
+	return out, sc.Err()
+}
+
+// checkAllocs applies the two gate rules and returns the failures in
+// deterministic order (empty slice = gate passed).
+func checkAllocs(got, base map[string]int, requireZero *regexp.Regexp) []string {
+	var fails []string
+	if requireZero != nil {
+		matched := 0
+		for _, name := range sortedKeys(got) {
+			if !requireZero.MatchString(name) {
+				continue
+			}
+			matched++
+			if got[name] != 0 {
+				fails = append(fails, fmt.Sprintf(
+					"%s: %d allocs/op, must be 0", name, got[name]))
+			}
+		}
+		if matched == 0 {
+			fails = append(fails, fmt.Sprintf(
+				"require-zero pattern %q matched no benchmark; gate would be vacuous", requireZero))
+		}
+	}
+	for _, name := range sortedKeys(base) {
+		n, ok := got[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf(
+				"%s: in allocation baseline but missing from this run", name))
+			continue
+		}
+		if n > base[name] {
+			fails = append(fails, fmt.Sprintf(
+				"%s: %d allocs/op, baseline %d — allocation regression", name, n, base[name]))
+		}
+	}
+	return fails
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// runAllocsMode implements `benchcmp -allocs`. It exits the process.
+func runAllocsMode(allocsPath, basePath, requireZeroPat string) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var in io.Reader = os.Stdin
+	if allocsPath != "-" {
+		f, err := os.Open(allocsPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBenchmem(in)
+	if err != nil {
+		fail("parsing benchmem output: %v", err)
+	}
+	if len(got) == 0 {
+		fail("no benchmark results found in %s", allocsPath)
+	}
+
+	base := map[string]int{}
+	if basePath != "" {
+		buf, err := os.ReadFile(basePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fail("%s: baseline must be a JSON object of name -> allocs/op: %v", basePath, err)
+		}
+	}
+
+	var requireZero *regexp.Regexp
+	if requireZeroPat != "" {
+		requireZero, err = regexp.Compile(requireZeroPat)
+		if err != nil {
+			fail("bad -require-zero pattern: %v", err)
+		}
+	}
+
+	for _, name := range sortedKeys(got) {
+		marks := ""
+		if requireZero != nil && requireZero.MatchString(name) {
+			marks += " [must-be-zero]"
+		}
+		if b, ok := base[name]; ok {
+			marks += fmt.Sprintf(" [baseline %d]", b)
+		}
+		fmt.Printf("  %-50s %3d allocs/op%s\n", name, got[name], marks)
+	}
+
+	if fails := checkAllocs(got, base, requireZero); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: allocation gate failed:\n")
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: allocation gate passed (%d benchmarks, %d in baseline)\n",
+		len(got), len(base))
+	os.Exit(0)
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBenchmem = `goos: linux
+goarch: amd64
+pkg: repro/internal/wire
+cpu: AMD EPYC 7B13
+BenchmarkEncode/apply-param-4         	 6799770	       174.8 ns/op	     312 B/op	       3 allocs/op
+BenchmarkEncode/help-reply            	 1000000	       688.0 ns/op	    1400 B/op	       5 allocs/op
+BenchmarkDecode/apply-param-16        	 5000000	       198.4 ns/op	     272 B/op	       0 allocs/op
+BenchmarkCoalesce-4                   	  500000	        59.36 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/wire	12.3s
+`
+
+func TestParseBenchmem(t *testing.T) {
+	got, err := parseBenchmem(strings.NewReader(sampleBenchmem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"BenchmarkEncode/apply-param": 3,
+		"BenchmarkEncode/help-reply":  5,
+		"BenchmarkDecode/apply-param": 0,
+		"BenchmarkCoalesce":           0,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, allocs := range want {
+		if got[name] != allocs {
+			t.Errorf("%s = %d allocs/op, want %d", name, got[name], allocs)
+		}
+	}
+}
+
+// TestParseBenchmemKeepsWorst pins the duplicate rule: when go test
+// -count or a retried job emits a benchmark twice, the larger count
+// wins so a flaky allocation cannot hide behind a clean rerun.
+func TestParseBenchmemKeepsWorst(t *testing.T) {
+	in := `BenchmarkX-4   100   10 ns/op   0 B/op   2 allocs/op
+BenchmarkX-4   100   10 ns/op   0 B/op   0 allocs/op
+`
+	got, err := parseBenchmem(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 2 {
+		t.Fatalf("BenchmarkX = %d, want the worst run (2)", got["BenchmarkX"])
+	}
+}
+
+func TestCheckAllocsRequireZero(t *testing.T) {
+	got := map[string]int{
+		"BenchmarkEncode/a": 0,
+		"BenchmarkEncode/b": 2,
+		"BenchmarkOther":    7,
+	}
+	fails := checkAllocs(got, nil, regexp.MustCompile(`^BenchmarkEncode/`))
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkEncode/b") {
+		t.Fatalf("fails = %v, want exactly the nonzero Encode benchmark", fails)
+	}
+	// All-zero matches pass.
+	got["BenchmarkEncode/b"] = 0
+	if fails := checkAllocs(got, nil, regexp.MustCompile(`^BenchmarkEncode/`)); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+// TestCheckAllocsVacuousPattern pins the anti-footgun: a require-zero
+// regex that matches nothing must fail the gate, otherwise renaming a
+// benchmark silently disables enforcement.
+func TestCheckAllocsVacuousPattern(t *testing.T) {
+	got := map[string]int{"BenchmarkOther": 0}
+	fails := checkAllocs(got, nil, regexp.MustCompile(`^BenchmarkEncode/`))
+	if len(fails) != 1 || !strings.Contains(fails[0], "matched no benchmark") {
+		t.Fatalf("fails = %v, want a vacuous-pattern failure", fails)
+	}
+}
+
+func TestCheckAllocsBaseline(t *testing.T) {
+	base := map[string]int{
+		"BenchmarkA":    3,
+		"BenchmarkB":    0,
+		"BenchmarkGone": 1,
+	}
+	got := map[string]int{
+		"BenchmarkA":   4, // regression
+		"BenchmarkB":   0, // fine
+		"BenchmarkNew": 9, // not in baseline: ignored
+	}
+	fails := checkAllocs(got, base, nil)
+	if len(fails) != 2 {
+		t.Fatalf("fails = %v, want regression + missing-benchmark", fails)
+	}
+	joined := strings.Join(fails, "\n")
+	if !strings.Contains(joined, "BenchmarkA") || !strings.Contains(joined, "regression") {
+		t.Errorf("missing regression failure: %v", fails)
+	}
+	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "missing from this run") {
+		t.Errorf("missing disappeared-benchmark failure: %v", fails)
+	}
+	// Improvement (fewer allocs than baseline) passes.
+	got["BenchmarkA"] = 1
+	delete(base, "BenchmarkGone")
+	if fails := checkAllocs(got, base, nil); len(fails) != 0 {
+		t.Fatalf("improvement flagged as failure: %v", fails)
+	}
+}

@@ -12,6 +12,9 @@
 // The watched value must exist in both reports' named experiment. All
 // other values the two experiments share are printed for the log but
 // not enforced.
+//
+// A second mode, -allocs, gates `go test -benchmem` output instead;
+// see allocs.go.
 package main
 
 import (
@@ -55,8 +58,16 @@ func main() {
 		exp      = flag.String("exp", "overhead", "experiment to compare")
 		value    = flag.String("value", "sdvm_ms", "watched value inside the experiment")
 		maxReg   = flag.Float64("max-regress", 0.10, "tolerated relative increase of the watched value")
+
+		allocsPath  = flag.String("allocs", "", "allocation-gate mode: go test -benchmem output file ('-' = stdin)")
+		allocsBase  = flag.String("allocs-base", "", "JSON allocation baseline (name -> allocs/op) for -allocs mode")
+		requireZero = flag.String("require-zero", "", "regex of benchmarks that must report 0 allocs/op in -allocs mode")
 	)
 	flag.Parse()
+
+	if *allocsPath != "" {
+		runAllocsMode(*allocsPath, *allocsBase, *requireZero)
+	}
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)

@@ -768,46 +768,85 @@ func (m *Manager) fetchOnce(addr types.GlobalAddr, migrate bool) (obj *wire.MemO
 
 // takeCopysetLocked removes and returns the copyset of addr, excluding
 // skip (the site whose action triggered the invalidation — it holds the
-// fresh version). Caller holds s.mu.
-func (m *Manager) takeCopysetLocked(s *memShard, addr types.GlobalAddr, skip types.SiteID) []types.SiteID {
+// fresh version). The result lives in inv's reused scratch slice and is
+// valid only until the next take; callers hand it straight to inv.add.
+// Caller holds s.mu.
+func (m *Manager) takeCopysetLocked(s *memShard, inv *invalidation, addr types.GlobalAddr, skip types.SiteID) []types.SiteID {
 	cs, ok := s.copies[addr]
 	if !ok {
 		return nil
 	}
 	delete(s.copies, addr)
-	out := make([]types.SiteID, 0, len(cs))
+	out := inv.sites[:0]
 	for id := range cs {
 		if id != skip {
 			out = append(out, id)
 		}
 	}
+	inv.sites = out
 	return out
 }
 
 // invalidation accumulates, per holder site, every address that site
 // must drop, so one batched round-trip per holder replaces one
-// round-trip per (holder, address) pair.
-type invalidation map[types.SiteID][]types.GlobalAddr
+// round-trip per (holder, address) pair. Instances are pooled: writes
+// are the memory manager's hottest coherence path, and the map plus its
+// per-holder address slices would otherwise be reallocated per write.
+// getInvalidation hands one out; sendInvalidates returns it (the batch
+// payloads are serialized before Request blocks, so by the time the
+// acks are in, nothing references the slices).
+type invalidation struct {
+	holders map[types.SiteID][]types.GlobalAddr
+	sites   []types.SiteID       // takeCopysetLocked scratch
+	spare   [][]types.GlobalAddr // recycled holder slices
+}
+
+var invPool = sync.Pool{New: func() any {
+	return &invalidation{holders: make(map[types.SiteID][]types.GlobalAddr)}
+}}
+
+// getInvalidation returns an empty pooled accumulator.
+func getInvalidation() *invalidation { return invPool.Get().(*invalidation) }
+
+// putInvalidation recycles inv: holder slices go back to the spare list
+// (capacity retained), the map empties.
+func putInvalidation(inv *invalidation) {
+	for id, a := range inv.holders {
+		delete(inv.holders, id)
+		inv.spare = append(inv.spare, a[:0])
+	}
+	invPool.Put(inv)
+}
 
 // add records that every site in sites holds a stale copy of addr.
-func (inv invalidation) add(addr types.GlobalAddr, sites []types.SiteID) {
+func (inv *invalidation) add(addr types.GlobalAddr, sites []types.SiteID) {
 	for _, id := range sites {
-		inv[id] = append(inv[id], addr)
+		a, ok := inv.holders[id]
+		if !ok && len(inv.spare) > 0 {
+			a = inv.spare[len(inv.spare)-1]
+			inv.spare = inv.spare[:len(inv.spare)-1]
+		}
+		inv.holders[id] = append(a, addr)
 	}
 }
+
+// empty reports whether no holder has anything to drop.
+func (inv *invalidation) empty() bool { return len(inv.holders) == 0 }
 
 // sendInvalidates drops replica holders' copies and waits for their
 // acknowledgements (bounded), so a writer that has been acked can rely
 // on no stale replica surviving anywhere. All addresses for one holder
 // travel in a single MemInvalidateBatch under one shared deadline.
-func (m *Manager) sendInvalidates(inv invalidation) {
-	if len(inv) == 0 {
+// Takes ownership of inv and returns it to the pool.
+func (m *Manager) sendInvalidates(inv *invalidation) {
+	defer putInvalidation(inv)
+	if inv.empty() {
 		return
 	}
 	deadline := time.Now().Add(500 * time.Millisecond)
 	var wg sync.WaitGroup
 	var acked atomic.Uint64
-	for id, addrs := range inv {
+	for id, addrs := range inv.holders {
 		id, addrs := id, addrs
 		wg.Add(1)
 		go func() {
@@ -854,8 +893,8 @@ func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
 			s.mu.Unlock()
 			return fmt.Errorf("memory: write %v: offset %d + %d bytes out of bounds", addr, offset, len(data))
 		}
-		inv := invalidation{}
-		inv.add(addr, m.takeCopysetLocked(s, addr, types.InvalidSite))
+		inv := getInvalidation()
+		inv.add(addr, m.takeCopysetLocked(s, inv, addr, types.InvalidSite))
 		s.mu.Unlock()
 		m.counts.localWrites.Add(1)
 		m.met.localWrites.Inc()
@@ -1218,7 +1257,7 @@ func (m *Manager) handleMemRead(msg *wire.Message, p *wire.MemRead) {
 	m.lockShard(s)
 	if o, ok := s.objects[p.Addr]; ok {
 		reply := &wire.MemReadReply{Found: true, Object: *o.Clone()}
-		inv := invalidation{}
+		inv := getInvalidation()
 		if p.Migrate {
 			delete(s.objects, p.Addr)
 			if p.Addr.Home == m.bus.Self() {
@@ -1231,7 +1270,7 @@ func (m *Manager) handleMemRead(msg *wire.Message, p *wire.MemRead) {
 			}
 			// Ownership moves: replicas keyed to this owner's copyset
 			// are dropped (the new owner starts a fresh copyset).
-			inv.add(p.Addr, m.takeCopysetLocked(s, p.Addr, msg.Src))
+			inv.add(p.Addr, m.takeCopysetLocked(s, inv, p.Addr, msg.Src))
 			s.mu.Unlock()
 			m.counts.migrations.Add(1)
 			m.met.migrations.Inc()
@@ -1270,12 +1309,13 @@ func (m *Manager) handleMemWrite(msg *wire.Message, p *wire.MemWrite) {
 			_ = m.bus.ReplyErr(msg, types.MgrMemory, wire.ErrCodeGeneric, "memory: write out of bounds")
 			return
 		}
-		inv := invalidation{}
-		inv.add(p.Addr, m.takeCopysetLocked(s, p.Addr, msg.Src))
+		inv := getInvalidation()
+		inv.add(p.Addr, m.takeCopysetLocked(s, inv, p.Addr, msg.Src))
 		s.mu.Unlock()
 		m.counts.localWrites.Add(1)
 		m.met.localWrites.Inc()
-		if len(inv) == 0 {
+		if inv.empty() {
+			putInvalidation(inv)
 			_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: true})
 			return
 		}

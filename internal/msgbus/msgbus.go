@@ -50,7 +50,11 @@ type Resolver interface {
 }
 
 // Sender transmits one serialized datagram to a physical address — the
-// network manager seen from above.
+// network manager seen from above. Send must not retain the datagram
+// after it returns: the bus serializes into pooled wire.Writer buffers
+// and releases them the moment Send comes back, so an implementation
+// that defers transmission must copy first (the network manager's
+// coalescing path does exactly that).
 type Sender interface {
 	Send(physAddr string, datagram []byte) error
 }
@@ -399,9 +403,12 @@ func (b *Bus) RequestAddr(physAddr string, dstMgr, srcMgr types.ManagerID, p wir
 	}
 
 	b.sent.Add(1)
-	buf := m.EncodeBytes()
-	b.met.countOut(m.Payload.Kind(), len(buf))
-	if err := b.transmit(m.Payload.Kind(), physAddr, buf); err != nil {
+	w := wire.GetWriter(0)
+	m.Encode(w)
+	b.met.countOut(m.Payload.Kind(), w.Len())
+	err := b.transmit(m.Payload.Kind(), physAddr, w.Bytes())
+	w.Release()
+	if err != nil {
 		cleanup()
 		return nil, err
 	}
@@ -453,15 +460,21 @@ func (b *Bus) route(m *wire.Message) error {
 	}
 }
 
+// sendRemote serializes m into a pooled writer and hands the bytes to
+// the sender. The buffer is released as soon as transmit returns — the
+// Sender no-retention contract makes that sound.
 func (b *Bus) sendRemote(m *wire.Message) error {
 	addr, err := b.resolver.PhysAddr(m.Dst)
 	if err != nil {
 		return err
 	}
 	b.sent.Add(1)
-	buf := m.EncodeBytes()
-	b.met.countOut(m.Payload.Kind(), len(buf))
-	return b.transmit(m.Payload.Kind(), addr, buf)
+	w := wire.GetWriter(0)
+	m.Encode(w)
+	b.met.countOut(m.Payload.Kind(), w.Len())
+	err = b.transmit(m.Payload.Kind(), addr, w.Bytes())
+	w.Release()
+	return err
 }
 
 // OnDatagram is the network manager's delivery callback: parse and

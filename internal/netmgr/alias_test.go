@@ -1,0 +1,115 @@
+package netmgr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/security"
+	"repro/internal/transport/inproc"
+	"repro/internal/wire"
+)
+
+// TestPooledAliasReleaseDuringCoalescing is the pooled-buffer aliasing
+// regression test. The ownership contract says enqueue copies the
+// datagram into the batch envelope before Send returns, so a caller may
+// Release its pooled encode buffer — and another goroutine may
+// immediately reuse that storage — while the envelope is still waiting
+// to flush. If the copy were ever skipped (queueing the caller's slice
+// instead), this test corrupts in-flight batches deterministically:
+// every sender scribbles over its released buffer's pool class right
+// after Send, and the receiver checks each delivered datagram is still
+// uniformly filled with its sender's tag. Run under -race in the CI
+// stress job.
+func TestPooledAliasReleaseDuringCoalescing(t *testing.T) {
+	fab := inproc.New(inproc.LinkProfile{})
+	t.Cleanup(fab.Close)
+
+	const (
+		senders   = 8
+		perSender = 300
+		size      = 32
+	)
+
+	type result struct {
+		mu  sync.Mutex
+		bad []string
+		n   int
+	}
+	var res result
+	done := make(chan struct{})
+
+	b := New(fab, security.Plaintext{}, func(d []byte) {
+		res.mu.Lock()
+		defer res.mu.Unlock()
+		if len(d) != size {
+			res.bad = append(res.bad, "wrong length")
+		} else {
+			tag := d[0]
+			for _, c := range d {
+				if c != tag {
+					res.bad = append(res.bad, "mixed bytes in one datagram")
+					break
+				}
+			}
+		}
+		res.n++
+		if res.n == senders*perSender {
+			close(done)
+		}
+	})
+	t.Cleanup(b.Close)
+	addrB, err := b.Listen("site-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := New(fab, security.Plaintext{}, func([]byte) {})
+	a.SetCoalescing(Coalesce{Enabled: true, MaxBytes: 1024, MaxDelay: 200 * time.Microsecond})
+	t.Cleanup(a.Close)
+	if _, err := a.Listen("site-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		tag := byte(s + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				w := wire.GetWriter(size)
+				for j := 0; j < size; j++ {
+					w.Uint8(tag)
+				}
+				if err := a.Send(addrB, w.Bytes()); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				w.Release()
+				// Reuse the pool class immediately and overwrite it —
+				// exactly what an unrelated goroutine grabbing the
+				// recycled buffer would do. With correct
+				// copy-on-enqueue this cannot touch the batch.
+				w2 := wire.GetWriter(size)
+				w2.Zero(size)
+				w2.Release()
+			}
+		}()
+	}
+	wg.Wait()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		res.mu.Lock()
+		n := res.n
+		res.mu.Unlock()
+		t.Fatalf("only %d/%d datagrams delivered", n, senders*perSender)
+	}
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	if len(res.bad) > 0 {
+		t.Fatalf("%d corrupted datagrams, first: %s", len(res.bad), res.bad[0])
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/security"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Envelope tags. Every plaintext datagram on the wire starts with one
@@ -43,12 +44,19 @@ type Coalesce struct {
 	MaxDelay time.Duration // longest a message may wait for companions; default 500µs
 }
 
-// peerBatch accumulates not-yet-flushed datagrams for one peer.
+// peerBatch accumulates not-yet-flushed datagrams for one peer. The
+// envelope is built incrementally in a pooled wire.Writer: each Send
+// copies its datagram into env at enqueue time (so callers may reuse
+// their buffer the moment Send returns) and the flush hands the whole
+// writer — seal headroom, tag, and records — to the transport without
+// a repack. The flush timer is allocated once per peer and re-armed
+// with Reset, not re-created per batch.
 type peerBatch struct {
-	mu      sync.Mutex
-	pending [][]byte    // guarded by mu
-	bytes   int         // guarded by mu
-	timer   *time.Timer // guarded by mu; armed iff pending is non-empty
+	mu    sync.Mutex
+	env   *wire.Writer // guarded by mu; nil between batches
+	count int          // guarded by mu; records in env
+	timer *time.Timer  // guarded by mu; created on first use, then reused
+	armed bool         // guarded by mu; a flush is scheduled
 }
 
 // Handler consumes one verified incoming datagram. It is called from a
@@ -81,6 +89,14 @@ type Manager struct {
 	// batches holds the per-peer pending batches by physical address.
 	// guarded by mu
 	batches map[string]*peerBatch
+
+	// ip is sec when the security layer supports in-place sealing
+	// (both shipped layers do); nil forces the copying Seal/Open
+	// fallback. secPrefix/secSuffix cache its overheads so every
+	// envelope is laid out with exactly the headroom the seal needs.
+	ip        security.InPlace
+	secPrefix int
+	secSuffix int
 }
 
 // netMetrics bundles the datagram-level instruments.
@@ -134,7 +150,7 @@ func (m *Manager) peerCounter(physAddr string) *metrics.Counter {
 
 // New returns a network manager using net for links and sec for sealing.
 func New(net transport.Network, sec security.Layer, handler Handler) *Manager {
-	return &Manager{
+	m := &Manager{
 		net:     net,
 		sec:     sec,
 		handler: handler,
@@ -142,6 +158,12 @@ func New(net transport.Network, sec security.Layer, handler Handler) *Manager {
 		live:    make(map[transport.Endpoint]bool),
 		batches: make(map[string]*peerBatch),
 	}
+	if ip, ok := sec.(security.InPlace); ok {
+		m.ip = ip
+		m.secPrefix = ip.PrefixOverhead()
+		m.secSuffix = ip.SuffixOverhead()
+	}
+	return m
 }
 
 // SetCoalescing installs the batching knobs. Must be called before
@@ -242,7 +264,16 @@ func (m *Manager) recvLoop(ep transport.Endpoint) {
 			mm.recvDgrams.Inc()
 			mm.recvBytes.Add(uint64(len(sealed)))
 		}
-		plain, err := m.sec.Open(sealed)
+		// The receive loop exclusively owns sealed until the next Recv
+		// (the Endpoint contract), and deliver hands every record to
+		// the handler synchronously — so the destructive in-place open
+		// is safe and saves a full-datagram copy per receive.
+		var plain []byte
+		if m.ip != nil {
+			plain, err = m.ip.OpenInPlace(sealed)
+		} else {
+			plain, err = m.sec.Open(sealed)
+		}
 		if err != nil {
 			if mm := m.met; mm != nil {
 				mm.openRejects.Inc()
@@ -304,9 +335,10 @@ func (m *Manager) Send(physAddr string, datagram []byte) error {
 // coalescing queue. Liveness probes use this: a ping that waits out a
 // flush timer measures the timer, not the network.
 func (m *Manager) SendUrgent(physAddr string, datagram []byte) error {
-	env := make([]byte, 1+len(datagram))
-	env[0] = tagSingle
-	copy(env[1:], datagram)
+	env := wire.GetWriter(m.secPrefix + 1 + len(datagram) + m.secSuffix)
+	env.Zero(m.secPrefix)
+	env.Uint8(tagSingle)
+	env.Raw(datagram)
 	if err := m.send(physAddr, env); err != nil {
 		if mm := m.met; mm != nil {
 			mm.sendErrs.Inc()
@@ -321,75 +353,82 @@ func (m *Manager) SendUrgent(physAddr string, datagram []byte) error {
 	return nil
 }
 
+// startEnvelope lays out a fresh batch envelope in a pooled writer:
+// seal headroom, then the batch tag. Records follow via appendRecord.
+// A batch of one simply travels as a one-record batch — receivers
+// decode both tags unconditionally.
+func (m *Manager) startEnvelope() *wire.Writer {
+	env := wire.GetWriter(m.secPrefix + 1 + m.co.MaxBytes + m.secSuffix)
+	env.Zero(m.secPrefix)
+	env.Uint8(tagBatch)
+	return env
+}
+
+// appendRecord copies one length-prefixed datagram into the envelope.
+// This is the coalescing path's per-message work: a bounds-checked
+// copy into pooled storage, nothing else. The copy is also the
+// aliasing firewall — once enqueue returns, the caller may reuse or
+// release its datagram buffer without corrupting the in-flight batch.
+//
+//sdvm:hotpath
+func appendRecord(env *wire.Writer, datagram []byte) {
+	env.Uint32BE(uint32(len(datagram)))
+	env.Raw(datagram)
+}
+
 // enqueue appends datagram to physAddr's pending batch, flushing when
 // the batch is full and arming the delay timer otherwise.
 func (m *Manager) enqueue(physAddr string, datagram []byte) {
 	pb := m.batch(physAddr)
 	pb.mu.Lock()
-	pb.pending = append(pb.pending, datagram)
-	pb.bytes += len(datagram) + 4
-	if pb.bytes >= m.co.MaxBytes {
-		pending := pb.pending
-		pb.pending, pb.bytes = nil, 0
-		if pb.timer != nil {
+	if pb.env == nil {
+		pb.env = m.startEnvelope()
+		pb.count = 0
+	}
+	appendRecord(pb.env, datagram)
+	pb.count++
+	if pb.env.Len()-m.secPrefix-1 >= m.co.MaxBytes {
+		env, count := pb.env, pb.count
+		pb.env, pb.count = nil, 0
+		if pb.armed {
 			pb.timer.Stop()
-			pb.timer = nil
+			pb.armed = false
 		}
 		pb.mu.Unlock()
-		m.flush(physAddr, pending)
+		m.flush(physAddr, env, count)
 		return
 	}
-	if pb.timer == nil {
-		pb.timer = time.AfterFunc(m.co.MaxDelay, func() { m.flushPeer(physAddr, pb) })
+	if !pb.armed {
+		if pb.timer == nil {
+			pb.timer = time.AfterFunc(m.co.MaxDelay, func() { m.flushPeer(physAddr, pb) })
+		} else {
+			pb.timer.Reset(m.co.MaxDelay)
+		}
+		pb.armed = true
 	}
 	pb.mu.Unlock()
 }
 
-// flushPeer drains pb's pending batch (fired by the delay timer).
+// flushPeer drains pb's pending batch (fired by the delay timer). A
+// stale firing — the size threshold already flushed, or Reset raced
+// with an expiry — finds no envelope and does nothing.
 func (m *Manager) flushPeer(physAddr string, pb *peerBatch) {
 	pb.mu.Lock()
-	pending := pb.pending
-	pb.pending, pb.bytes = nil, 0
-	pb.timer = nil
+	env, count := pb.env, pb.count
+	pb.env, pb.count = nil, 0
+	pb.armed = false
 	pb.mu.Unlock()
-	if len(pending) > 0 {
-		m.flush(physAddr, pending)
+	if env != nil {
+		m.flush(physAddr, env, count)
 	}
 }
 
-// buildEnvelope packs pending datagrams into one coalescing envelope:
-// a single message travels tag-prefixed as-is, a batch gets a
-// length-prefixed record per datagram. The two makes are exactly sized
-// up front, so the append loop never grows the backing array.
-//
-//sdvm:hotpath
-func buildEnvelope(pending [][]byte) []byte {
-	if len(pending) == 1 {
-		env := make([]byte, 1+len(pending[0])) //sdvmlint:allow allocfree -- single exact-size envelope allocation per flush
-		env[0] = tagSingle
-		copy(env[1:], pending[0])
-		return env
-	}
-	size := 1
-	for _, d := range pending {
-		size += 4 + len(d)
-	}
-	env := make([]byte, 1, size) //sdvmlint:allow allocfree -- single exact-size envelope allocation per flush
-	env[0] = tagBatch
-	for _, d := range pending {
-		env = binary.BigEndian.AppendUint32(env, uint32(len(d))) //sdvmlint:allow allocfree -- append into pre-sized buffer never grows
-		env = append(env, d...)                                  //sdvmlint:allow allocfree -- append into pre-sized buffer never grows
-	}
-	return env
-}
-
-// flush seals and transmits one stolen batch. Called with no locks
-// held.
-func (m *Manager) flush(physAddr string, pending [][]byte) {
-	env := buildEnvelope(pending)
-	if len(pending) > 1 {
+// flush seals and transmits one stolen batch envelope. Called with no
+// locks held; takes ownership of env.
+func (m *Manager) flush(physAddr string, env *wire.Writer, count int) {
+	if count > 1 {
 		if mm := m.met; mm != nil {
-			mm.coalesced.Add(uint64(len(pending)))
+			mm.coalesced.Add(uint64(count))
 		}
 	}
 	if err := m.send(physAddr, env); err != nil {
@@ -399,8 +438,23 @@ func (m *Manager) flush(physAddr string, pending [][]byte) {
 	}
 }
 
-func (m *Manager) send(physAddr string, datagram []byte) error {
-	sealed, err := m.sec.Seal(datagram)
+// send seals and transmits one envelope, taking ownership of env: its
+// pooled buffer is released once the transport no longer references it
+// (Endpoint.Send must not retain the slice after returning). With an
+// in-place layer the seal happens inside env's own storage — nonce
+// into the headroom, ciphertext over the records, tag into spare
+// capacity — so the whole send path performs zero allocations.
+func (m *Manager) send(physAddr string, env *wire.Writer) error {
+	defer env.Release()
+
+	var sealed []byte
+	var err error
+	if m.ip != nil {
+		env.Reserve(m.secSuffix)
+		sealed, err = m.ip.SealInPlace(env.Bytes())
+	} else {
+		sealed, err = m.sec.Seal(env.Bytes())
+	}
 	if err != nil {
 		return err
 	}
@@ -498,14 +552,19 @@ func (m *Manager) Forget(physAddr string) {
 	}
 }
 
-// dropBatch discards a peer's pending messages and disarms its timer.
+// dropBatch discards a peer's pending messages, returning the pooled
+// envelope, and disarms its timer.
 func dropBatch(pb *peerBatch) {
 	pb.mu.Lock()
-	pb.pending, pb.bytes = nil, 0
+	if pb.env != nil {
+		pb.env.Release()
+		pb.env = nil
+	}
+	pb.count = 0
 	if pb.timer != nil {
 		pb.timer.Stop()
-		pb.timer = nil
 	}
+	pb.armed = false
 	pb.mu.Unlock()
 }
 

@@ -1,0 +1,114 @@
+package netmgr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// discardNet is a minimal transport whose endpoints swallow datagrams,
+// isolating the manager's own send-path cost from any real link.
+type discardNet struct{}
+
+type discardEndpoint struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (discardNet) Listen(addr string) (transport.Listener, error) {
+	return nil, transport.ErrClosed // benches never listen
+}
+
+func (discardNet) Dial(addr string) (transport.Endpoint, error) {
+	return &discardEndpoint{closed: make(chan struct{})}, nil
+}
+
+func (e *discardEndpoint) Send(datagram []byte) error { return nil }
+
+func (e *discardEndpoint) Recv() ([]byte, error) {
+	<-e.closed
+	return nil, transport.ErrClosed
+}
+
+func (e *discardEndpoint) Close() error {
+	e.once.Do(func() { close(e.closed) })
+	return nil
+}
+
+func (e *discardEndpoint) RemoteAddr() string { return "discard" }
+
+// BenchmarkEnvelopeAppend measures the per-message coalescing work in
+// isolation: one length-prefixed record copied into a pooled envelope.
+// Steady state must be 0 allocs/op (the CI alloc gate tracks it).
+func BenchmarkEnvelopeAppend(b *testing.B) {
+	datagram := make([]byte, 128)
+	env := wire.GetWriter(64 << 10)
+	defer env.Release()
+	// Warm the writer up to its working size so growth happens before
+	// the measurement.
+	for env.Len() < 60<<10 {
+		appendRecord(env, datagram)
+	}
+	env.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if env.Len() > 60<<10 {
+			env.Reset()
+		}
+		appendRecord(env, datagram)
+	}
+}
+
+// BenchmarkCoalesce measures the full coalescing send path: enqueue,
+// size-triggered flush, in-place seal, transport hand-off, envelope
+// release. The flush timer is parked far out so the size threshold
+// drives batching deterministically.
+func BenchmarkCoalesce(b *testing.B) {
+	m := New(discardNet{}, security.Plaintext{}, func([]byte) {})
+	defer m.Close()
+	m.SetCoalescing(Coalesce{Enabled: true, MaxBytes: 4096, MaxDelay: time.Hour})
+	datagram := make([]byte, 128)
+	// Warm: dial the cached connection and cycle one full batch.
+	for i := 0; i < 64; i++ {
+		if err := m.Send("peer", datagram); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Send("peer", datagram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoalesceAESGCM is BenchmarkCoalesce with the real cipher, so
+// the in-place seal's allocation behavior is tracked too.
+func BenchmarkCoalesceAESGCM(b *testing.B) {
+	sec, err := security.NewAESGCM("bench-pw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(discardNet{}, sec, func([]byte) {})
+	defer m.Close()
+	m.SetCoalescing(Coalesce{Enabled: true, MaxBytes: 4096, MaxDelay: time.Hour})
+	datagram := make([]byte, 128)
+	for i := 0; i < 64; i++ {
+		if err := m.Send("peer", datagram); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Send("peer", datagram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

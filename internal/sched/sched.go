@@ -609,7 +609,16 @@ func (m *Manager) resolveLoop() {
 
 // GetWork blocks until a ready microframe is available and returns it,
 // issuing help requests to peers while idle. ok is false after Close.
+// The idle-poll timer is allocated once per call and re-armed with
+// Reset, so an idle worker's begging loop does not churn a timer (plus
+// its runtime state) per empty-handed round.
 func (m *Manager) GetWork() (r *Ready, ok bool) {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	attempt := 0
 	for {
 		m.mu.Lock()
@@ -654,15 +663,25 @@ func (m *Manager) GetWork() (r *Ready, ok bool) {
 			}
 		}
 
-		timer := time.NewTimer(m.helpDelay(attempt))
+		if timer == nil {
+			timer = time.NewTimer(m.helpDelay(attempt))
+		} else {
+			timer.Reset(m.helpDelay(attempt))
+		}
 		select {
 		case <-m.readyKick:
-			timer.Stop()
+			// Drain a concurrent expiry so the next Reset cannot fire
+			// stale (pre-1.23 timer semantics; harmless after).
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
 			attempt = 0
 		case <-timer.C:
 			attempt++
 		case <-m.done:
-			timer.Stop()
 			return nil, false
 		}
 	}

@@ -33,6 +33,33 @@ type Layer interface {
 	Overhead() int
 }
 
+// InPlace is implemented by layers that can seal and open inside a
+// caller-owned buffer, so the hot send path never allocates for
+// cryptography. The caller lays the envelope out as
+//
+//	[ PrefixOverhead() bytes of headroom | plaintext ]
+//
+// with at least SuffixOverhead() bytes of spare capacity, and the layer
+// transforms it in place. The network manager type-asserts for this at
+// construction and falls back to Seal/Open copies otherwise.
+type InPlace interface {
+	// PrefixOverhead is the number of bytes the layer writes before the
+	// ciphertext (the AES-GCM nonce; zero for plaintext).
+	PrefixOverhead() int
+	// SuffixOverhead is the number of bytes the layer appends after the
+	// ciphertext (the AES-GCM tag; zero for plaintext).
+	SuffixOverhead() int
+	// SealInPlace seals env[PrefixOverhead():] in place. cap(env) must
+	// be at least len(env)+SuffixOverhead(). The result aliases env's
+	// backing array.
+	SealInPlace(env []byte) ([]byte, error)
+	// OpenInPlace verifies and decrypts sealed destructively: the
+	// returned plaintext is a subslice of sealed's backing array and
+	// sealed's contents are consumed. Only the exclusive owner of
+	// sealed (the receive loop owns its buffer) may use this.
+	OpenInPlace(sealed []byte) ([]byte, error)
+}
+
 // Plaintext is the disabled security manager: datagrams pass through
 // untouched. For insular clusters the paper recommends exactly this.
 type Plaintext struct{}
@@ -45,6 +72,18 @@ func (Plaintext) Open(p []byte) ([]byte, error) { return p, nil }
 
 // Overhead returns 0.
 func (Plaintext) Overhead() int { return 0 }
+
+// PrefixOverhead returns 0.
+func (Plaintext) PrefixOverhead() int { return 0 }
+
+// SuffixOverhead returns 0.
+func (Plaintext) SuffixOverhead() int { return 0 }
+
+// SealInPlace returns the envelope unchanged.
+func (Plaintext) SealInPlace(env []byte) ([]byte, error) { return env, nil }
+
+// OpenInPlace returns the datagram unchanged.
+func (Plaintext) OpenInPlace(sealed []byte) ([]byte, error) { return sealed, nil }
 
 // AESGCM encrypts every datagram with AES-256-GCM under a key derived
 // from the cluster's start secret. GCM gives confidentiality and
@@ -79,31 +118,44 @@ func NewAESGCM(startSecret string) (*AESGCM, error) {
 	return l, nil
 }
 
-// nonce returns a fresh unique nonce: 4 random prefix bytes (distinct per
-// site with overwhelming probability) plus a 64-bit counter.
-func (l *AESGCM) nonce() []byte {
+// nonceInto writes a fresh unique nonce into n (len 12): 4 random
+// prefix bytes (distinct per site with overwhelming probability) plus a
+// 64-bit counter. Allocation-free so the in-place seal path stays so.
+func (l *AESGCM) nonceInto(n []byte) {
 	l.mu.Lock()
 	l.counter++
 	c := l.counter
 	l.mu.Unlock()
 
-	n := make([]byte, 12)
 	copy(n, l.prefix[:])
 	for i := 0; i < 8; i++ {
 		n[4+i] = byte(c >> (8 * i))
 	}
-	return n
 }
 
-// Seal encrypts and authenticates plaintext. The nonce is prepended.
+// Seal encrypts and authenticates plaintext into a fresh buffer. The
+// nonce is prepended.
 func (l *AESGCM) Seal(plaintext []byte) ([]byte, error) {
-	n := l.nonce()
-	out := make([]byte, 0, len(n)+len(plaintext)+l.aead.Overhead())
-	out = append(out, n...)
-	return l.aead.Seal(out, n, plaintext, nil), nil
+	env := make([]byte, 12+len(plaintext), 12+len(plaintext)+l.aead.Overhead())
+	copy(env[12:], plaintext)
+	return l.SealInPlace(env)
 }
 
-// Open decrypts and verifies a sealed datagram.
+// SealInPlace seals env[12:] in place: the nonce lands in the 12-byte
+// headroom and the ciphertext overwrites the plaintext exactly (GCM
+// supports perfectly overlapping dst and plaintext), with the tag in
+// env's spare capacity — cap(env) must be at least len(env)+16.
+func (l *AESGCM) SealInPlace(env []byte) ([]byte, error) {
+	if len(env) < 12 {
+		return nil, fmt.Errorf("%w: envelope shorter than nonce headroom", types.ErrCrypto)
+	}
+	nonce := env[:12]
+	l.nonceInto(nonce)
+	return l.aead.Seal(nonce, nonce, env[12:], nil), nil
+}
+
+// Open decrypts and verifies a sealed datagram into a fresh buffer,
+// leaving sealed untouched.
 func (l *AESGCM) Open(sealed []byte) ([]byte, error) {
 	if len(sealed) < 12 {
 		return nil, fmt.Errorf("%w: datagram shorter than nonce", types.ErrCrypto)
@@ -116,11 +168,35 @@ func (l *AESGCM) Open(sealed []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// OpenInPlace decrypts sealed destructively: the plaintext overwrites
+// the ciphertext in sealed's backing array (verification happens before
+// any byte is released, so a tampered datagram never yields partial
+// plaintext).
+func (l *AESGCM) OpenInPlace(sealed []byte) ([]byte, error) {
+	if len(sealed) < 12 {
+		return nil, fmt.Errorf("%w: datagram shorter than nonce", types.ErrCrypto)
+	}
+	n, ct := sealed[:12], sealed[12:]
+	pt, err := l.aead.Open(ct[:0], n, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", types.ErrCrypto, err)
+	}
+	return pt, nil
+}
+
 // Overhead returns nonce plus GCM tag size.
 func (l *AESGCM) Overhead() int { return 12 + l.aead.Overhead() }
 
+// PrefixOverhead returns the nonce size.
+func (l *AESGCM) PrefixOverhead() int { return 12 }
+
+// SuffixOverhead returns the GCM tag size.
+func (l *AESGCM) SuffixOverhead() int { return l.aead.Overhead() }
+
 // Compile-time interface checks.
 var (
-	_ Layer = Plaintext{}
-	_ Layer = (*AESGCM)(nil)
+	_ Layer   = Plaintext{}
+	_ Layer   = (*AESGCM)(nil)
+	_ InPlace = Plaintext{}
+	_ InPlace = (*AESGCM)(nil)
 )

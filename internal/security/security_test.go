@@ -143,3 +143,98 @@ func BenchmarkSealOpen1K(b *testing.B) {
 		}
 	}
 }
+
+// TestInPlaceRoundTrip checks the in-place layer interoperates with
+// the copying one in both directions: what SealInPlace produces, Open
+// must accept, and what Seal produces, OpenInPlace must accept.
+func TestInPlaceRoundTrip(t *testing.T) {
+	l, err := NewAESGCM("pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("payload under the envelope tag")
+
+	// SealInPlace -> Open.
+	env := make([]byte, l.PrefixOverhead()+len(pt), l.PrefixOverhead()+len(pt)+l.SuffixOverhead())
+	copy(env[l.PrefixOverhead():], pt)
+	sealed, err := l.SealInPlace(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &sealed[0] != &env[0] {
+		t.Fatal("SealInPlace moved the buffer despite reserved capacity")
+	}
+	got, err := l.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(pt) {
+		t.Fatalf("Open(SealInPlace(...)) = %q", got)
+	}
+
+	// Seal -> OpenInPlace.
+	sealed2, err := l.Seal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := l.OpenInPlace(sealed2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(pt) {
+		t.Fatalf("OpenInPlace(Seal(...)) = %q", got2)
+	}
+	if &got2[0] != &sealed2[12] {
+		t.Fatal("OpenInPlace did not decrypt into the input buffer")
+	}
+}
+
+func TestInPlaceTamperRejected(t *testing.T) {
+	l, _ := NewAESGCM("pw")
+	env := make([]byte, l.PrefixOverhead()+8, l.PrefixOverhead()+8+l.SuffixOverhead())
+	sealed, err := l.SealInPlace(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[len(sealed)-1] ^= 1
+	if _, err := l.OpenInPlace(sealed); !errors.Is(err, types.ErrCrypto) {
+		t.Fatalf("tampered OpenInPlace error = %v, want ErrCrypto", err)
+	}
+	if _, err := l.SealInPlace(make([]byte, 4)); err == nil {
+		t.Fatal("SealInPlace accepted an envelope shorter than its prefix")
+	}
+}
+
+// TestPlaintextInPlace pins the no-op layer: zero overhead, identity
+// transform, same backing array.
+func TestPlaintextInPlace(t *testing.T) {
+	var l InPlace = Plaintext{}
+	if l.PrefixOverhead() != 0 || l.SuffixOverhead() != 0 {
+		t.Fatal("Plaintext reports nonzero overhead")
+	}
+	buf := []byte("as-is")
+	sealed, err := l.SealInPlace(buf)
+	if err != nil || &sealed[0] != &buf[0] || len(sealed) != len(buf) {
+		t.Fatalf("SealInPlace = %q, %v", sealed, err)
+	}
+	opened, err := l.OpenInPlace(buf)
+	if err != nil || &opened[0] != &buf[0] {
+		t.Fatalf("OpenInPlace = %q, %v", opened, err)
+	}
+}
+
+// BenchmarkSealInPlace1K tracks that the in-place seal itself is
+// allocation-free once the envelope exists.
+func BenchmarkSealInPlace1K(b *testing.B) {
+	l, _ := NewAESGCM("pw")
+	env := make([]byte, 12+1024, 12+1024+l.SuffixOverhead())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, err := l.SealInPlace(env[:12+1024])
+		if err != nil {
+			b.Fatal(err)
+		}
+		env = sealed[:12+1024]
+	}
+}

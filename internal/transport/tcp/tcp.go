@@ -71,31 +71,54 @@ func (l *listener) Addr() string { return l.l.Addr().String() }
 func (l *listener) Close() error { return l.l.Close() }
 
 type endpoint struct {
-	c      net.Conn
-	sendMu sync.Mutex
-	recvMu sync.Mutex
-	lenBuf [4]byte
+	c net.Conn
+
+	sendMu  sync.Mutex
+	sendLen [4]byte   // guarded by sendMu; length-prefix scratch
+	vecArr  [2][]byte // guarded by sendMu; net.Buffers scratch
+
+	recvMu  sync.Mutex
+	lenBuf  [4]byte // guarded by recvMu
+	recvBuf []byte  // guarded by recvMu; reused across Recv calls
 }
 
 func newEndpoint(c net.Conn) *endpoint { return &endpoint{c: c} }
 
+// Send frames the datagram with its length prefix and writes both in
+// one vectored net.Buffers write (one writev syscall on a real TCP
+// conn, instead of two sequential Writes). The scratch vector lives in
+// the endpoint, so a send performs no allocations; WriteTo consumes
+// the vector, nilling its entries, so no reference to the caller's
+// buffer survives the call — Send never retains the datagram.
 func (e *endpoint) Send(datagram []byte) error {
 	if len(datagram) > transport.MaxDatagram {
 		return transport.ErrTooLarge
 	}
 	e.sendMu.Lock()
 	defer e.sendMu.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(datagram)))
-	if _, err := e.c.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(e.sendLen[:], uint32(len(datagram)))
+	e.vecArr[0] = e.sendLen[:]
+	e.vecArr[1] = datagram
+	bufs := net.Buffers(e.vecArr[:])
+	want := int64(4 + len(datagram))
+	n, err := bufs.WriteTo(e.c)
+	e.vecArr[1] = nil // drop the datagram reference even on a partial write
+	if err != nil {
 		return mapNetErr(err)
 	}
-	if _, err := e.c.Write(datagram); err != nil {
-		return mapNetErr(err)
+	if n != want {
+		// A conn that under-reports without erroring (possible with
+		// wrapped conns) would silently corrupt the framing stream.
+		return fmt.Errorf("%w: short write (%d of %d bytes)", transport.ErrClosed, n, want)
 	}
 	return nil
 }
 
+// Recv reads the next length-prefixed datagram into the endpoint's
+// reused receive buffer. Per the transport.Endpoint contract the
+// returned slice is valid only until the next Recv; the buffer grows
+// to the connection's high-water datagram size and is then reused
+// allocation-free.
 func (e *endpoint) Recv() ([]byte, error) {
 	e.recvMu.Lock()
 	defer e.recvMu.Unlock()
@@ -106,7 +129,10 @@ func (e *endpoint) Recv() ([]byte, error) {
 	if n > transport.MaxDatagram {
 		return nil, transport.ErrTooLarge
 	}
-	buf := make([]byte, n)
+	if uint64(cap(e.recvBuf)) < uint64(n) {
+		e.recvBuf = make([]byte, n)
+	}
+	buf := e.recvBuf[:n]
 	if _, err := io.ReadFull(e.c, buf); err != nil {
 		return nil, mapNetErr(err)
 	}

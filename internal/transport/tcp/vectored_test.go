@@ -1,0 +1,149 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// fakeConn is a scriptable net.Conn for exercising the vectored send
+// path without a real socket. Each entry of script controls one Write
+// call: how many bytes to accept (-1 = all) and what error to return.
+type writeStep struct {
+	accept int // bytes to report written; -1 accepts the whole slice
+	err    error
+}
+
+type fakeConn struct {
+	script []writeStep
+	calls  int
+	wrote  bytes.Buffer
+}
+
+func (c *fakeConn) Write(b []byte) (int, error) {
+	step := writeStep{accept: -1}
+	if c.calls < len(c.script) {
+		step = c.script[c.calls]
+	}
+	c.calls++
+	n := len(b)
+	if step.accept >= 0 && step.accept < n {
+		n = step.accept
+	}
+	c.wrote.Write(b[:n])
+	return n, step.err
+}
+
+func (c *fakeConn) Read(b []byte) (int, error)         { return 0, net.ErrClosed }
+func (c *fakeConn) Close() error                       { return nil }
+func (c *fakeConn) LocalAddr() net.Addr                { return fakeAddr{} }
+func (c *fakeConn) RemoteAddr() net.Addr               { return fakeAddr{} }
+func (c *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+// TestVectoredSendFramesCorrectly checks the header and body leave the
+// endpoint as one correctly framed byte stream, and that the endpoint
+// drops its reference to the caller's buffer after the call (the Send
+// no-retention contract).
+func TestVectoredSendFramesCorrectly(t *testing.T) {
+	c := &fakeConn{}
+	e := newEndpoint(c)
+	payload := []byte("vectored payload")
+	if err := e.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{0, 0, 0, byte(len(payload))}, payload...)
+	if !bytes.Equal(c.wrote.Bytes(), want) {
+		t.Fatalf("wire bytes % x, want % x", c.wrote.Bytes(), want)
+	}
+	if e.vecArr[1] != nil {
+		t.Fatal("endpoint retained the caller's datagram after Send")
+	}
+}
+
+// TestVectoredSendShortWrite models a wrapped conn that under-reports
+// written bytes without returning an error — a contract violation that
+// would silently desynchronize the framing stream. Send must detect the
+// byte deficit and fail.
+func TestVectoredSendShortWrite(t *testing.T) {
+	c := &fakeConn{script: []writeStep{{accept: 3}}} // header loses a byte
+	e := newEndpoint(c)
+	err := e.Send([]byte("payload"))
+	if err == nil {
+		t.Fatal("short write went undetected")
+	}
+	if e.vecArr[1] != nil {
+		t.Fatal("endpoint retained the datagram after a failed Send")
+	}
+}
+
+// TestVectoredSendMidBuffersFailure kills the connection after the
+// 4-byte header but before the payload — the mid-net.Buffers failure
+// case. Send must surface transport.ErrClosed and keep no reference to
+// the half-sent datagram.
+func TestVectoredSendMidBuffersFailure(t *testing.T) {
+	c := &fakeConn{script: []writeStep{
+		{accept: -1},                    // header goes through
+		{accept: 0, err: net.ErrClosed}, // connection dies mid-vector
+	}}
+	e := newEndpoint(c)
+	err := e.Send(make([]byte, 64))
+	if !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("mid-vector failure error = %v, want ErrClosed", err)
+	}
+	if e.vecArr[1] != nil {
+		t.Fatal("endpoint retained the datagram after a failed Send")
+	}
+}
+
+// TestRecvBufferReused pins the Recv contract: the returned slice is
+// the endpoint's reused buffer, so it is valid only until the next
+// Recv. Two frames through a pipe must come back correct while sharing
+// backing storage once capacity allows.
+func TestRecvBufferReused(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	e := newEndpoint(srv)
+
+	send := func(p []byte) {
+		hdr := []byte{0, 0, 0, byte(len(p))}
+		if _, err := cli.Write(append(hdr, p...)); err != nil {
+			t.Error(err)
+		}
+	}
+	go send([]byte("first-frame-data"))
+	got1, err := e.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got1) != "first-frame-data" {
+		t.Fatalf("first frame %q", got1)
+	}
+	first := string(got1) // copy before the next Recv invalidates it
+
+	go send([]byte("second")) // shorter: must reuse the same backing array
+	got2, err := e.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "second" {
+		t.Fatalf("second frame %q", got2)
+	}
+	if &got1[0] != &got2[0] {
+		t.Fatal("Recv allocated a fresh buffer for a smaller frame; expected reuse")
+	}
+	if first != "first-frame-data" {
+		t.Fatal("copied first frame changed")
+	}
+}

@@ -44,9 +44,15 @@ const MaxDatagram = 16 << 20
 // (one receive loop per endpoint, as in the paper's listener threads).
 type Endpoint interface {
 	// Send transmits one datagram. It may block for flow control.
+	// Send must not retain the slice after it returns: callers (the
+	// network manager) recycle the backing buffer immediately, so an
+	// implementation that queues the datagram must copy it first.
 	Send(datagram []byte) error
 	// Recv returns the next datagram. It blocks until data arrives or
-	// the endpoint closes, in which case it returns ErrClosed.
+	// the endpoint closes, in which case it returns ErrClosed. The
+	// returned slice is valid only until the next Recv on the same
+	// endpoint — implementations may reuse one receive buffer; a
+	// caller that retains the datagram must copy it.
 	Recv() ([]byte, error)
 	// Close tears the link down; pending Recv calls return ErrClosed.
 	Close() error

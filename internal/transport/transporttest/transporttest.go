@@ -28,6 +28,8 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("ListenerCloseUnblocksAccept", func(t *testing.T) { testListenerClose(t, factory) })
 	t.Run("OversizeRejected", func(t *testing.T) { testOversize(t, factory) })
 	t.Run("MultipleClients", func(t *testing.T) { testMultipleClients(t, factory) })
+	t.Run("BurstOfSizes", func(t *testing.T) { testBurstOfSizes(t, factory) })
+	t.Run("SendAfterCloseFails", func(t *testing.T) { testSendAfterClose(t, factory) })
 }
 
 // pair establishes a connected client/server endpoint pair.
@@ -235,6 +237,67 @@ func testOversize(t *testing.T, factory Factory) {
 	if err := c.Send(huge); err == nil {
 		t.Fatal("oversize Send succeeded")
 	}
+}
+
+// testBurstOfSizes drives rapidly varying datagram sizes through one
+// connection and checks framing integrity end to end: header and body
+// must never tear or interleave (the tcp implementation sends them as
+// one vectored write), and since Recv may reuse its buffer, each
+// datagram is verified before the next Recv — exactly how a contract-
+// respecting caller behaves.
+func testBurstOfSizes(t *testing.T, factory Factory) {
+	net, next := factory(t)
+	c, s, cleanup := pair(t, net, next())
+	defer cleanup()
+
+	sizes := []int{1, 3, 4096, 1, 65537, 2, 100000, 5, 512, 1}
+	go func() {
+		buf := make([]byte, 100000)
+		for i, n := range sizes {
+			for j := 0; j < n; j++ {
+				buf[j] = byte(i*31 + j)
+			}
+			if err := c.Send(buf[:n]); err != nil {
+				t.Errorf("Send size %d: %v", n, err)
+				return
+			}
+		}
+	}()
+	for i, n := range sizes {
+		got, err := s.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if len(got) != n {
+			t.Fatalf("datagram %d: %d bytes, want %d (framing torn)", i, len(got), n)
+		}
+		for j, b := range got {
+			if b != byte(i*31+j) {
+				t.Fatalf("datagram %d corrupted at byte %d", i, j)
+			}
+		}
+	}
+}
+
+// testSendAfterClose checks a closed endpoint eventually refuses to
+// send. "Eventually" tolerates transports that only notice the
+// teardown on a later attempt (real sockets buffer; reliable-UDP
+// retries), but a transport that accepts datagrams forever after Close
+// would make the network manager's redial logic unreachable.
+func testSendAfterClose(t *testing.T, factory Factory) {
+	net, next := factory(t)
+	c, _, cleanup := pair(t, net, next())
+	defer cleanup()
+	c.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := c.Send([]byte("after close")); err != nil {
+			return // contract satisfied
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("Send kept succeeding on a closed endpoint")
 }
 
 func testMultipleClients(t *testing.T, factory Factory) {

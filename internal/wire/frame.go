@@ -21,6 +21,12 @@ const (
 	metricSampleWireSize = 12 // empty String (4) + Int64 (8)
 )
 
+// Canonical non-nil empty slices for arity-0 frame decodes.
+var (
+	emptyParams = make([][]byte, 0)
+	emptyFilled = make([]bool, 0)
+)
+
 // Target is one pre-wired result destination of a microframe: when the
 // microthread produces result i, the processing manager sends it to
 // Targets[i] — the parameter slot Slot of the microframe at Addr
@@ -167,20 +173,30 @@ func (f *Microframe) UnmarshalWire(r *Reader) {
 	f.Prio = types.Priority(r.Int16())
 	f.Hint = r.Uint32()
 	arity := r.SliceLen(1, "frame arity") // one Filled byte per slot, minimum
-	f.Params = make([][]byte, arity)
-	f.Filled = make([]bool, arity)
+	f.Params = grow(f.Params, arity)
+	f.Filled = grow(f.Filled, arity)
+	if arity == 0 {
+		// Match NewMicroframe, which always builds non-nil Params and
+		// Filled: decode(encode(f)) must DeepEqual f. The shared
+		// canonical empties cost nothing and are never written to
+		// (appending to a cap-0 slice allocates fresh backing).
+		if f.Params == nil {
+			f.Params = emptyParams
+		}
+		if f.Filled == nil {
+			f.Filled = emptyFilled
+		}
+	}
 	for i := 0; i < arity && r.Err() == nil; i++ {
 		f.Filled[i] = r.Bool()
 		if f.Filled[i] {
 			f.Params[i] = r.Bytes32()
+		} else {
+			f.Params[i] = nil // a reused slot must not leak a stale parameter
 		}
 	}
 	ntgt := r.SliceLen(targetWireSize, "frame targets")
-	if ntgt == 0 {
-		f.Target = nil
-		return
-	}
-	f.Target = make([]Target, ntgt)
+	f.Target = grow(f.Target, ntgt)
 	for i := 0; i < ntgt && r.Err() == nil; i++ {
 		f.Target[i].unmarshal(r)
 	}

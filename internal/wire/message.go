@@ -241,9 +241,14 @@ func (m *Message) EncodeBytes() []byte {
 	return w.Bytes()
 }
 
-// Decode parses one message from r.
+// Decode parses one message from r, materializing a fresh Message whose
+// payload owns all of its memory — safe to retain and hand across
+// goroutines, which is what the message bus does with it.
 //
-//sdvm:hotpath
+// Deliberately not //sdvm:hotpath: materializing costs per-message
+// allocations by design (the bus retains decoded messages in reply
+// waiters, the inbox, and handlers). The allocation-free decode path is
+// Decoder.Decode, which reuses scratch and returns views.
 func Decode(r *Reader) (*Message, error) {
 	m := &Message{
 		Src:    r.SiteID(),
@@ -275,4 +280,70 @@ func Decode(r *Reader) (*Message, error) {
 // DecodeBytes parses one message from buf.
 func DecodeBytes(buf []byte) (*Message, error) {
 	return Decode(NewReader(buf))
+}
+
+// errUnknownKind is Decoder's static unknown-kind error. Unlike Decode's
+// it carries no kind number — the trade for an allocation-free failure
+// path on hostile input.
+var errUnknownKind = fmt.Errorf("%w: unknown payload kind", types.ErrBadMessage)
+
+// Decoder decodes messages without allocating: it keeps one reusable
+// payload instance per kind, one Message, and an embedded alias-mode
+// Reader, so steady-state decoding of well-formed traffic costs zero
+// allocations (the wire benchmarks and the CI allocation gate pin this).
+//
+// Ownership contract: the returned Message, its payload, and every
+// slice field — including byte fields, which are views of buf itself —
+// are valid only until the next Decode call. Callers that retain
+// anything (the message bus does) must use Decode/DecodeBytes instead,
+// or deep-copy first. A Decoder is not safe for concurrent use; use one
+// per goroutine.
+type Decoder struct {
+	r        Reader
+	msg      Message
+	payloads [kindCount]Payload
+}
+
+// NewDecoder returns a Decoder with its per-kind scratch payloads
+// preallocated.
+func NewDecoder() *Decoder {
+	d := &Decoder{}
+	for k := Kind(1); k < kindCount; k++ {
+		d.payloads[k] = NewPayload(k)
+	}
+	return d
+}
+
+// Decode parses one message from buf into the Decoder's reused scratch.
+// See the type comment for the aliasing contract.
+//
+//sdvm:hotpath
+func (d *Decoder) Decode(buf []byte) (*Message, error) {
+	d.r = Reader{buf: buf, alias: true}
+	r := &d.r
+	m := &d.msg
+	m.Src = r.SiteID()
+	m.Dst = r.SiteID()
+	m.SrcMgr = types.ManagerID(r.Uint8())
+	m.DstMgr = types.ManagerID(r.Uint8())
+	m.Seq = r.Uint64()
+	m.Reply = r.Uint64()
+	kind := Kind(r.Uint16())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m.Payload = nil
+	if kind == KindInvalid {
+		return m, nil
+	}
+	if int(kind) >= len(d.payloads) || d.payloads[kind] == nil {
+		return nil, errUnknownKind
+	}
+	p := d.payloads[kind]
+	p.UnmarshalWire(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m.Payload = p
+	return m, nil
 }

@@ -52,14 +52,9 @@ func (p *MetricsReply) MarshalWire(w *Writer) {
 func (p *MetricsReply) UnmarshalWire(r *Reader) {
 	p.Site = r.SiteID()
 	n := r.SliceLen(metricSampleWireSize, "metrics-reply sample count")
-	if n == 0 {
-		return
-	}
-	p.Samples = make([]MetricSample, 0, min(n, 4096))
+	p.Samples = grow(p.Samples, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
-		var s MetricSample
-		s.Name = r.String()
-		s.Value = r.Int64()
-		p.Samples = append(p.Samples, s)
+		p.Samples[i].Name = r.String()
+		p.Samples[i].Value = r.Int64()
 	}
 }

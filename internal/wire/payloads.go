@@ -102,12 +102,9 @@ func (p *SignOnReply) MarshalWire(w *Writer) {
 func (p *SignOnReply) UnmarshalWire(r *Reader) {
 	p.Assigned = r.SiteID()
 	n := r.SliceLen(siteInfoWireSize, "cluster list")
-	if n == 0 {
-		return
-	}
-	p.Cluster = make([]types.SiteInfo, 0, n)
+	p.Cluster = grow(p.Cluster, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
-		p.Cluster = append(p.Cluster, unmarshalSiteInfo(r))
+		p.Cluster[i] = unmarshalSiteInfo(r)
 	}
 }
 
@@ -128,12 +125,9 @@ func (p *SiteAnnounce) MarshalWire(w *Writer) {
 
 func (p *SiteAnnounce) UnmarshalWire(r *Reader) {
 	n := r.SliceLen(siteInfoWireSize, "announce list")
-	if n == 0 {
-		return
-	}
-	p.Sites = make([]types.SiteInfo, 0, n)
+	p.Sites = grow(p.Sites, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
-		p.Sites = append(p.Sites, unmarshalSiteInfo(r))
+		p.Sites[i] = unmarshalSiteInfo(r)
 	}
 }
 
@@ -277,17 +271,13 @@ func (p *HelpReply) MarshalWire(w *Writer) {
 func (p *HelpReply) UnmarshalWire(r *Reader) {
 	p.CantHelp = r.Bool()
 	if p.CantHelp {
+		p.Frames = p.Frames[:0]
 		return
 	}
 	n := r.SliceLen(microframeWireSize, "help reply batch")
-	if n == 0 {
-		return
-	}
-	p.Frames = make([]*Microframe, 0, n)
+	p.Frames = growFrames(p.Frames, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
-		f := &Microframe{}
-		f.UnmarshalWire(r)
-		p.Frames = append(p.Frames, f)
+		p.Frames[i].UnmarshalWire(r)
 	}
 }
 
@@ -302,7 +292,10 @@ func (*FramePush) Kind() Kind { return KindFramePush }
 func (p *FramePush) MarshalWire(w *Writer) { p.Frame.MarshalWire(w) }
 
 func (p *FramePush) UnmarshalWire(r *Reader) {
-	p.Frame = &Microframe{}
+	if p.Frame == nil {
+		//sdvmlint:allow allocfree -- fills the reusable frame slot once; steady-state decode reuses the instance
+		p.Frame = &Microframe{}
+	}
 	p.Frame.UnmarshalWire(r)
 }
 
@@ -431,10 +424,7 @@ func (p *MemMigrate) MarshalWire(w *Writer) {
 
 func (p *MemMigrate) UnmarshalWire(r *Reader) {
 	n := r.SliceLen(memObjectWireSize, "migrate list")
-	if n == 0 {
-		return
-	}
-	p.Objects = make([]MemObject, n)
+	p.Objects = grow(p.Objects, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		p.Objects[i].unmarshal(r)
 	}
@@ -477,14 +467,9 @@ func (p *FrameRelocate) MarshalWire(w *Writer) {
 
 func (p *FrameRelocate) UnmarshalWire(r *Reader) {
 	n := r.SliceLen(microframeWireSize, "relocate list")
-	if n == 0 {
-		return
-	}
-	p.Frames = make([]*Microframe, 0, n)
+	p.Frames = growFrames(p.Frames, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
-		f := &Microframe{}
-		f.UnmarshalWire(r)
-		p.Frames = append(p.Frames, f)
+		p.Frames[i].UnmarshalWire(r)
 	}
 }
 
@@ -769,22 +754,12 @@ func (p *CheckpointStore) UnmarshalWire(r *Reader) {
 	p.Epoch = r.Uint64()
 	p.Origin = r.SiteID()
 	nf := r.SliceLen(microframeWireSize, "checkpoint frames")
-	if nf == 0 {
-		p.Frames = nil
-	} else {
-		p.Frames = make([]*Microframe, 0, nf)
-	}
+	p.Frames = growFrames(p.Frames, nf)
 	for i := 0; i < nf && r.Err() == nil; i++ {
-		f := &Microframe{}
-		f.UnmarshalWire(r)
-		p.Frames = append(p.Frames, f)
+		p.Frames[i].UnmarshalWire(r)
 	}
 	no := r.SliceLen(memObjectWireSize, "checkpoint objects")
-	if no == 0 {
-		p.Objects = nil
-		return
-	}
-	p.Objects = make([]MemObject, no)
+	p.Objects = grow(p.Objects, no)
 	for i := 0; i < no && r.Err() == nil; i++ {
 		p.Objects[i].unmarshal(r)
 	}
@@ -866,22 +841,12 @@ func (p *RecoverReply) UnmarshalWire(r *Reader) {
 	p.Found = r.Bool()
 	p.Epoch = r.Uint64()
 	nf := r.SliceLen(microframeWireSize, "recover frames")
-	if nf == 0 {
-		p.Frames = nil
-	} else {
-		p.Frames = make([]*Microframe, 0, nf)
-	}
+	p.Frames = growFrames(p.Frames, nf)
 	for i := 0; i < nf && r.Err() == nil; i++ {
-		f := &Microframe{}
-		f.UnmarshalWire(r)
-		p.Frames = append(p.Frames, f)
+		p.Frames[i].UnmarshalWire(r)
 	}
 	no := r.SliceLen(memObjectWireSize, "recover objects")
-	if no == 0 {
-		p.Objects = nil
-		return
-	}
-	p.Objects = make([]MemObject, no)
+	p.Objects = grow(p.Objects, no)
 	for i := 0; i < no && r.Err() == nil; i++ {
 		p.Objects[i].unmarshal(r)
 	}
@@ -1053,10 +1018,7 @@ func (p *UsageReply) MarshalWire(w *Writer) {
 
 func (p *UsageReply) UnmarshalWire(r *Reader) {
 	n := r.SliceLen(usageWireSize, "usage list")
-	if n == 0 {
-		return
-	}
-	p.Accounts = make([]Usage, n)
+	p.Accounts = grow(p.Accounts, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		p.Accounts[i].unmarshal(r)
 	}
@@ -1095,12 +1057,9 @@ func (p *MemInvalidateBatch) MarshalWire(w *Writer) {
 
 func (p *MemInvalidateBatch) UnmarshalWire(r *Reader) {
 	n := r.SliceLen(addrWireSize, "invalidate batch")
-	if n == 0 {
-		return
-	}
-	p.Addrs = make([]types.GlobalAddr, 0, n)
+	p.Addrs = grow(p.Addrs, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
-		p.Addrs = append(p.Addrs, r.Addr())
+		p.Addrs[i] = r.Addr()
 	}
 }
 

@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestGetWriterRelease pins the pooled-writer lifecycle: a fresh writer
+// is empty, usable, and a released writer's storage is recycled without
+// leaking the previous contents into the next user's view.
+func TestGetWriterRelease(t *testing.T) {
+	w := GetWriter(0)
+	if w.Len() != 0 {
+		t.Fatalf("fresh pooled writer has %d bytes", w.Len())
+	}
+	w.Uint32(0xdeadbeef)
+	w.String("pooled")
+	got := append([]byte(nil), w.Bytes()...)
+	w.Release()
+
+	w2 := GetWriter(0)
+	defer w2.Release()
+	if w2.Len() != 0 {
+		t.Fatalf("recycled writer starts with %d bytes", w2.Len())
+	}
+	w2.Uint32(0xdeadbeef)
+	w2.String("pooled")
+	if !bytes.Equal(w2.Bytes(), got) {
+		t.Fatal("recycled writer encodes differently")
+	}
+}
+
+// TestWriterGrowAcrossClasses writes through several size-class
+// boundaries and checks no byte is lost in the pool-to-pool copies.
+func TestWriterGrowAcrossClasses(t *testing.T) {
+	w := GetWriter(16) // deliberately undersized hint
+	defer w.Release()
+	const total = 300 << 10 // beyond the 256 KiB class
+	pattern := make([]byte, 1024)
+	for i := range pattern {
+		pattern[i] = byte(i)
+	}
+	for w.Len() < total {
+		w.Raw(pattern)
+	}
+	b := w.Bytes()
+	for i := 0; i+1024 <= len(b); i += 1024 {
+		if !bytes.Equal(b[i:i+1024], pattern) {
+			t.Fatalf("pattern corrupted at offset %d after growth", i)
+		}
+	}
+}
+
+// TestWriterOversizeFallback exercises the beyond-largest-class path:
+// the buffer must still work, and Release must not panic.
+func TestWriterOversizeFallback(t *testing.T) {
+	w := GetWriter(2 << 20) // above the largest (1 MiB) class
+	w.Zero(2 << 20)
+	if w.Len() != 2<<20 {
+		t.Fatalf("oversize writer length %d", w.Len())
+	}
+	w.Release()
+}
+
+// TestWriterReserve checks Reserve adds spare capacity without touching
+// the length — the in-place seal headroom contract.
+func TestWriterReserve(t *testing.T) {
+	w := GetWriter(0)
+	defer w.Release()
+	w.Uint8(0x7f)
+	w.Reserve(64)
+	if w.Len() != 1 {
+		t.Fatalf("Reserve changed length to %d", w.Len())
+	}
+	b := w.Bytes()
+	if cap(b)-len(b) < 64 {
+		t.Fatalf("Reserve left only %d spare bytes", cap(b)-len(b))
+	}
+	// The reserved capacity must belong to the same backing array, so a
+	// seal can extend into it in place.
+	ext := b[:len(b)+64]
+	_ = ext
+}
+
+// TestWriterPrimitives pins the envelope-assembly primitives introduced
+// for the zero-allocation path.
+func TestWriterPrimitives(t *testing.T) {
+	w := NewWriter(0)
+	w.Zero(3)
+	w.Uint8(0xab)
+	w.Uint32BE(0x01020304)
+	w.Raw([]byte{9, 8})
+	want := []byte{0, 0, 0, 0xab, 1, 2, 3, 4, 9, 8}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("encoded % x, want % x", w.Bytes(), want)
+	}
+}
+
+// TestDecoderReuse decodes different kinds back-to-back through one
+// Decoder and checks no state leaks between messages — the reused
+// scratch payloads must not carry stale slices or counts across kinds.
+func TestDecoderReuse(t *testing.T) {
+	d := NewDecoder()
+	for round := 0; round < 3; round++ {
+		for _, m := range benchMessages() {
+			buf := m.EncodeBytes()
+			got, err := d.Decode(buf)
+			if err != nil {
+				t.Fatalf("round %d %v: %v", round, m.Payload.Kind(), err)
+			}
+			// Re-encoding the decoded view must reproduce the input
+			// byte-for-byte: a full-fidelity equality check that never
+			// trips over aliasing-vs-copy representation differences.
+			back := got.EncodeBytes()
+			if !bytes.Equal(back, buf) {
+				t.Fatalf("round %d %v: re-encode mismatch", round, m.Payload.Kind())
+			}
+		}
+	}
+}
+
+// TestDecoderShrinkingBatches is the stale-state check: a large batch
+// followed by a small one must not resurrect elements of the former.
+func TestDecoderShrinkingBatches(t *testing.T) {
+	mk := func(n int) []byte {
+		addrs := make([]types.GlobalAddr, n)
+		for i := range addrs {
+			addrs[i] = types.GlobalAddr{Home: 9, Local: uint64(100 + i)}
+		}
+		m := &Message{Src: 1, Dst: 2, SrcMgr: types.MgrMemory, DstMgr: types.MgrMemory,
+			Seq: uint64(n), Payload: &MemInvalidateBatch{Addrs: addrs}}
+		return m.EncodeBytes()
+	}
+	d := NewDecoder()
+	big, err := d.Decode(mk(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(big.Payload.(*MemInvalidateBatch).Addrs); got != 32 {
+		t.Fatalf("big batch decoded %d addrs", got)
+	}
+	small, err := d.Decode(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := small.Payload.(*MemInvalidateBatch)
+	if len(p.Addrs) != 2 {
+		t.Fatalf("small batch decoded %d addrs, want 2", len(p.Addrs))
+	}
+	for i, a := range p.Addrs {
+		if a.Local != uint64(100+i) {
+			t.Fatalf("addr %d = %v: stale element leaked", i, a)
+		}
+	}
+}
+
+// TestDecoderAliasesInput proves the Decoder really does return views:
+// mutating the input buffer after Decode must show through, which is
+// exactly why the output is only valid until the buffer is reused.
+func TestDecoderAliasesInput(t *testing.T) {
+	m := &Message{Src: 1, Dst: 2, SrcMgr: types.MgrMemory, DstMgr: types.MgrMemory,
+		Seq: 7, Payload: &MemWrite{Addr: types.GlobalAddr{Home: 1, Local: 2}, Data: []byte{1, 1, 1, 1}}}
+	buf := m.EncodeBytes()
+	d := NewDecoder()
+	got, err := d.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := got.Payload.(*MemWrite).Data
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if data[0] != 0xff {
+		t.Fatal("decoded data is a copy; Decoder should alias the input")
+	}
+}
+
+// TestDecoderErrors pins error behavior of the reused decoder: garbage
+// fails with ErrBadMessage, and a failure does not poison the next
+// decode.
+func TestDecoderErrors(t *testing.T) {
+	d := NewDecoder()
+	if _, err := d.Decode([]byte{1, 2, 3}); !errors.Is(err, types.ErrBadMessage) {
+		t.Fatalf("truncated decode error = %v", err)
+	}
+	m := benchMessages()[0]
+	got, err := d.Decode(m.EncodeBytes())
+	if err != nil {
+		t.Fatalf("decode after failure: %v", err)
+	}
+	if got.Payload.Kind() != m.Payload.Kind() {
+		t.Fatalf("decoded kind %v", got.Payload.Kind())
+	}
+}
+
+// TestReaderErrorIsErrBadMessage pins the allocation-free decode error:
+// it must still satisfy errors.Is(err, types.ErrBadMessage) and render
+// a useful message.
+func TestReaderErrorIsErrBadMessage(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.Uint32()
+	err := r.Err()
+	if err == nil {
+		t.Fatal("truncated read did not fail")
+	}
+	if !errors.Is(err, types.ErrBadMessage) {
+		t.Fatalf("error %v does not wrap ErrBadMessage", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
