@@ -22,9 +22,22 @@
 //	                 matching ignores line numbers, so a baseline
 //	                 survives unrelated edits above a finding
 //	-analyzers CSV   run only the named analyzers ("wiretaint,lockhold"),
-//	                 or all but the negated ones ("-allocfree,-lockorder")
+//	                 or all but the negated ones ("-allocfree,-lockorder");
+//	                 the special value "list" prints every analyzer with a
+//	                 one-line description and exits without analyzing
 //	-timings         print per-analyzer wall-clock timings to stderr
 //	-budget DUR      exit nonzero if the whole run exceeds DUR (0 = off)
+//
+// JSON output is a versioned envelope, {"schema": 1, "findings": [...]},
+// so downstream tooling can detect format changes. The -baseline flag
+// accepts either that envelope or the legacy bare findings array.
+//
+// Exit codes:
+//
+//	0  clean: no findings and within budget
+//	1  findings were reported, or the run exceeded -budget
+//	2  usage or environment error (bad flag value, unknown analyzer,
+//	   no go.mod, package load failure, unreadable baseline)
 //
 // A typical adoption path for a new analyzer: run `sdvmlint -json >
 // baseline.json` once, commit the baseline with a justification per
@@ -38,6 +51,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,6 +69,10 @@ func main() {
 	budget := flag.Duration("budget", 0, "fail if the whole analysis run exceeds this duration (0 disables)")
 	flag.Parse()
 
+	if *analyzerSpec == "list" {
+		listAnalyzers(os.Stdout, analysis.All())
+		return
+	}
 	analyzers, err := selectAnalyzers(analysis.All(), *analyzerSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdvmlint:", err)
@@ -89,9 +107,12 @@ func main() {
 		}
 	}
 	if *asJSON {
-		out := make([]analysis.JSONFinding, 0, len(findings))
+		out := analysis.JSONReport{
+			Schema:   analysis.JSONSchemaVersion,
+			Findings: make([]analysis.JSONFinding, 0, len(findings)),
+		}
 		for _, f := range findings {
-			out = append(out, analysis.ToJSON(root, f))
+			out.Findings = append(out.Findings, analysis.ToJSON(root, f))
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -169,6 +190,15 @@ func selectAnalyzers(all []analysis.Analyzer, spec string) ([]analysis.Analyzer,
 		return nil, fmt.Errorf("-analyzers %q selects nothing", spec)
 	}
 	return out, nil
+}
+
+// listAnalyzers prints the suite roster with one-line descriptions, in
+// suite order — the output CI and contributors consult before writing
+// an -analyzers spec or an allow directive.
+func listAnalyzers(w io.Writer, all []analysis.Analyzer) {
+	for _, a := range all {
+		fmt.Fprintf(w, "%-14s %s\n", a.Name(), analysis.Descriptions[a.Name()])
+	}
 }
 
 func knownNames(all []analysis.Analyzer) string {

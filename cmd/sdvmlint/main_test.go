@@ -93,6 +93,67 @@ func TestApplyBaselineWhyIgnoredInMatching(t *testing.T) {
 	}
 }
 
+func TestApplyBaselineEnvelope(t *testing.T) {
+	root := t.TempDir()
+	// A baseline saved from the current -json output is a versioned
+	// envelope, not a bare array; it must suppress the same way.
+	rep := analysis.JSONReport{
+		Schema:   analysis.JSONSchemaVersion,
+		Findings: []analysis.JSONFinding{{File: "z.go", Analyzer: "poolowner", Message: "leak"}},
+	}
+	data, _ := json.Marshal(rep)
+	path := filepath.Join(root, "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := []analysis.Finding{
+		mkFinding(filepath.Join(root, "z.go"), 4, "poolowner", "leak"),
+	}
+	out, err := analysis.ApplyBaseline(findings, root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("envelope baseline must suppress, got %v", out)
+	}
+}
+
+func TestApplyBaselineFutureSchemaRejected(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "baseline.json")
+	data := []byte(`{"schema": 99, "findings": []}`)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.ApplyBaseline(nil, root, path); err == nil {
+		t.Fatal("baseline from a future schema version must be rejected, not half-parsed")
+	}
+}
+
+func TestListAnalyzersCoversSuite(t *testing.T) {
+	var sb strings.Builder
+	all := analysis.All()
+	listAnalyzers(&sb, all)
+	out := sb.String()
+	lines := strings.Count(out, "\n")
+	if lines != len(all) {
+		t.Fatalf("want one line per analyzer (%d), got %d:\n%s", len(all), lines, out)
+	}
+	for _, a := range all {
+		if !strings.Contains(out, a.Name()) {
+			t.Errorf("listing is missing %s", a.Name())
+		}
+		if analysis.Descriptions[a.Name()] == "" {
+			t.Errorf("analyzer %s has no description", a.Name())
+		}
+	}
+	for _, name := range []string{"poolowner", "detpath"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("listing is missing the %s analyzer", name)
+		}
+	}
+}
+
 func TestToJSONRelativizes(t *testing.T) {
 	root := string(filepath.Separator) + filepath.Join("mod", "root")
 	f := mkFinding(filepath.Join(root, "internal", "x.go"), 7, "guardedby", "m")

@@ -32,19 +32,34 @@
 //   - allocfree: functions annotated //sdvm:hotpath must not allocate
 //     transitively — make/new/append, interface boxing, closures,
 //     string conversions and known-allocating stdlib calls are reported
-//     with a root-to-site witness chain.
+//     with a root-to-site witness chain;
+//   - poolowner: pooled wire buffers (wire.GetWriter) are tracked
+//     path-sensitively over a per-function CFG — every path must
+//     Release exactly once or transfer ownership, uses after Release
+//     and retention of //sdvm:borrowed parameters or decoder views are
+//     reported;
+//   - detpath: functions reachable from //sdvm:deterministic roots
+//     must not reach wall-clock time, global math/rand, map-range
+//     iteration, goroutine launches or unresolvable dynamic calls —
+//     each finding carries a root-to-site witness chain.
 //
-// The last six analyzers (and the interprocedural halves of lockhold
-// and guardedby) run on a conservative whole-module call graph built in
-// callgraph.go/ipstate.go; the shared dataflow propagation (witness
-// chains, may-fact fixpoints, forward reachability) lives in
-// dataflow.go. Construction rules and soundness caveats are documented
-// on the engine and the framework.
+// The interprocedural analyzers (and the interprocedural halves of
+// lockhold and guardedby) run on a conservative whole-module call
+// graph built in callgraph.go/ipstate.go; the shared dataflow
+// propagation (witness chains, may-fact fixpoints, forward
+// reachability) lives in dataflow.go, and the intraprocedural CFG the
+// path-based analyzers use lives in cfg.go. Construction rules and
+// soundness caveats are documented on the engine and the framework.
 //
 // A finding can be suppressed with a line directive — on the offending
 // line or the line above it:
 //
 //	//sdvmlint:allow sleepfree -- simulated compile cost is the model
+//
+// (//sdvm:allow is accepted as a synonym.) poolowner and detpath
+// findings additionally require the "-- <reason>" justification: a
+// bare allow without a reason does not suppress them, so every
+// ownership or determinism waiver is self-documenting.
 //
 // The driver (cmd/sdvmlint) exits nonzero on any unsuppressed finding.
 package analysis
@@ -88,7 +103,34 @@ func All() []Analyzer {
 		newChanowner(),
 		newWiretaint(),
 		newAllocfree(),
+		newPoolowner(),
+		newDetpath(),
 	}
+}
+
+// Descriptions maps each analyzer name to the one-line summary the
+// driver's -analyzers listing prints.
+var Descriptions = map[string]string{
+	"lockhold":     "no mutex held across a blocking operation (interprocedural)",
+	"wiredispatch": "every wire payload kind is registered, named and consumed",
+	"sleepfree":    "no bare time.Sleep in production packages",
+	"golifecycle":  "every goroutine loop can terminate or observe a stop channel",
+	"guardedby":    "'guarded by' fields only touched with the mutex held",
+	"lockorder":    "the global mutex-acquisition graph stays acyclic",
+	"atomicmix":    "atomic fields are never accessed plainly, module-wide",
+	"chanowner":    "one closing owner per channel field, no send after close",
+	"wiretaint":    "wire-decoded values validated before sizing/indexing/routing",
+	"allocfree":    "//sdvm:hotpath functions never allocate, transitively",
+	"poolowner":    "pooled buffers Release exactly once per path; no use-after-Release or borrowed-view retention",
+	"detpath":      "//sdvm:deterministic roots reach no wall clock, global rand or map-order dependence",
+}
+
+// requireReason lists the analyzers whose findings can only be
+// suppressed by an allow directive carrying a "-- <reason>"
+// justification.
+var requireReason = map[string]bool{
+	"poolowner": true,
+	"detpath":   true,
 }
 
 // Timing records one analyzer's wall-clock cost for a run.
@@ -115,7 +157,7 @@ func RunWithTimings(prog *Program, analyzers []Analyzer) ([]Finding, []Timing) {
 	for _, a := range analyzers {
 		start := time.Now()
 		for _, f := range a.Run(prog) {
-			if allow.allowed(a.Name(), f.Pos) {
+			if allow.allowed(a.Name(), f.Pos, requireReason[a.Name()]) {
 				continue
 			}
 			out = append(out, f)
@@ -134,12 +176,16 @@ func RunWithTimings(prog *Program, analyzers []Analyzer) ([]Finding, []Timing) {
 	return out, timings
 }
 
-// allowSet records, per file and line, which analyzers are suppressed. A
+// allowSet records, per file and line, which analyzers are suppressed
+// and whether the directive carried a "-- <reason>" justification. A
 // directive covers its own line and the next one, so it can sit at the
 // end of the offending line or on a comment line directly above it.
+// The value is true when a justification is present.
 type allowSet map[string]map[int]map[string]bool
 
-var allowRe = regexp.MustCompile(`sdvmlint:allow\s+([a-z, ]+)`)
+// allowRe accepts both directive spellings: //sdvmlint:allow (the
+// original) and //sdvm:allow (matching the other sdvm: annotations).
+var allowRe = regexp.MustCompile(`sdvm(?:lint)?:allow\s+([a-z, ]+)`)
 
 func collectAllows(prog *Program) allowSet {
 	set := make(allowSet)
@@ -152,8 +198,9 @@ func collectAllows(prog *Program) allowSet {
 						continue
 					}
 					names := m[1]
-					if i := strings.Index(names, "--"); i >= 0 {
-						names = names[:i]
+					justified := false
+					if i := strings.Index(c.Text, "--"); i >= 0 {
+						justified = strings.TrimSpace(c.Text[i+2:]) != ""
 					}
 					pos := prog.Fset.Position(c.Pos())
 					lines := set[pos.Filename]
@@ -168,7 +215,7 @@ func collectAllows(prog *Program) allowSet {
 							if lines[line] == nil {
 								lines[line] = make(map[string]bool)
 							}
-							lines[line][name] = true
+							lines[line][name] = lines[line][name] || justified
 						}
 					}
 				}
@@ -178,6 +225,13 @@ func collectAllows(prog *Program) allowSet {
 	return set
 }
 
-func (s allowSet) allowed(analyzer string, pos token.Position) bool {
-	return s[pos.Filename][pos.Line][analyzer]
+// allowed reports whether a finding at pos is suppressed. When the
+// analyzer requires a justification, only a directive with a non-empty
+// "-- <reason>" counts.
+func (s allowSet) allowed(analyzer string, pos token.Position, needReason bool) bool {
+	justified, ok := s[pos.Filename][pos.Line][analyzer]
+	if !ok {
+		return false
+	}
+	return !needReason || justified
 }

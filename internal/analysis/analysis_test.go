@@ -97,6 +97,10 @@ func TestWiretaintFixture(t *testing.T) { runFixture(t, "wiretaint", newWiretain
 
 func TestAllocfreeFixture(t *testing.T) { runFixture(t, "allocfree", newAllocfree()) }
 
+func TestPoolownerFixture(t *testing.T) { runFixture(t, "poolowner", newPoolowner()) }
+
+func TestDetpathFixture(t *testing.T) { runFixture(t, "detpath", newDetpath()) }
+
 // TestDirectivesFixture runs two analyzers at once over a fixture built
 // around //sdvmlint:allow directives — multi-analyzer lists in comma and
 // space form, directives above multi-line statements — and doubles as

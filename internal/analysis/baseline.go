@@ -1,11 +1,27 @@
 package analysis
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 )
+
+// JSONSchemaVersion is the current version of the driver's -json output
+// format. It is bumped whenever the envelope or a finding field changes
+// incompatibly, so downstream tooling can refuse formats it does not
+// understand instead of misparsing them.
+const JSONSchemaVersion = 1
+
+// JSONReport is the envelope the driver's -json mode emits: a schema
+// version plus the findings. Findings is always present (an empty array
+// when clean), so consumers can distinguish "clean run" from "truncated
+// output".
+type JSONReport struct {
+	Schema   int           `json:"schema"`
+	Findings []JSONFinding `json:"findings"`
+}
 
 // JSONFinding is the stable serialized form of one finding, shared by
 // the driver's -json output, the committed lint.baseline.json and the
@@ -48,8 +64,8 @@ func ApplyBaseline(findings []Finding, root, path string) ([]Finding, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reading baseline: %w", err)
 	}
-	var base []JSONFinding
-	if err := json.Unmarshal(data, &base); err != nil {
+	base, err := parseBaseline(data)
+	if err != nil {
 		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
 	budget := make(map[JSONFinding]int, len(base))
@@ -68,4 +84,28 @@ func ApplyBaseline(findings []Finding, root, path string) ([]Finding, error) {
 		out = append(out, f)
 	}
 	return out, nil
+}
+
+// parseBaseline reads a baseline in either format: the versioned
+// {"schema": N, "findings": [...]} envelope the driver emits today, or
+// the legacy bare findings array from before the schema field existed.
+// An envelope with a schema newer than this build understands is an
+// error — silently ignoring fields could un-suppress or over-suppress.
+func parseBaseline(data []byte) ([]JSONFinding, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var base []JSONFinding
+		if err := json.Unmarshal(data, &base); err != nil {
+			return nil, err
+		}
+		return base, nil
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema > JSONSchemaVersion {
+		return nil, fmt.Errorf("baseline schema %d is newer than supported version %d", rep.Schema, JSONSchemaVersion)
+	}
+	return rep.Findings, nil
 }

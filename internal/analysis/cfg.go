@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds the intraprocedural control-flow graph the path-based
+// analyzers (poolowner) run their forward dataflow over. The graph is
+// statement-granular: every executable statement is one node, and the
+// condition expressions of if/for/switch get nodes of their own so a
+// transfer function sees uses inside conditions too. Construction
+// rules:
+//
+//   - entry and exit are synthetic (node == nil). Every return
+//     statement and the implicit fall-off at the end of the body edge
+//     into exit, so "state at exit predecessors" is "state on every
+//     terminating path".
+//   - if/else, for (with back edge through the post statement), range,
+//     switch/type-switch (including fallthrough), and select are
+//     expanded structurally; break/continue — labeled or not — resolve
+//     against an explicit loop/switch stack, and goto patches its edge
+//     once the labeled target exists.
+//   - panic(...) ends its path without reaching exit: a path that dies
+//     cannot leak resources the process would have kept using.
+//   - defer is an ordinary node at its syntactic position; analyzers
+//     that care (poolowner) record it as a pending action and apply it
+//     when a path reaches exit. That keeps defer path-sensitive: a
+//     defer registered inside a branch only covers paths through the
+//     branch.
+//
+// The builder intentionally does not model panics from arbitrary
+// expressions or recover — the analyses running on it are linters, not
+// verifiers, and the documented soundness gap is "a leak visible only
+// on an implicit-panic unwind is not reported".
+
+// cfgNode is one node of the graph. node is an ast.Stmt for statement
+// nodes, an ast.Expr for condition nodes, and nil for entry/exit.
+type cfgNode struct {
+	node  ast.Node
+	succs []*cfgNode
+	preds []*cfgNode
+}
+
+// Pos returns the node's source position (NoPos for entry/exit).
+func (n *cfgNode) Pos() token.Pos {
+	if n.node == nil {
+		return token.NoPos
+	}
+	return n.node.Pos()
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	entry *cfgNode
+	exit  *cfgNode
+	nodes []*cfgNode
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{
+		c:      &cfg{},
+		labels: make(map[string]*cfgNode),
+	}
+	b.c.entry = b.newNode(nil)
+	b.c.exit = &cfgNode{}
+	frontier := b.stmtList(body.List, []*cfgNode{b.c.entry})
+	b.connect(frontier, b.c.exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.node, target)
+		} else {
+			// Label outside the analyzed body (cannot happen in
+			// type-checked code); fail open to exit.
+			b.edge(g.node, b.c.exit)
+		}
+	}
+	b.c.nodes = append(b.c.nodes, b.c.exit)
+	return b.c
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label     string     // enclosing label, "" if none
+	isLoop    bool       // for/range: continue allowed
+	breaks    []*cfgNode // nodes that break out (joined after the construct)
+	continues []*cfgNode // nodes that continue (joined at the loop head)
+}
+
+type pendingGoto struct {
+	node  *cfgNode
+	label string
+}
+
+type cfgBuilder struct {
+	c      *cfg
+	stack  []*loopFrame
+	labels map[string]*cfgNode // label -> first node of the labeled stmt
+	gotos  []pendingGoto
+	// pendingLabel is set by a LabeledStmt so the next loop/switch
+	// frame knows its label (for `break L` / `continue L`).
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newNode(n ast.Node) *cfgNode {
+	node := &cfgNode{node: n}
+	b.c.nodes = append(b.c.nodes, node)
+	return node
+}
+
+func (b *cfgBuilder) edge(from, to *cfgNode) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+func (b *cfgBuilder) connect(preds []*cfgNode, to *cfgNode) {
+	for _, p := range preds {
+		b.edge(p, to)
+	}
+}
+
+// seq creates a node for n with the given predecessors and returns it
+// as the new single-element frontier.
+func (b *cfgBuilder) seq(n ast.Node, preds []*cfgNode) []*cfgNode {
+	node := b.newNode(n)
+	b.connect(preds, node)
+	return []*cfgNode{node}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, frontier []*cfgNode) []*cfgNode {
+	for _, s := range list {
+		frontier = b.stmt(s, frontier)
+	}
+	return frontier
+}
+
+// stmt wires one statement into the graph and returns the frontier of
+// nodes control may fall out of. An empty frontier means control never
+// falls through (return, break, panic, infinite loop).
+func (b *cfgBuilder) stmt(s ast.Stmt, frontier []*cfgNode) []*cfgNode {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(st.List, frontier)
+
+	case *ast.LabeledStmt:
+		// The label resolves to the first node of the labeled
+		// statement. A placeholder node keeps goto targets stable even
+		// when the labeled statement is itself a loop.
+		head := b.seq(st, frontier)
+		b.labels[st.Label.Name] = head[0]
+		b.pendingLabel = st.Label.Name
+		return b.stmt(st.Stmt, head)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			frontier = b.stmt(st.Init, frontier)
+		}
+		cond := b.seq(st.Cond, frontier)
+		thenEnd := b.stmtList(st.Body.List, cond)
+		elseEnd := cond
+		if st.Else != nil {
+			elseEnd = b.stmt(st.Else, cond)
+		}
+		return append(append([]*cfgNode{}, thenEnd...), elseEnd...)
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			frontier = b.stmt(st.Init, frontier)
+		}
+		frame := &loopFrame{label: label, isLoop: true}
+		b.stack = append(b.stack, frame)
+		var head []*cfgNode
+		if st.Cond != nil {
+			head = b.seq(st.Cond, frontier)
+		} else {
+			// No condition: the loop head is the body's first node;
+			// use a placeholder node for the ForStmt itself so there
+			// is a stable head to loop back to.
+			head = b.seq(st, frontier)
+		}
+		bodyEnd := b.stmtList(st.Body.List, head)
+		// continue and normal body end go through the post statement
+		// back to the head.
+		backPreds := append(bodyEnd, frame.continues...)
+		if st.Post != nil {
+			backPreds = b.stmt(st.Post, backPreds)
+		}
+		b.connect(backPreds, head[0])
+		b.stack = b.stack[:len(b.stack)-1]
+		var out []*cfgNode
+		if st.Cond != nil {
+			out = append(out, head...)
+		}
+		return append(out, frame.breaks...)
+
+	case *ast.RangeStmt:
+		frame := &loopFrame{label: label, isLoop: true}
+		b.stack = append(b.stack, frame)
+		head := b.seq(st, frontier) // the range head: evaluates X, binds key/value
+		bodyEnd := b.stmtList(st.Body.List, head)
+		b.connect(append(bodyEnd, frame.continues...), head[0])
+		b.stack = b.stack[:len(b.stack)-1]
+		return append(append([]*cfgNode{}, head...), frame.breaks...)
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			frontier = b.stmt(st.Init, frontier)
+		}
+		var tag []*cfgNode
+		if st.Tag != nil {
+			tag = b.seq(st.Tag, frontier)
+		} else {
+			tag = b.seq(st, frontier)
+		}
+		return b.switchBody(st.Body, tag, label)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			frontier = b.stmt(st.Init, frontier)
+		}
+		head := b.seq(st.Assign, frontier)
+		return b.switchBody(st.Body, head, label)
+
+	case *ast.SelectStmt:
+		head := b.seq(st, frontier)
+		frame := &loopFrame{label: label}
+		b.stack = append(b.stack, frame)
+		var out []*cfgNode
+		hasDefault := false
+		for _, cc := range st.Body.List {
+			comm := cc.(*ast.CommClause)
+			var clause []*cfgNode
+			if comm.Comm != nil {
+				clause = b.stmt(comm.Comm, head)
+			} else {
+				hasDefault = true
+				clause = head
+			}
+			out = append(out, b.stmtList(comm.Body, clause)...)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		out = append(out, frame.breaks...)
+		if len(st.Body.List) == 0 || (!hasDefault && len(out) == 0) {
+			// select{} blocks forever; a select whose every clause
+			// breaks out has only the breaks.
+			return frame.breaks
+		}
+		return out
+
+	case *ast.BranchStmt:
+		node := b.newNode(st)
+		b.connect(frontier, node)
+		switch st.Tok {
+		case token.BREAK:
+			if f := b.findFrame(st.Label, false); f != nil {
+				f.breaks = append(f.breaks, node)
+			}
+		case token.CONTINUE:
+			if f := b.findFrame(st.Label, true); f != nil {
+				f.continues = append(f.continues, node)
+			}
+		case token.GOTO:
+			if st.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{node, st.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// Handled in switchBody: fall out of the clause normally.
+			return []*cfgNode{node}
+		}
+		return nil
+
+	case *ast.ReturnStmt:
+		node := b.newNode(st)
+		b.connect(frontier, node)
+		b.edge(node, b.c.exit)
+		return nil
+
+	case *ast.ExprStmt:
+		node := b.newNode(st)
+		b.connect(frontier, node)
+		if isPanicCall(st.X) {
+			return nil // the path dies here
+		}
+		return []*cfgNode{node}
+
+	case nil:
+		return frontier
+
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec, Empty: straight-line.
+		return b.seq(s, frontier)
+	}
+}
+
+// switchBody expands the case clauses of a switch/type-switch: every
+// clause branches from the head, fallthrough chains into the next
+// clause, and a missing default lets the head fall through.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, head []*cfgNode, label string) []*cfgNode {
+	frame := &loopFrame{label: label}
+	b.stack = append(b.stack, frame)
+	var out []*cfgNode
+	hasDefault := false
+	// clauseStart[i] is the first node of clause i, so a fallthrough in
+	// clause i-1 can jump to it.
+	starts := make([]*cfgNode, len(body.List))
+	for i, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		start := b.newNode(cc)
+		starts[i] = start
+		b.connect(head, start)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		end := b.stmtList(cc.Body, []*cfgNode{starts[i]})
+		// A trailing fallthrough's node ends up in `end`; chain it to
+		// the next clause instead of falling out of the switch.
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(starts) {
+				b.connect(end, starts[i+1])
+				continue
+			}
+		}
+		out = append(out, end...)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	if !hasDefault {
+		out = append(out, head...)
+	}
+	return append(out, frame.breaks...)
+}
+
+// findFrame resolves a break/continue target against the frame stack.
+func (b *cfgBuilder) findFrame(label *ast.Ident, needLoop bool) *loopFrame {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		f := b.stack[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unwrapFun(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}

@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseCFG parses a single function body and builds its CFG.
+func parseCFG(t *testing.T, body string) *cfg {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return buildCFG(fn.Body)
+}
+
+// nodeLabel renders a node for test assertions.
+func nodeLabel(n *cfgNode) string {
+	switch nd := n.node.(type) {
+	case nil:
+		return "synthetic"
+	case *ast.ExprStmt:
+		if call, ok := nd.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return "call:" + id.Name
+			}
+		}
+		return "expr"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.BranchStmt:
+		return nd.Tok.String()
+	case *ast.Ident:
+		return "cond:" + nd.Name
+	default:
+		return strings.TrimPrefix(strings.TrimPrefix(
+			strings.Split(strings.TrimPrefix(
+				strings.Replace(
+					strings.Replace(
+						nodeTypeName(nd), "*ast.", "", 1),
+					"Stmt", "", 1), "*"), "{")[0], "ast."), "*")
+	}
+}
+
+func nodeTypeName(n ast.Node) string {
+	switch n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.ForStmt:
+		return "for"
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.IfStmt:
+		return "if"
+	case *ast.CaseClause:
+		return "case"
+	case *ast.SwitchStmt:
+		return "switch"
+	case *ast.SelectStmt:
+		return "select"
+	case *ast.LabeledStmt:
+		return "label"
+	case *ast.BinaryExpr, *ast.Ident, *ast.CallExpr, *ast.UnaryExpr:
+		return "cond"
+	default:
+		return "stmt"
+	}
+}
+
+// reachableFromEntry walks succs from entry and reports whether exit is
+// reached and how many nodes are visited.
+func reachableFromEntry(c *cfg) (exitReached bool, visited int) {
+	seen := map[*cfgNode]bool{}
+	var walk func(n *cfgNode)
+	walk = func(n *cfgNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n == c.exit {
+			exitReached = true
+		}
+		for _, s := range n.succs {
+			walk(s)
+		}
+	}
+	walk(c.entry)
+	return exitReached, len(seen)
+}
+
+// findNode returns the first node whose label matches.
+func findNode(t *testing.T, c *cfg, label string) *cfgNode {
+	t.Helper()
+	for _, n := range c.nodes {
+		if nodeLabel(n) == label {
+			return n
+		}
+	}
+	t.Fatalf("no node labeled %q", label)
+	return nil
+}
+
+func succLabels(n *cfgNode) []string {
+	var out []string
+	for _, s := range n.succs {
+		out = append(out, nodeLabel(s))
+	}
+	return out
+}
+
+func hasSucc(n *cfgNode, target *cfgNode) bool {
+	for _, s := range n.succs {
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := parseCFG(t, "a()\nb()\nc()")
+	ok, _ := reachableFromEntry(c)
+	if !ok {
+		t.Fatal("exit not reachable")
+	}
+	a := findNode(t, c, "call:a")
+	b := findNode(t, c, "call:b")
+	if !hasSucc(a, b) {
+		t.Errorf("a succs = %v, want edge to call:b", succLabels(a))
+	}
+	cc := findNode(t, c, "call:c")
+	if !hasSucc(cc, c.exit) {
+		t.Errorf("c succs = %v, want edge to exit", succLabels(cc))
+	}
+}
+
+func TestCFGBranchJoin(t *testing.T) {
+	// Both arms of the if must join at the following statement, and a
+	// missing else means the condition edges there directly.
+	c := parseCFG(t, "if x {\n\ta()\n} else {\n\tb()\n}\nj()")
+	j := findNode(t, c, "call:j")
+	if len(j.preds) != 2 {
+		t.Fatalf("join preds = %v, want both arms", predLabels(j))
+	}
+	c2 := parseCFG(t, "if x {\n\ta()\n}\nj()")
+	j2 := findNode(t, c2, "call:j")
+	if len(j2.preds) != 2 {
+		t.Fatalf("no-else join preds = %v, want arm + cond", predLabels(j2))
+	}
+}
+
+func predLabels(n *cfgNode) []string {
+	var out []string
+	for _, p := range n.preds {
+		out = append(out, nodeLabel(p))
+	}
+	return out
+}
+
+func TestCFGReturnSkipsJoin(t *testing.T) {
+	// The returning arm must NOT flow into the join statement.
+	c := parseCFG(t, "if x {\n\treturn\n}\nj()")
+	j := findNode(t, c, "call:j")
+	for _, p := range j.preds {
+		if _, isRet := p.node.(*ast.ReturnStmt); isRet {
+			t.Fatal("return statement flows into the join")
+		}
+	}
+	ret := findNode(t, c, "return")
+	if !hasSucc(ret, c.exit) {
+		t.Error("return does not edge to exit")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	c := parseCFG(t, "for i := 0; i < n; i++ {\n\tbody()\n}\nafter()")
+	// The post statement (i++) must edge back to the condition.
+	var post *cfgNode
+	for _, n := range c.nodes {
+		if _, ok := n.node.(*ast.IncDecStmt); ok {
+			post = n
+		}
+	}
+	if post == nil {
+		t.Fatal("no node for i++")
+	}
+	var cond *cfgNode
+	for _, n := range c.nodes {
+		if be, ok := n.node.(*ast.BinaryExpr); ok && be.Op == token.LSS {
+			cond = n
+		}
+	}
+	if cond == nil {
+		t.Fatal("no node for loop condition")
+	}
+	if !hasSucc(post, cond) {
+		t.Error("post statement has no back edge to the condition")
+	}
+	// The condition must flow both into the body and out to after().
+	after := findNode(t, c, "call:after")
+	if !hasSucc(cond, after) {
+		t.Errorf("cond succs = %v, want edge to call:after", succLabels(cond))
+	}
+	body := findNode(t, c, "call:body")
+	if !hasSucc(cond, body) {
+		t.Errorf("cond succs = %v, want edge to call:body", succLabels(body))
+	}
+}
+
+func TestCFGInfiniteLoopNoFallthrough(t *testing.T) {
+	// `for {}` without break never reaches the next statement; exit is
+	// unreachable because there is no return either.
+	c := parseCFG(t, "for {\n\tbody()\n}")
+	ok, _ := reachableFromEntry(c)
+	if ok {
+		t.Fatal("exit reachable through an infinite loop with no break")
+	}
+	// With a break it must fall through.
+	c2 := parseCFG(t, "for {\n\tif x {\n\t\tbreak\n\t}\n}\nafter()")
+	ok2, _ := reachableFromEntry(c2)
+	if !ok2 {
+		t.Fatal("exit unreachable despite break")
+	}
+	br := findNode(t, c2, "break")
+	after := findNode(t, c2, "call:after")
+	if !hasSucc(br, after) {
+		t.Errorf("break succs = %v, want edge to call:after", succLabels(br))
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	c := parseCFG(t, "for _, v := range xs {\n\tuse(v)\n}\nafter()")
+	head := findNode(t, c, "range")
+	body := findNode(t, c, "call:use")
+	after := findNode(t, c, "call:after")
+	if !hasSucc(head, body) || !hasSucc(head, after) {
+		t.Errorf("range head succs = %v, want body and after", succLabels(head))
+	}
+	if !hasSucc(body, head) {
+		t.Errorf("body succs = %v, want back edge to range head", succLabels(body))
+	}
+}
+
+func TestCFGContinueGoesToLoopHead(t *testing.T) {
+	c := parseCFG(t, "for i := 0; i < n; i++ {\n\tif skip {\n\t\tcontinue\n\t}\n\tbody()\n}")
+	cont := findNode(t, c, "continue")
+	// continue flows through the post statement, not directly to head.
+	var post *cfgNode
+	for _, n := range c.nodes {
+		if _, ok := n.node.(*ast.IncDecStmt); ok {
+			post = n
+		}
+	}
+	if post == nil || !hasSucc(cont, post) {
+		t.Errorf("continue succs = %v, want edge to post statement", succLabels(cont))
+	}
+	body := findNode(t, c, "call:body")
+	if hasSucc(cont, body) {
+		t.Error("continue falls through into the loop body")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := parseCFG(t, "L:\nfor {\n\tfor {\n\t\tbreak L\n\t}\n}\nafter()")
+	br := findNode(t, c, "break")
+	after := findNode(t, c, "call:after")
+	if !hasSucc(br, after) {
+		t.Errorf("labeled break succs = %v, want edge past the outer loop", succLabels(br))
+	}
+}
+
+func TestCFGDeferIsOrdinaryNode(t *testing.T) {
+	// A defer in a branch is on that branch's path only.
+	c := parseCFG(t, "if x {\n\tdefer rel()\n\treturn\n}\nj()")
+	d := findNode(t, c, "defer")
+	var ret *cfgNode
+	for _, s := range d.succs {
+		if _, ok := s.node.(*ast.ReturnStmt); ok {
+			ret = s
+		}
+	}
+	if ret == nil {
+		t.Fatalf("defer succs = %v, want the branch's return", succLabels(d))
+	}
+	j := findNode(t, c, "call:j")
+	for _, p := range j.preds {
+		if p == d {
+			t.Fatal("defer node flows into the other branch's join")
+		}
+	}
+}
+
+func TestCFGSwitchJoins(t *testing.T) {
+	c := parseCFG(t, "switch x {\ncase 1:\n\ta()\ncase 2:\n\tb()\ndefault:\n\td()\n}\nj()")
+	j := findNode(t, c, "call:j")
+	if len(j.preds) != 3 {
+		t.Fatalf("switch join preds = %v, want all three clauses", predLabels(j))
+	}
+	// Without a default the tag itself falls through too.
+	c2 := parseCFG(t, "switch x {\ncase 1:\n\ta()\n}\nj()")
+	j2 := findNode(t, c2, "call:j")
+	if len(j2.preds) != 2 {
+		t.Fatalf("no-default switch join preds = %v, want clause + head", predLabels(j2))
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := parseCFG(t, "switch x {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\n}\nj()")
+	ft := findNode(t, c, "fallthrough")
+	b := findNode(t, c, "call:b")
+	// fallthrough chains into clause 2's start node, whose body is b().
+	reached := false
+	for _, s := range ft.succs {
+		if cc, ok := s.node.(*ast.CaseClause); ok && cc.List != nil {
+			if hasSucc(s, b) {
+				reached = true
+			}
+		}
+	}
+	if !reached {
+		t.Errorf("fallthrough succs = %v, want chain into case 2", succLabels(ft))
+	}
+	a := findNode(t, c, "call:a")
+	j := findNode(t, c, "call:j")
+	if hasSucc(a, j) {
+		t.Error("clause with trailing fallthrough also falls out of the switch")
+	}
+}
+
+func TestCFGPanicEndsPath(t *testing.T) {
+	c := parseCFG(t, "if x {\n\tpanic(\"boom\")\n}\nj()")
+	p := findNode(t, c, "call:panic")
+	if len(p.succs) != 0 {
+		t.Errorf("panic succs = %v, want none", succLabels(p))
+	}
+	j := findNode(t, c, "call:j")
+	for _, pr := range j.preds {
+		if pr == p {
+			t.Fatal("panic path flows into the join")
+		}
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := parseCFG(t, "select {\ncase <-ch:\n\ta()\ndefault:\n\tb()\n}\nj()")
+	j := findNode(t, c, "call:j")
+	if len(j.preds) != 2 {
+		t.Fatalf("select join preds = %v, want both clauses", predLabels(j))
+	}
+	// select{} blocks forever.
+	c2 := parseCFG(t, "select {}\nj()")
+	ok, _ := reachableFromEntry(c2)
+	if ok {
+		t.Fatal("exit reachable past select{}")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := parseCFG(t, "i := 0\nL:\n\ti++\nif i < 3 {\n\tgoto L\n}\nj()")
+	g := findNode(t, c, "goto")
+	lbl := findNode(t, c, "label")
+	if !hasSucc(g, lbl) {
+		t.Errorf("goto succs = %v, want edge to label node", succLabels(g))
+	}
+	ok, _ := reachableFromEntry(c)
+	if !ok {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	c := parseCFG(t, "switch v := x.(type) {\ncase int:\n\ta(v)\ncase string:\n\tb(v)\n}\nj()")
+	j := findNode(t, c, "call:j")
+	// two clauses + head (no default)
+	if len(j.preds) != 3 {
+		t.Fatalf("type-switch join preds = %v, want 2 clauses + head", predLabels(j))
+	}
+}
+
+func TestCFGEveryNodeHasPredsExceptEntry(t *testing.T) {
+	c := parseCFG(t, "a()\nif x {\n\tb()\n}\nfor i := range xs {\n\tuse(i)\n}\nreturn")
+	for _, n := range c.nodes {
+		if n == c.entry {
+			continue
+		}
+		if len(n.preds) == 0 {
+			t.Errorf("node %s has no predecessors", nodeLabel(n))
+		}
+	}
+}

@@ -1,0 +1,1359 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// poolowner enforces the pooled-buffer ownership protocol PR 7's wire
+// path documents in comments (wire/pool.go) and one regression test —
+// machine-checked so the next refactor cannot silently reintroduce a
+// pool-aliasing bug. The analyzer has two halves.
+//
+// # Ownership tracking
+//
+// A call to wire.GetWriter (any package whose base name is "wire", so
+// fixtures model the contract with a mini package) — or to a module
+// function summarized as returning ownership — yields an owned cell.
+// The analyzer runs a forward path-based dataflow over the per-function
+// CFG (cfg.go), tracking each cell through branches, loops and joins:
+//
+//   - a path that reaches a return (or the end of the function) with
+//     the cell still owned leaks a pooled buffer;
+//   - Release on a cell already released or consumed is a
+//     double-Release (the buffer would be in the pool twice);
+//   - any use of a cell after Release/consumption is a use-after-
+//     release (the pool may already have handed the storage out);
+//   - re-executing an allocation site while its previous cell is still
+//     owned (allocating in a loop without releasing) leaks once per
+//     iteration.
+//
+// Ownership transfers interprocedurally through summaries joined at
+// call sites, computed as a fixpoint over the module:
+//
+//   - a function consumes parameter i when every terminating path
+//     releases it (directly, via a consuming callee, or by defer) —
+//     passing an owned cell there transfers ownership;
+//   - a function returns ownership when some return statement returns
+//     an owned cell — its callers own the result.
+//
+// defer x.Release() (directly or trivially wrapped in a literal) marks
+// the cell released-at-exit on exactly the paths that execute the
+// defer, keeping the check path-sensitive. Storing a cell into a
+// field, global, channel, closure or composite literal transfers
+// ownership out of the analyzable region: the cell is escaped and
+// generates no further reports (netmgr's batch envelopes move between
+// methods through a struct field this way; each method's obligations
+// are still checked locally). Passing a cell to a callee without a
+// consuming summary is a borrow and leaves ownership with the caller —
+// a callee that releases only on some paths is therefore reported at
+// the callee, not silently trusted.
+//
+// # View retention
+//
+// The Send/Recv contracts in transport and msgbus ("must not retain
+// the datagram past the call") and wire.Decoder's aliasing results
+// ("valid only until the next Decode") are declared with a directive
+// in the doc comment:
+//
+//	//sdvm:borrowed datagram
+//	func (m *Manager) Send(site uint32, datagram []byte) error { ... }
+//
+// naming the parameters the function must not retain. Interface
+// methods can carry the directive; every module implementation
+// inherits it by parameter position. Inside an annotated function the
+// parameter and its derived aliases (plain assignment, slicing,
+// append-in-place results) must not be stored to a package variable,
+// field or other heap lvalue, sent on a channel, captured by a
+// goroutine or returned; passing an alias to a module callee is
+// checked against that callee's one-level escape summary (does the
+// callee directly store its parameter?). Values obtained from
+// (*wire.Decoder).Decode are checked against the same escape rules in
+// every function. append(dst, view...) with the view as the copied
+// operand and copy(dst, view) are copies, not escapes.
+//
+// The escape summary is deliberately one level deep: it does not chase
+// the parameter through further calls (wire.DecodeBytes materializes
+// via NewReader, which a transitive analysis would misreport). The
+// documented recipe for deeper checking is to annotate the callee's
+// own parameter //sdvm:borrowed, extending the contract one hop.
+//
+// Suppressing a poolowner finding requires a justification string:
+// //sdvm:allow poolowner -- <reason>. A bare allow does not count.
+type poolowner struct{}
+
+func newPoolowner() Analyzer { return poolowner{} }
+
+func (poolowner) Name() string { return "poolowner" }
+
+// poCell is one tracked pooled value, keyed by its syntactic source
+// site so loop iterations share the cell.
+type poCell struct {
+	pos   token.Pos
+	what  string
+	param bool // origin is a parameter: borrowing is legal, leaks are not reported
+}
+
+// Cell state bits. A bit set means the condition holds on some path
+// reaching the program point (may-analysis over the joined paths).
+const (
+	poOwned    uint8 = 1 << iota // holds the buffer, Release still due
+	poReleased                   // Release already ran
+	poConsumed                   // ownership handed to a consuming callee / returned
+	poEscaped                    // stored beyond the analyzable region
+	poDeferRel                   // a defer releases it when this path returns
+)
+
+// poState is the dataflow fact at one CFG point: variable bindings and
+// per-cell state.
+type poState struct {
+	bind  map[types.Object]*poCell
+	cells map[*poCell]uint8
+}
+
+func newPoState() *poState {
+	return &poState{bind: map[types.Object]*poCell{}, cells: map[*poCell]uint8{}}
+}
+
+func (s *poState) clone() *poState {
+	n := &poState{
+		bind:  make(map[types.Object]*poCell, len(s.bind)),
+		cells: make(map[*poCell]uint8, len(s.cells)),
+	}
+	for k, v := range s.bind {
+		n.bind[k] = v
+	}
+	for k, v := range s.cells {
+		n.cells[k] = v
+	}
+	return n
+}
+
+// join merges o into s (bit-union states; conflicting bindings drop).
+// It reports whether s changed.
+func (s *poState) join(o *poState) bool {
+	changed := false
+	for k, v := range o.bind {
+		if cur, ok := s.bind[k]; !ok {
+			s.bind[k] = v
+			changed = true
+		} else if cur != v && cur != nil {
+			s.bind[k] = nil // conflict: stop tracking the variable
+			changed = true
+		}
+	}
+	for c, bits := range o.cells {
+		if s.cells[c]|bits != s.cells[c] {
+			s.cells[c] |= bits
+			changed = true
+		}
+	}
+	return changed
+}
+
+// poSummary is one function's interprocedural ownership contract.
+type poSummary struct {
+	consumes     []bool // per parameter: every path releases it
+	returnsOwner bool   // some return hands back an owned cell
+}
+
+// poRun is the per-Run analysis state.
+type poRun struct {
+	prog      *Program
+	eng       *engine
+	sums      map[*funcSum]*poSummary
+	cfgs      map[*funcSum]*cfg
+	cells     map[ast.Node]*poCell // per-allocation-site cells
+	borrowed  map[*funcSum][]int   // annotated borrowed parameter indices
+	escapes   map[*funcSum][]bool  // one-level per-parameter escape summary
+	report    bool
+	changed   bool
+	findings  []Finding
+	seenFinds map[string]bool
+}
+
+func (poolowner) Run(prog *Program) []Finding {
+	e := prog.engine()
+	r := &poRun{
+		prog:      prog,
+		eng:       e,
+		sums:      make(map[*funcSum]*poSummary),
+		cfgs:      make(map[*funcSum]*cfg),
+		cells:     make(map[ast.Node]*poCell),
+		seenFinds: make(map[string]bool),
+	}
+	// Ownership summaries to a fixpoint (consumes/returnsOwner only
+	// grow), then one reporting pass with the final summaries.
+	for round := 0; round < 12; round++ {
+		r.changed = false
+		for _, s := range e.sums {
+			r.analyzeOwnership(s)
+		}
+		if !r.changed {
+			break
+		}
+	}
+	r.report = true
+	for _, s := range e.sums {
+		r.analyzeOwnership(s)
+	}
+	r.checkViews()
+	return r.findings
+}
+
+func (r *poRun) addFinding(pos token.Pos, msg string) {
+	if !r.report {
+		return
+	}
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if r.seenFinds[key] {
+		return
+	}
+	r.seenFinds[key] = true
+	r.findings = append(r.findings, Finding{
+		Pos: r.prog.Fset.Position(pos), Analyzer: "poolowner", Message: msg,
+	})
+}
+
+// cellAt returns the cell for one allocation site, creating it once.
+func (r *poRun) cellAt(site ast.Node, what string) *poCell {
+	if c := r.cells[site]; c != nil {
+		return c
+	}
+	c := &poCell{pos: site.Pos(), what: what}
+	r.cells[site] = c
+	return c
+}
+
+// hasReleaseMethod reports whether t's method set includes Release().
+func hasReleaseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Release" {
+			return true
+		}
+	}
+	return false
+}
+
+// isPoolSource reports whether fn is a pooled-buffer constructor: a
+// function named GetWriter exported by a package whose base name is
+// "wire" (the real internal/wire or a fixture's model of it).
+func isPoolSource(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "GetWriter" && fn.Pkg() != nil &&
+		pkgBase(fn.Pkg().Path()) == "wire"
+}
+
+// analyzeOwnership runs the CFG dataflow over one function, updating
+// its summary (always) and reporting findings (report mode only).
+func (r *poRun) analyzeOwnership(s *funcSum) {
+	body := funcBody(s)
+	if body == nil {
+		return
+	}
+	c := r.cfgs[s]
+	if c == nil {
+		c = buildCFG(body)
+		r.cfgs[s] = c
+	}
+	sum := r.sums[s]
+	if sum == nil {
+		sum = &poSummary{}
+		r.sums[s] = sum
+	}
+	sig := funcSig(s)
+
+	// Entry state: owner-typed parameters get param-origin cells so
+	// double-release / use-after-release inside the callee are caught
+	// and the consumes summary can be derived.
+	entry := newPoState()
+	var paramCells []*poCell
+	if sig != nil {
+		params := sig.Params()
+		if len(sum.consumes) != params.Len() {
+			sum.consumes = make([]bool, params.Len())
+		}
+		for i := 0; i < params.Len(); i++ {
+			p := params.At(i)
+			if !hasReleaseMethod(p.Type()) || p.Name() == "" {
+				paramCells = append(paramCells, nil)
+				continue
+			}
+			cell := r.cellAt(paramDeclNode(s, i), "parameter "+p.Name())
+			cell.param = true
+			paramCells = append(paramCells, cell)
+			entry.bind[p] = cell
+			entry.cells[cell] = poOwned
+		}
+	}
+
+	in := make(map[*cfgNode]*poState, len(c.nodes))
+	in[c.entry] = entry
+	worklist := []*cfgNode{c.entry}
+	queued := map[*cfgNode]bool{c.entry: true}
+	steps := 0
+	maxSteps := len(c.nodes)*64 + 64
+	ctx := &poFuncCtx{r: r, s: s, sum: sum}
+	for len(worklist) > 0 && steps < maxSteps {
+		steps++
+		n := worklist[0]
+		worklist = worklist[1:]
+		queued[n] = false
+		out := in[n].clone()
+		ctx.reporting = false
+		ctx.transfer(n, out)
+		for _, succ := range n.succs {
+			target := in[succ]
+			if target == nil {
+				in[succ] = out.clone()
+			} else if !target.join(out) {
+				continue
+			}
+			if !queued[succ] {
+				queued[succ] = true
+				worklist = append(worklist, succ)
+			}
+		}
+	}
+
+	// One more transfer per node against the fixed in-states, now with
+	// reporting on, so each diagnostic fires once per program point.
+	if r.report {
+		for _, n := range c.nodes {
+			if st := in[n]; st != nil && n != c.exit {
+				ctx.reporting = true
+				ctx.transfer(n, st.clone())
+			}
+		}
+	}
+
+	// Exit: leaks per terminating path (each exit predecessor is one),
+	// and the consumes summary per parameter.
+	consumedEverywhere := make([]bool, len(paramCells))
+	for i := range consumedEverywhere {
+		consumedEverywhere[i] = paramCells[i] != nil
+	}
+	sawExit := false
+	for _, p := range c.exit.preds {
+		st := in[p]
+		if st == nil {
+			continue
+		}
+		end := st.clone()
+		ctx.reporting = false
+		ctx.transfer(p, end)
+		sawExit = true
+		for cell, bits := range end.cells {
+			if bits&poDeferRel != 0 {
+				bits &^= poOwned
+			}
+			if bits&poOwned == 0 || bits&poEscaped != 0 {
+				continue
+			}
+			if cell.param {
+				for i, pc := range paramCells {
+					if pc == cell {
+						consumedEverywhere[i] = false
+					}
+				}
+				continue
+			}
+			where := "end of function"
+			if ret, ok := p.node.(*ast.ReturnStmt); ok {
+				where = fmt.Sprintf("return at line %d", r.prog.Fset.Position(ret.Pos()).Line)
+			}
+			r.addFinding(cell.pos, fmt.Sprintf(
+				"pooled buffer may leak: %s in %s reaches %s still owned, without Release",
+				cell.what, s.name, where))
+		}
+		// A parameter that escaped or was never released on this path is
+		// not consumed.
+		for i, pc := range paramCells {
+			if pc == nil || !consumedEverywhere[i] {
+				continue
+			}
+			bits := end.cells[pc]
+			if bits&poDeferRel != 0 {
+				bits &^= poOwned
+			}
+			if bits&poOwned != 0 || bits&poEscaped != 0 || bits&(poReleased|poConsumed|poDeferRel) == 0 {
+				consumedEverywhere[i] = false
+			}
+		}
+	}
+	if sawExit {
+		for i, ok := range consumedEverywhere {
+			if ok && !sum.consumes[i] {
+				sum.consumes[i] = true
+				r.changed = true
+			}
+		}
+	}
+}
+
+// paramDeclNode returns a stable AST node identifying parameter i of s,
+// for cell keying.
+func paramDeclNode(s *funcSum, i int) ast.Node {
+	if s.decl != nil && s.decl.Type.Params != nil {
+		idx := 0
+		for _, f := range s.decl.Type.Params.List {
+			names := len(f.Names)
+			if names == 0 {
+				names = 1
+			}
+			if i < idx+names {
+				if len(f.Names) > 0 {
+					return f.Names[i-idx]
+				}
+				return f
+			}
+			idx += names
+		}
+	}
+	if s.lit != nil {
+		return s.lit
+	}
+	return s.decl
+}
+
+// poFuncCtx carries the per-function context through transfer calls.
+type poFuncCtx struct {
+	r         *poRun
+	s         *funcSum
+	sum       *poSummary
+	reporting bool
+}
+
+func (c *poFuncCtx) finding(pos token.Pos, msg string) {
+	if c.reporting {
+		c.r.addFinding(pos, msg)
+	}
+}
+
+// transfer applies one CFG node's effect to st in place.
+func (c *poFuncCtx) transfer(n *cfgNode, st *poState) {
+	switch nd := n.node.(type) {
+	case nil:
+		// entry/exit
+	case *ast.AssignStmt:
+		c.assign(nd, st)
+	case *ast.DeclStmt:
+		if gd, ok := nd.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var cell *poCell
+					if i < len(vs.Values) {
+						cell = c.eval(vs.Values[i], st)
+					}
+					c.bindIdent(name, cell, st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.eval(nd.X, st)
+	case *ast.DeferStmt:
+		c.deferCall(nd.Call, st)
+	case *ast.GoStmt:
+		// The goroutine may outlive every path: its cell arguments and
+		// captures escape.
+		for _, arg := range nd.Call.Args {
+			if cell := c.eval(arg, st); cell != nil {
+				st.cells[cell] |= poEscaped
+				st.cells[cell] &^= poOwned
+			}
+		}
+		if fl, ok := unwrapFun(nd.Call.Fun).(*ast.FuncLit); ok {
+			c.escapeCaptures(fl, st)
+		}
+	case *ast.SendStmt:
+		c.eval(nd.Chan, st)
+		if cell := c.eval(nd.Value, st); cell != nil {
+			st.cells[cell] |= poEscaped
+			st.cells[cell] &^= poOwned
+		}
+	case *ast.ReturnStmt:
+		for _, res := range nd.Results {
+			cell := c.eval(res, st)
+			if cell == nil {
+				continue
+			}
+			if st.cells[cell]&poOwned != 0 {
+				if !c.sum.returnsOwner {
+					c.sum.returnsOwner = true
+					c.r.changed = true
+				}
+			}
+			st.cells[cell] |= poConsumed
+			st.cells[cell] &^= poOwned
+		}
+	case *ast.IncDecStmt:
+		c.eval(nd.X, st)
+	case *ast.RangeStmt:
+		c.eval(nd.X, st)
+	case *ast.CaseClause:
+		for _, e := range nd.List {
+			c.eval(e, st)
+		}
+	case ast.Expr:
+		c.eval(nd, st)
+	}
+}
+
+// assign processes bindings, allocations and lvalue escapes of one
+// assignment statement.
+func (c *poFuncCtx) assign(a *ast.AssignStmt, st *poState) {
+	// Multi-value from a single call: w, err := startEnvelope(...).
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		cell := c.eval(a.Rhs[0], st)
+		for _, lhs := range a.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if cell != nil && hasReleaseMethod(c.s.pkg.Info.TypeOf(id)) {
+					c.bindIdent(id, cell, st)
+					cell = nil
+				}
+				continue
+			}
+			c.lvalueStore(lhs, cell, st)
+			cell = nil
+		}
+		return
+	}
+	if len(a.Lhs) != len(a.Rhs) {
+		for _, rhs := range a.Rhs {
+			c.eval(rhs, st)
+		}
+		return
+	}
+	for i, lhs := range a.Lhs {
+		cell := c.eval(a.Rhs[i], st)
+		if id, ok := lhs.(*ast.Ident); ok {
+			c.bindIdent(id, cell, st)
+			continue
+		}
+		c.lvalueStore(lhs, cell, st)
+	}
+}
+
+// bindIdent rebinds id. Binding to a package-level variable escapes the
+// cell (anyone can reach it later).
+func (c *poFuncCtx) bindIdent(id *ast.Ident, cell *poCell, st *poState) {
+	if id.Name == "_" {
+		if cell != nil && st.cells[cell]&poOwned != 0 {
+			c.finding(id.Pos(), fmt.Sprintf(
+				"owned %s discarded into _ without Release", cell.what))
+			// The discard is the finding; don't also report the
+			// inevitable leak at exit.
+			st.cells[cell] |= poEscaped
+			st.cells[cell] &^= poOwned
+		}
+		return
+	}
+	obj := c.objOf(id)
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		if cell != nil {
+			st.cells[cell] |= poEscaped
+			st.cells[cell] &^= poOwned
+		}
+		return
+	}
+	if cell != nil {
+		st.bind[obj] = cell
+	} else {
+		delete(st.bind, obj) // rebound to an untracked value
+	}
+}
+
+// lvalueStore handles `x.f = cell`, `m[k] = cell` etc: the cell escapes
+// the function's analyzable region.
+func (c *poFuncCtx) lvalueStore(lhs ast.Expr, cell *poCell, st *poState) {
+	c.evalChildren(lhs, st)
+	if cell != nil {
+		st.cells[cell] |= poEscaped
+		st.cells[cell] &^= poOwned
+	}
+}
+
+func (c *poFuncCtx) objOf(id *ast.Ident) types.Object {
+	info := c.s.pkg.Info
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// eval walks one expression: it records uses (flagging use-after-
+// release), classifies calls, and returns the cell the expression
+// evaluates to, if any.
+func (c *poFuncCtx) eval(e ast.Expr, st *poState) *poCell {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.ParenExpr:
+		return c.eval(x.X, st)
+	case *ast.Ident:
+		obj := c.objOf(x)
+		if obj == nil {
+			return nil
+		}
+		cell := st.bind[obj]
+		if cell != nil {
+			c.checkUse(x.Pos(), cell, st)
+		}
+		return cell
+	case *ast.CallExpr:
+		return c.evalCall(x, st)
+	case *ast.FuncLit:
+		c.escapeCaptures(x, st)
+		return nil
+	case *ast.UnaryExpr:
+		c.eval(x.X, st)
+		return nil
+	case *ast.StarExpr:
+		c.eval(x.X, st)
+		return nil
+	case *ast.BinaryExpr:
+		c.eval(x.X, st)
+		c.eval(x.Y, st)
+		return nil
+	case *ast.SelectorExpr:
+		c.eval(x.X, st)
+		return nil
+	case *ast.IndexExpr:
+		c.eval(x.X, st)
+		c.eval(x.Index, st)
+		return nil
+	case *ast.SliceExpr:
+		c.eval(x.X, st)
+		c.eval(x.Low, st)
+		c.eval(x.High, st)
+		c.eval(x.Max, st)
+		return nil
+	case *ast.TypeAssertExpr:
+		c.eval(x.X, st)
+		return nil
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if cell := c.eval(v, st); cell != nil {
+				st.cells[cell] |= poEscaped
+				st.cells[cell] &^= poOwned
+			}
+		}
+		return nil
+	case *ast.KeyValueExpr:
+		c.eval(x.Value, st)
+		return nil
+	default:
+		c.evalChildren(e, st)
+		return nil
+	}
+}
+
+// evalChildren is the generic fallback: visit nested expressions
+// without classifying e itself.
+func (c *poFuncCtx) evalChildren(e ast.Expr, st *poState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == e {
+			return true
+		}
+		if sub, ok := n.(ast.Expr); ok {
+			c.eval(sub, st)
+			return false
+		}
+		return true
+	})
+}
+
+// escapeCaptures marks cells referenced inside a function literal as
+// escaped: the literal may run at any later time.
+func (c *poFuncCtx) escapeCaptures(fl *ast.FuncLit, st *poState) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil {
+				if cell := st.bind[obj]; cell != nil {
+					st.cells[cell] |= poEscaped
+					st.cells[cell] &^= poOwned
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkUse flags a read of a cell whose Release (or consumption) may
+// already have run on some path.
+func (c *poFuncCtx) checkUse(pos token.Pos, cell *poCell, st *poState) {
+	bits := st.cells[cell]
+	if bits&poEscaped != 0 {
+		return
+	}
+	if bits&poReleased != 0 {
+		c.finding(pos, fmt.Sprintf(
+			"%s used after Release: the pool may already have recycled its storage", cell.what))
+	} else if bits&poConsumed != 0 {
+		c.finding(pos, fmt.Sprintf(
+			"%s used after ownership was transferred", cell.what))
+	}
+}
+
+// evalCall classifies one call site: Release, pooled-buffer source,
+// consuming callee, or plain borrow.
+func (c *poFuncCtx) evalCall(call *ast.CallExpr, st *poState) *poCell {
+	info := c.s.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			c.eval(a, st)
+		}
+		return nil // conversion
+	}
+	// x.Release() on a tracked cell.
+	if sel, ok := unwrapFun(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && len(call.Args) == 0 {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil {
+				if cell := st.bind[obj]; cell != nil {
+					c.release(call.Pos(), cell, st)
+					return nil
+				}
+			}
+		}
+	}
+	callee := calleeFunc(info, call)
+	// Pooled-buffer sources: wire.GetWriter, or a module function whose
+	// summary says it returns ownership.
+	if isPoolSource(callee) {
+		for _, a := range call.Args {
+			c.eval(a, st)
+		}
+		return c.alloc(call, "pooled writer from "+displayName(callee), st)
+	}
+	var calleeSum *poSummary
+	if callee != nil {
+		if fs := c.r.eng.byObj[callee]; fs != nil {
+			calleeSum = c.r.sums[fs]
+		}
+	}
+	if calleeSum != nil && calleeSum.returnsOwner {
+		for _, a := range call.Args {
+			c.eval(a, st)
+		}
+		return c.alloc(call, "owned writer from "+displayName(callee), st)
+	}
+	// Regular call: the receiver is a use; arguments may be consumed
+	// or borrowed.
+	if sel, ok := unwrapFun(call.Fun).(*ast.SelectorExpr); ok {
+		c.eval(sel.X, st)
+	}
+	for i, arg := range call.Args {
+		cell := c.eval(arg, st)
+		if cell == nil {
+			continue
+		}
+		if calleeSum != nil && i < len(calleeSum.consumes) && calleeSum.consumes[i] && !call.Ellipsis.IsValid() {
+			st.cells[cell] |= poConsumed
+			st.cells[cell] &^= poOwned
+		}
+	}
+	return nil
+}
+
+// alloc materializes the cell for one allocation site. If the site's
+// previous value is still owned (a loop re-executing the site), that
+// value leaks.
+func (c *poFuncCtx) alloc(site *ast.CallExpr, what string, st *poState) *poCell {
+	cell := c.r.cellAt(site, what)
+	if st.cells[cell]&poOwned != 0 {
+		c.finding(site.Pos(), fmt.Sprintf(
+			"%s may leak: the allocation site executes again (loop) while the previous buffer is still owned", what))
+	}
+	st.cells[cell] = poOwned // fresh value: strong update
+	return cell
+}
+
+// release applies x.Release() to a cell.
+func (c *poFuncCtx) release(pos token.Pos, cell *poCell, st *poState) {
+	bits := st.cells[cell]
+	if bits&poEscaped != 0 {
+		return
+	}
+	if bits&(poReleased|poConsumed) != 0 {
+		c.finding(pos, fmt.Sprintf(
+			"double Release of %s: a path reaching this call already released or transferred it", cell.what))
+	}
+	st.cells[cell] |= poReleased
+	st.cells[cell] &^= poOwned
+}
+
+// deferCall handles defer statements: defer x.Release() (directly or
+// trivially wrapped) marks the cell released-at-exit on this path;
+// deferring a consuming callee does the same; any other literal
+// escapes its captures.
+func (c *poFuncCtx) deferCall(call *ast.CallExpr, st *poState) {
+	info := c.s.pkg.Info
+	if sel, ok := unwrapFun(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && len(call.Args) == 0 {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil {
+				if cell := st.bind[obj]; cell != nil {
+					if st.cells[cell]&(poReleased|poConsumed) != 0 {
+						c.finding(call.Pos(), fmt.Sprintf(
+							"double Release of %s: deferred Release runs after it was already released or transferred", cell.what))
+					}
+					st.cells[cell] |= poDeferRel
+					return
+				}
+			}
+		}
+	}
+	if fl, ok := unwrapFun(call.Fun).(*ast.FuncLit); ok {
+		// defer func() { x.Release() }() — the trivial wrapper.
+		if len(fl.Body.List) == 1 {
+			if es, ok := fl.Body.List[0].(*ast.ExprStmt); ok {
+				if inner, ok := es.X.(*ast.CallExpr); ok {
+					if sel, ok := unwrapFun(inner.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && len(inner.Args) == 0 {
+						if id, ok := sel.X.(*ast.Ident); ok {
+							if obj := c.objOf(id); obj != nil {
+								if cell := st.bind[obj]; cell != nil {
+									st.cells[cell] |= poDeferRel
+									return
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		c.escapeCaptures(fl, st)
+		return
+	}
+	// Deferred call to a consuming callee: released at exit.
+	callee := calleeFunc(info, call)
+	var calleeSum *poSummary
+	if callee != nil {
+		if fs := c.r.eng.byObj[callee]; fs != nil {
+			calleeSum = c.r.sums[fs]
+		}
+	}
+	for i, arg := range call.Args {
+		cell := c.eval(arg, st)
+		if cell == nil {
+			continue
+		}
+		if calleeSum != nil && i < len(calleeSum.consumes) && calleeSum.consumes[i] && !call.Ellipsis.IsValid() {
+			st.cells[cell] |= poDeferRel
+		}
+	}
+}
+
+// calleeFunc resolves the called *types.Func of a direct or method
+// call, nil for builtins, literals and dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := unwrapFun(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// View retention: //sdvm:borrowed contracts and decoder views.
+
+const borrowedDirective = "//sdvm:borrowed"
+
+// borrowedParamsOf parses the directive in a doc comment against a
+// field list, returning the named parameter indices.
+func borrowedParamsOf(doc *ast.CommentGroup, params *ast.FieldList) []int {
+	if doc == nil || params == nil {
+		return nil
+	}
+	var names []string
+	for _, cm := range doc.List {
+		if rest, ok := strings.CutPrefix(cm.Text, borrowedDirective); ok {
+			for _, n := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	var idx []int
+	i := 0
+	for _, f := range params.List {
+		if len(f.Names) == 0 {
+			i++
+			continue
+		}
+		for _, nm := range f.Names {
+			for _, want := range names {
+				if nm.Name == want {
+					idx = append(idx, i)
+				}
+			}
+			i++
+		}
+	}
+	return idx
+}
+
+// checkViews runs the view-retention half: collect annotated functions
+// (declared directly or inherited from interface methods), compute
+// one-level escape summaries, then verify every annotated function and
+// every decoder-view user.
+func (r *poRun) checkViews() {
+	borrowed := make(map[*funcSum][]int)
+	// Directly annotated declarations.
+	for _, s := range r.eng.sums {
+		if s.decl == nil {
+			continue
+		}
+		if idx := borrowedParamsOf(s.decl.Doc, s.decl.Type.Params); idx != nil {
+			borrowed[s] = idx
+		}
+	}
+	// Interface methods with the directive: every module implementation
+	// inherits the contract by parameter position.
+	type ifaceAnn struct {
+		m   *types.Func
+		idx []int
+	}
+	var anns []ifaceAnn
+	for _, pkg := range r.prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				it, ok := n.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, f := range it.Methods.List {
+					if len(f.Names) == 0 {
+						continue
+					}
+					ft, ok := f.Type.(*ast.FuncType)
+					if !ok {
+						continue
+					}
+					idx := borrowedParamsOf(f.Doc, ft.Params)
+					if idx == nil {
+						continue
+					}
+					if fn, ok := pkg.Info.Defs[f.Names[0]].(*types.Func); ok {
+						anns = append(anns, ifaceAnn{fn, idx})
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(anns) > 0 {
+		var concrete []*types.Named
+		for _, pkg := range r.prog.Pkgs {
+			scope := pkg.Pkg.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				n, ok := tn.Type().(*types.Named)
+				if !ok || types.IsInterface(n) {
+					continue
+				}
+				concrete = append(concrete, n)
+			}
+		}
+		for _, ann := range anns {
+			for _, impl := range r.eng.implementersOf(ann.m, concrete) {
+				if _, done := borrowed[impl]; !done {
+					borrowed[impl] = ann.idx
+				}
+			}
+		}
+	}
+	r.borrowed = borrowed
+
+	// One-level escape summaries for every module function.
+	r.escapes = make(map[*funcSum][]bool)
+	for _, s := range r.eng.sums {
+		r.escapes[s] = r.escapeSummary(s)
+	}
+
+	for s, idx := range borrowed {
+		r.checkBorrowedFunc(s, idx)
+	}
+	for _, s := range r.eng.sums {
+		r.checkDecoderViews(s)
+	}
+}
+
+// escapeSummary computes, per parameter, whether the body directly
+// stores the parameter (or a slice of it) into a heap location, sends
+// it on a channel, hands it to a goroutine, embeds it in a composite
+// literal, or returns it. Deliberately one level: calls are not chased.
+func (r *poRun) escapeSummary(s *funcSum) []bool {
+	sig := funcSig(s)
+	body := funcBody(s)
+	if sig == nil || body == nil || sig.Params().Len() == 0 {
+		return nil
+	}
+	out := make([]bool, sig.Params().Len())
+	paramOf := make(map[types.Object]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramOf[sig.Params().At(i)] = i
+	}
+	info := s.pkg.Info
+	isParam := func(e ast.Expr) (int, bool) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.Ident:
+				if obj := info.Uses[x]; obj != nil {
+					if i, ok := paramOf[obj]; ok {
+						return i, true
+					}
+				}
+				return 0, false
+			default:
+				return 0, false
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.FuncLit:
+			// A literal capturing the parameter may outlive the call.
+			ast.Inspect(nd.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if i, ok := isParam(id); ok {
+						out[i] = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range nd.Lhs {
+				if i >= len(nd.Rhs) {
+					break
+				}
+				pi, ok := isParam(nd.Rhs[i])
+				if !ok {
+					continue
+				}
+				if heapLvalue(info, lhs) {
+					out[pi] = true
+				}
+			}
+		case *ast.SendStmt:
+			if i, ok := isParam(nd.Value); ok {
+				out[i] = true
+			}
+		case *ast.GoStmt:
+			for _, a := range nd.Call.Args {
+				if i, ok := isParam(a); ok {
+					out[i] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range nd.Results {
+				if i, ok := isParam(res); ok {
+					out[i] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range nd.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if i, ok := isParam(v); ok {
+					out[i] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// heapLvalue reports whether assigning to lhs stores beyond the current
+// function's locals: a package-level variable, any field or index
+// expression, or a pointer dereference.
+func heapLvalue(info *types.Info, lhs ast.Expr) bool {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		return false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return heapLvalue(info, x.X)
+	}
+	return false
+}
+
+// viewTracker follows one function's borrowed values (annotated
+// parameters, decoder views) through local aliasing and reports
+// retention.
+type viewTracker struct {
+	r     *poRun
+	s     *funcSum
+	views map[types.Object]string // alias -> description of the borrowed origin
+}
+
+func (t *viewTracker) isView(e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := t.s.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = t.s.pkg.Info.Defs[x]
+			}
+			if d, ok := t.views[obj]; ok {
+				return d, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+func (t *viewTracker) report(pos token.Pos, desc, how string) {
+	t.r.addFinding(pos, fmt.Sprintf("%s %s in %s: the underlying buffer is only valid during the call (retention contract)", desc, how, t.s.name))
+}
+
+// scan walks the body once in source order, growing the alias set and
+// reporting escapes. Alias tracking is flow-insensitive within the
+// function (source order approximates it), which is precise enough for
+// the straight-line handler code the contracts cover.
+func (t *viewTracker) scan() {
+	body := funcBody(t.s)
+	if body == nil {
+		return
+	}
+	info := t.s.pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(nd.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if d, ok := t.isView(id); ok {
+						t.report(id.Pos(), d, "captured by a function literal")
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.GoStmt:
+			for _, a := range nd.Call.Args {
+				if d, ok := t.isView(a); ok {
+					t.report(a.Pos(), d, "handed to a goroutine")
+				}
+			}
+		case *ast.SendStmt:
+			if d, ok := t.isView(nd.Value); ok {
+				t.report(nd.Value.Pos(), d, "sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range nd.Results {
+				if d, ok := t.isView(res); ok {
+					t.report(res.Pos(), d, "returned")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range nd.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if d, ok := t.isView(v); ok {
+					t.report(v.Pos(), d, "stored in a composite literal")
+				}
+			}
+		case *ast.AssignStmt:
+			t.assign(nd)
+		case *ast.DeclStmt:
+			if gd, ok := nd.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if i >= len(vs.Values) {
+								break
+							}
+							if d, ok := t.isView(vs.Values[i]); ok {
+								if obj := info.Defs[name]; obj != nil {
+									t.views[obj] = d
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			t.call(nd)
+		}
+		return true
+	})
+}
+
+func (t *viewTracker) assign(a *ast.AssignStmt) {
+	info := t.s.pkg.Info
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		rhs := a.Rhs[i]
+		d, isV := t.isView(rhs)
+		if !isV {
+			// append(x, view...) copies; append(view, ...) derives.
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if id, ok := unwrapFun(call.Fun).(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+						if ad, ok := t.isView(call.Args[0]); ok {
+							d, isV = ad, true
+						}
+					}
+				}
+			}
+		}
+		if !isV {
+			continue
+		}
+		if id, ok := lhs.(*ast.Ident); ok && !heapLvalue(info, id) {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				t.views[obj] = d
+			}
+			continue
+		}
+		if heapLvalue(info, lhs) {
+			t.report(rhs.Pos(), d, "stored to a heap location")
+		}
+	}
+}
+
+// call checks view arguments against the callee's one-level escape
+// summary and seeds decoder views from (*wire.Decoder).Decode results.
+func (t *viewTracker) call(call *ast.CallExpr) {
+	info := t.s.pkg.Info
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return
+	}
+	// Builtins append/copy/len/cap never retain; append is handled at
+	// the assignment.
+	fs := t.r.eng.byObj[callee]
+	if fs == nil {
+		return // outside the module: assumed non-retaining (documented optimism)
+	}
+	esc := t.r.escapes[fs]
+	for i, arg := range call.Args {
+		d, ok := t.isView(arg)
+		if !ok {
+			continue
+		}
+		if i < len(esc) && esc[i] && !call.Ellipsis.IsValid() {
+			t.report(arg.Pos(), d, fmt.Sprintf("passed to %s, which stores its parameter", displayName(callee)))
+		}
+	}
+}
+
+// checkBorrowedFunc verifies one annotated function.
+func (r *poRun) checkBorrowedFunc(s *funcSum, idx []int) {
+	sig := funcSig(s)
+	if sig == nil {
+		return
+	}
+	t := &viewTracker{r: r, s: s, views: map[types.Object]string{}}
+	for _, i := range idx {
+		if i < sig.Params().Len() {
+			p := sig.Params().At(i)
+			t.views[p] = "borrowed parameter " + p.Name()
+		}
+	}
+	if len(t.views) > 0 {
+		t.scan()
+	}
+}
+
+// checkDecoderViews verifies decoder-result lifetimes in one function:
+// values from (*wire.Decoder).Decode alias the input buffer and must
+// not outlive the call frame.
+func (r *poRun) checkDecoderViews(s *funcSum) {
+	body := funcBody(s)
+	if body == nil {
+		return
+	}
+	info := s.pkg.Info
+	t := &viewTracker{r: r, s: s, views: map[types.Object]string{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Rhs) != 1 {
+			return true
+		}
+		call, ok := a.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Name() != "Decode" || callee.Pkg() == nil || pkgBase(callee.Pkg().Path()) != "wire" {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		named := derefNamed(sig.Recv().Type())
+		if named == nil || named.Obj().Name() != "Decoder" {
+			return true
+		}
+		if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				t.views[obj] = "decoder view"
+			}
+		}
+		return true
+	})
+	if len(t.views) > 0 {
+		t.scan()
+	}
+}

@@ -1,0 +1,80 @@
+// Package det seeds the detpath violations: wall-clock reads, global
+// PRNG use, map-order dependence and goroutine launches under
+// //sdvm:deterministic roots, plus the seeded patterns that must stay
+// quiet.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Schedule is the model citizen: a pure function of (seed, n) using a
+// caller-owned seeded source.
+//
+//sdvm:deterministic
+func Schedule(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rng.Intn(100))
+	}
+	return out
+}
+
+//sdvm:deterministic
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+//sdvm:deterministic
+func Jitter() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+// helperNow is only nondeterministic when reached from a root — the
+// finding carries the root-to-site witness chain.
+func helperNow(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock time.Since"
+}
+
+//sdvm:deterministic
+func Uses() time.Duration { return helperNow(time.Time{}) }
+
+//sdvm:deterministic
+func MapOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//sdvm:deterministic
+func Launch(ch chan int) {
+	go push(ch) // want "goroutine launched under deterministic root"
+}
+
+func push(ch chan int) { ch <- 1 }
+
+//sdvm:deterministic
+func Dyn(f func() int) int {
+	return f() // want "dynamic call under deterministic root"
+}
+
+// FreeRunning is not annotated: wall-clock use is fine here.
+func FreeRunning() int64 { return time.Now().Unix() }
+
+// Allowed waives the finding with a justification — quiet.
+//
+//sdvm:deterministic
+func Allowed() int64 {
+	return time.Now().Unix() //sdvm:allow detpath -- fixture: live pacing, result unused
+}
+
+// AllowedNoReason has a bare allow, which detpath rejects.
+//
+//sdvm:deterministic
+func AllowedNoReason() int64 {
+	return time.Now().Unix() //sdvm:allow detpath // want "wall-clock time.Now"
+}

@@ -1,0 +1,164 @@
+// Package mgr seeds the poolowner ownership violations: leaks on error
+// paths and in loops, double releases, uses after release, and the
+// clean transfer patterns that must stay quiet.
+package mgr
+
+import "fixture/wire"
+
+func transmit([]byte) error { return nil }
+
+// LeakOnError loses the buffer on the early-return path.
+func LeakOnError(fail bool) error {
+	w := wire.GetWriter(8) // want "still owned"
+	w.Uint8(1)
+	if fail {
+		return transmit(nil)
+	}
+	if err := transmit(w.Bytes()); err != nil {
+		w.Release()
+		return err
+	}
+	w.Release()
+	return nil
+}
+
+// DoubleRelease releases the same buffer twice in straight-line code.
+func DoubleRelease() {
+	w := wire.GetWriter(0)
+	w.Release()
+	w.Release() // want "double Release"
+}
+
+// MaybeDouble double-releases on the path through the branch.
+func MaybeDouble(cond bool) {
+	w := wire.GetWriter(0)
+	if cond {
+		w.Release()
+	}
+	w.Release() // want "double Release"
+}
+
+// UseAfterRelease reads the buffer after the pool took it back.
+func UseAfterRelease() []byte {
+	w := wire.GetWriter(0)
+	w.Uint8(1)
+	w.Release()
+	return w.Bytes() // want "used after Release"
+}
+
+// LoopLeak re-executes the allocation site with the previous iteration's
+// buffer still owned, and the last iteration's buffer leaks at exit.
+func LoopLeak(n int) {
+	for i := 0; i < n; i++ {
+		w := wire.GetWriter(0) // want "executes again" "still owned"
+		w.Uint8(uint8(i))
+	}
+}
+
+// Discard drops an owned buffer into the blank identifier.
+func Discard() {
+	_ = wire.GetWriter(0) // want "discarded into _"
+}
+
+// CleanDefer releases via defer on every path.
+func CleanDefer() error {
+	w := wire.GetWriter(0)
+	defer w.Release()
+	w.Uint8(1)
+	return transmit(w.Bytes())
+}
+
+// CleanBranch releases on both the error path and the success path.
+func CleanBranch(fail bool) error {
+	w := wire.GetWriter(16)
+	if fail {
+		w.Release()
+		return transmit(nil)
+	}
+	err := transmit(w.Bytes())
+	w.Release()
+	return err
+}
+
+// send consumes its parameter: every path releases it. Passing an owned
+// buffer here transfers ownership (the netmgr.send pattern).
+func send(w *wire.Writer) error {
+	defer w.Release()
+	return transmit(w.Bytes())
+}
+
+// CleanTransfer hands ownership to the consuming callee.
+func CleanTransfer() error {
+	w := wire.GetWriter(0)
+	w.Uint8(2)
+	return send(w)
+}
+
+// UseAfterTransfer touches the buffer after handing it off.
+func UseAfterTransfer() []byte {
+	w := wire.GetWriter(0)
+	if send(w) != nil {
+		return nil
+	}
+	return w.Bytes() // want "after ownership was transferred"
+}
+
+// newEnvelope returns ownership to its caller (the netmgr.startEnvelope
+// pattern).
+func newEnvelope() *wire.Writer {
+	w := wire.GetWriter(32)
+	w.Uint8(0xFF)
+	return w
+}
+
+// LeakFromFactory leaks the factory's buffer on the early return.
+func LeakFromFactory(fail bool) {
+	w := newEnvelope() // want "still owned"
+	if fail {
+		return
+	}
+	w.Release()
+}
+
+// borrowNoRelease models netmgr.send with its Release deleted: the
+// parameter is only borrowed, so the caller's buffer stays owned.
+func borrowNoRelease(w *wire.Writer) error { return transmit(w.Bytes()) }
+
+// CallerLeaks shows the deleted-Release regression surfacing at the
+// call site that kept ownership.
+func CallerLeaks() error {
+	w := wire.GetWriter(0) // want "still owned"
+	return borrowNoRelease(w)
+}
+
+// batch stores its envelope in a field: ownership leaves the analyzable
+// region (escape), checked method by method — both stay quiet.
+type batch struct{ env *wire.Writer }
+
+func (b *batch) fill() { b.env = wire.GetWriter(0) }
+
+func (b *batch) drop() {
+	if b.env != nil {
+		b.env.Release()
+	}
+}
+
+// Closure captures the buffer; the closure owns it now (escape).
+func Closure() func() {
+	w := wire.GetWriter(0)
+	return func() { w.Release() }
+}
+
+// AllowNoReason: a bare allow does not suppress poolowner findings.
+func AllowNoReason() {
+	w := wire.GetWriter(0)
+	w.Release()
+	w.Release() //sdvmlint:allow poolowner // want "double Release"
+}
+
+// AllowWithReason: a justified allow does.
+func AllowWithReason() {
+	w := wire.GetWriter(0)
+	w.Release()
+	w.Release() //sdvm:allow poolowner -- fixture: exercising the justified escape hatch
+}

@@ -1,0 +1,88 @@
+// View-retention cases: //sdvm:borrowed parameters and decoder views
+// must not outlive the call that lent them.
+package mgr
+
+import "fixture/wire"
+
+var global []byte
+
+var globalMsg *wire.Message
+
+// store retains what it is sent — the annotated method must not.
+type store struct{ data []byte }
+
+//sdvm:borrowed datagram
+func (s *store) Send(site uint32, datagram []byte) error {
+	s.data = datagram // want "stored to a heap location"
+	return nil
+}
+
+// SendCopy materializes first: a copy is not retention.
+//
+//sdvm:borrowed datagram
+func (s *store) SendCopy(site uint32, datagram []byte) error {
+	s.data = append([]byte(nil), datagram...)
+	return nil
+}
+
+// SendChan leaks a derived view (a subslice) through a channel.
+//
+//sdvm:borrowed datagram
+func (s *store) SendChan(ch chan []byte, datagram []byte) {
+	head := datagram[:2]
+	ch <- head // want "sent on a channel"
+}
+
+// Sender's contract annotation is inherited by every implementation.
+type Sender interface {
+	//sdvm:borrowed datagram
+	Send(site uint32, datagram []byte) error
+}
+
+// keeper implements Sender without its own annotation — the interface
+// contract still applies.
+type keeper struct{ last []byte }
+
+func (k *keeper) Send(site uint32, datagram []byte) error {
+	k.last = datagram // want "stored to a heap location"
+	return nil
+}
+
+func stash(b []byte) { global = b }
+
+// Relay hands the borrowed slice to a callee that stores it.
+//
+//sdvm:borrowed datagram
+func Relay(datagram []byte) {
+	stash(datagram) // want "stores its parameter"
+}
+
+func use(b []byte) int { return len(b) }
+
+// Inspect passes the view to a non-retaining callee — quiet.
+//
+//sdvm:borrowed datagram
+func Inspect(datagram []byte) int {
+	return use(datagram)
+}
+
+// Echo returns the borrowed view to an unknowing caller.
+//
+//sdvm:borrowed datagram
+func Echo(datagram []byte) []byte {
+	return datagram // want "returned"
+}
+
+// DecodeKeep retains a decoder view past the call frame.
+func DecodeKeep(buf []byte) {
+	d := wire.NewDecoder()
+	msg, _ := d.Decode(buf)
+	globalMsg = msg // want "stored to a heap location"
+}
+
+// DecodeUse reads the view inside the frame — quiet.
+func DecodeUse(buf []byte) int {
+	d := wire.NewDecoder()
+	msg, _ := d.Decode(buf)
+	return len(msg.Payload)
+}

@@ -1,0 +1,28 @@
+// Package wire models the real internal/wire pooled-buffer contract:
+// GetWriter hands out exclusive ownership, Release returns the storage
+// to the pool, and Decoder results alias the input buffer.
+package wire
+
+type Writer struct{ buf []byte }
+
+func GetWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+func (w *Writer) Release() { w.buf = w.buf[:0] }
+
+func (w *Writer) Bytes() []byte { return w.buf }
+
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+type Message struct{ Payload []byte }
+
+type Decoder struct{ msg Message }
+
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Decode aliases buf: the result is valid only until the next call.
+func (d *Decoder) Decode(buf []byte) (*Message, error) {
+	d.msg.Payload = buf
+	return &d.msg, nil
+}

@@ -31,6 +31,8 @@ type Policy struct {
 // Delay returns the pause before retry number attempt (0-based). A nil
 // rng disables jitter. Results are always in (0, Max] for a valid
 // policy, so a Delay can be passed to a timer unconditionally.
+//
+//sdvm:deterministic
 func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
 	min := p.Min
 	if min <= 0 {

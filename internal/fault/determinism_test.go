@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The churn-storm scenario overlaps leaves, crashes, stalls and rejoins
+// — the worst case for hidden schedule nondeterminism, because every
+// recovery path (checkpoint restore, sender-log replay, help-request
+// reissue) runs concurrently with live dispatch. Running it twice with
+// one seed and byte-comparing the serialized reports is the regression
+// gate behind the detpath analyzer: if anyone threads wall-clock time,
+// global rand or map-iteration order into a //sdvm:deterministic path,
+// this is the test that goes red.
+func TestChurnStormDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn-storm runs a full 5-site chaos cluster twice")
+	}
+	sc, ok := Lookup("churn-storm")
+	if !ok {
+		t.Fatal("churn-storm scenario missing")
+	}
+	var blobs [2][]byte
+	for i := range blobs {
+		rep, err := Run(sc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			for _, ck := range rep.Invariants {
+				if !ck.OK {
+					t.Errorf("invariant %s: %s", ck.Name, ck.Detail)
+				}
+			}
+			t.Fatalf("run %d failed its invariants", i)
+		}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = b
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("same scenario+seed produced different reports:\n--- run 0 ---\n%s\n--- run 1 ---\n%s", blobs[0], blobs[1])
+	}
+}

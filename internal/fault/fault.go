@@ -74,6 +74,8 @@ type Decision struct {
 // decide draws one verdict. The draw sequence is fixed by the config,
 // so for a given (seed, link, config) the Nth datagram always gets the
 // Nth verdict — the property the determinism tests pin down.
+//
+//sdvm:deterministic
 func (lf LinkFaults) decide(rng *rand.Rand) Decision {
 	var d Decision
 	if lf.DropProb > 0 && rng.Float64() < lf.DropProb {
@@ -101,6 +103,8 @@ func (lf LinkFaults) decide(rng *rand.Rand) Decision {
 
 // linkSeed derives one link's PRNG seed from the scenario seed and the
 // directed link name, so links are decorrelated but reproducible.
+//
+//sdvm:deterministic
 func linkSeed(seed int64, src, dst string) int64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(src))
@@ -113,6 +117,8 @@ func linkSeed(seed int64, src, dst string) int64 {
 // src->dst under cfg and seed — the schedule a live Network would apply
 // to that link's first n datagrams. Pure; used by the determinism tests
 // and the scenario report's schedule preview.
+//
+//sdvm:deterministic
 func Schedule(cfg LinkFaults, seed int64, src, dst string, n int) []Decision {
 	rng := rand.New(rand.NewSource(linkSeed(seed, src, dst)))
 	out := make([]Decision, n)

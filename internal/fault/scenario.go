@@ -117,9 +117,16 @@ func (sc Scenario) expectedLive() int {
 	return n
 }
 
+// ms is the scenario tables' shorthand for millisecond timestamps. A
+// declared function (not a closure) so detpath can resolve the calls.
+//
+//sdvm:deterministic
+func ms(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+
 // Scenarios returns the canned scenario suite, in run order.
+//
+//sdvm:deterministic
 func Scenarios() []Scenario {
-	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
 	return []Scenario{
 		{
 			Name: "lossy-link",
@@ -205,6 +212,8 @@ func Scenarios() []Scenario {
 }
 
 // Lookup finds a canned scenario by name.
+//
+//sdvm:deterministic
 func Lookup(name string) (Scenario, bool) {
 	for _, sc := range Scenarios() {
 		if sc.Name == name {
@@ -342,6 +351,8 @@ func applyStep(c *Cluster, inj *Injector, st Step) error {
 
 // jsonSteps fills the JSON-stable millisecond mirrors of the duration
 // fields.
+//
+//sdvm:deterministic
 func jsonSteps(steps []Step) []Step {
 	out := make([]Step, len(steps))
 	for i, st := range steps {

@@ -56,6 +56,7 @@ type Resolver interface {
 // that defers transmission must copy first (the network manager's
 // coalescing path does exactly that).
 type Sender interface {
+	//sdvm:borrowed datagram
 	Send(physAddr string, datagram []byte) error
 }
 
@@ -64,6 +65,7 @@ type Sender interface {
 // it for liveness probes (Ping/Pong), whose round-trip time must
 // measure the network rather than a flush timer.
 type HintedSender interface {
+	//sdvm:borrowed datagram
 	SendUrgent(physAddr string, datagram []byte) error
 }
 
@@ -478,7 +480,11 @@ func (b *Bus) sendRemote(m *wire.Message) error {
 }
 
 // OnDatagram is the network manager's delivery callback: parse and
-// enqueue. Malformed datagrams are counted and dropped.
+// enqueue. Malformed datagrams are counted and dropped. The slice is
+// only valid for the duration of the call (the network manager reuses
+// its receive buffer); DecodeBytes copies what the message keeps.
+//
+//sdvm:borrowed datagram
 func (b *Bus) OnDatagram(datagram []byte) {
 	if bm := b.met; bm != nil {
 		bm.recvBytes.Add(uint64(len(datagram)))

@@ -290,6 +290,7 @@ func (m *Manager) recvLoop(ep transport.Endpoint) {
 // (each record is a subslice of the envelope).
 //
 //sdvm:hotpath
+//sdvm:borrowed plain
 func (m *Manager) deliver(plain []byte) {
 	if len(plain) == 0 {
 		return

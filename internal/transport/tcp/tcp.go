@@ -98,7 +98,7 @@ func (e *endpoint) Send(datagram []byte) error {
 	defer e.sendMu.Unlock()
 	binary.BigEndian.PutUint32(e.sendLen[:], uint32(len(datagram)))
 	e.vecArr[0] = e.sendLen[:]
-	e.vecArr[1] = datagram
+	e.vecArr[1] = datagram //sdvm:allow poolowner -- vecArr[1] is nilled below before Send returns, so no reference outlives the call
 	bufs := net.Buffers(e.vecArr[:])
 	want := int64(4 + len(datagram))
 	n, err := bufs.WriteTo(e.c)

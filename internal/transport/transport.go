@@ -47,6 +47,8 @@ type Endpoint interface {
 	// Send must not retain the slice after it returns: callers (the
 	// network manager) recycle the backing buffer immediately, so an
 	// implementation that queues the datagram must copy it first.
+	//
+	//sdvm:borrowed datagram
 	Send(datagram []byte) error
 	// Recv returns the next datagram. It blocks until data arrives or
 	// the endpoint closes, in which case it returns ErrClosed. The
