@@ -17,6 +17,7 @@
 //	sdvmbench -exp central           # A-5 central vs decentralized
 //	sdvmbench -exp memstress         # P-1 sharded attraction-memory throughput
 //	sdvmbench -exp helpstorm         # P-2 batched help grants + coalescing
+//	sdvmbench -exp scalestorm        # P-4 gossip membership at 64–256 sites
 //	sdvmbench -exp all               # everything
 //
 // -exp also accepts a comma-separated list; the BENCH_2.json trajectory
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment(s), comma-separated: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|memstress|helpstorm|all")
+		exp     = flag.String("exp", "all", "experiment(s), comma-separated: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|memstress|helpstorm|scalestorm|all")
 		full    = flag.Bool("full", false, "table1: run every published row (p up to 1000); slow")
 		scale   = flag.Int("scale", 1000, "wall-clock microseconds per Work unit")
 		cost    = flag.Float64("cost", 2.0, "Work units per prime-candidate test")
@@ -180,6 +181,15 @@ func main() {
 				s = nil
 			}
 			return expMemStress(spec, s)
+		})
+	}
+	if all || want["scalestorm"] {
+		any = true
+		run("scalestorm", "P-4 — gossip membership dissemination at 64/128/256 sites", func(s *bench.Summary) error {
+			if report == nil {
+				s = nil
+			}
+			return expScaleStorm(s)
 		})
 	}
 	if all || want["helpstorm"] {
@@ -450,6 +460,32 @@ func expHelpStorm(spec bench.Spec, cost float64, sum *bench.Summary) error {
 			"grant_frames": float64(res.GrantFrames),
 			"coalesced":    float64(res.Coalesced),
 		}
+	}
+	return nil
+}
+
+func expScaleStorm(sum *bench.Summary) error {
+	points, err := bench.ScaleStorm([]int{64, 128, 256}, 200*time.Microsecond)
+	if err != nil {
+		return err
+	}
+	if sum != nil {
+		sum.Values = map[string]float64{}
+	}
+	converged := 1.0
+	for _, pt := range points {
+		fmt.Printf("    %3d sites: join %8.1f ms   converge %8.1f ms   leave %8.1f ms\n",
+			pt.Sites, pt.JoinMS, pt.ConvergeMS, pt.LeaveMS)
+		if !pt.Converged {
+			converged = 0
+		}
+		if sum != nil {
+			sum.Values[fmt.Sprintf("wall_ms_%d", pt.Sites)] = pt.ConvergeMS
+			sum.Values[fmt.Sprintf("leave_ms_%d", pt.Sites)] = pt.LeaveMS
+		}
+	}
+	if sum != nil {
+		sum.Values["converged"] = converged
 	}
 	return nil
 }

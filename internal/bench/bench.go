@@ -68,6 +68,10 @@ type Spec struct {
 	// Metrics enables every daemon's metrics registry so an experiment
 	// can report counter deltas next to wall-clock (see MetricsTotals).
 	Metrics bool
+	// Gossip runs the cluster on the epidemic membership layer
+	// (internal/gossip) instead of broadcast load reports and goodbyes —
+	// the P-4 scalestorm configuration.
+	Gossip bool
 }
 
 func (s Spec) workUnit() time.Duration {
@@ -104,6 +108,7 @@ func NewCluster(spec Spec) (*Cluster, error) {
 			Coalesce:          spec.Coalesce,
 			HelpBatch:         spec.HelpBatch,
 			Metrics:           spec.Metrics,
+			Gossip:            spec.Gossip,
 			Seed:              int64(i + 1),
 		}
 		if spec.Secret != "" {

@@ -207,3 +207,16 @@ func TestHeterogeneousSpeedsSmall(t *testing.T) {
 		t.Fatalf("fast site executed %d <= slow site's %d", fast, slow)
 	}
 }
+
+func TestScaleStormSmall(t *testing.T) {
+	pts, err := ScaleStorm([]int{8}, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || !pts[0].Converged {
+		t.Fatalf("scalestorm did not converge: %+v", pts)
+	}
+	if pts[0].ConvergeMS <= 0 || pts[0].LeaveMS <= 0 {
+		t.Fatalf("missing timings: %+v", pts[0])
+	}
+}

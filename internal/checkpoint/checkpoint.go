@@ -46,7 +46,19 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// MissLimit is how many consecutive missed probes declare a crash.
 	MissLimit int
+	// GossipMode bounds crash detection for large clusters: instead of
+	// pinging every peer each period (O(N²) probes cluster-wide), each
+	// site probes only its ring successors on the sorted roster, and a
+	// declared crash is not broadcast — the local removal feeds the
+	// gossip layer, whose tombstone disseminates in O(log N) rounds.
+	GossipMode bool
 }
+
+// ringProbes is how many sorted-roster successors a site probes per
+// heartbeat period in gossip mode. Three keeps every site covered by
+// three independent detectors, so one slow prober doesn't stall
+// detection, while cluster-wide probe traffic stays O(N).
+const ringProbes = 3
 
 // ackTimeout bounds the wait for a remote CheckpointAck; a missed ack
 // only costs one interval — the next checkpoint supersedes the epoch.
@@ -93,6 +105,11 @@ type Manager struct {
 	// once by SetMetrics before Start.
 	met ckptMetrics
 
+	// accuse, when set (gossip mode), receives heartbeat crash verdicts
+	// as suspicion instead of this manager removing the site directly.
+	// Written once by SetAccuser before Start.
+	accuse func(types.SiteID)
+
 	done chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
@@ -108,12 +125,12 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, mem *memory.Manager, s *sched.Man
 		cfg.MissLimit = 3
 	}
 	m := &Manager{
-		bus:    bus,
-		cm:     cm,
-		mem:    mem,
-		sched:  s,
-		pm:     pm,
-		cfg:    cfg,
+		bus:     bus,
+		cm:      cm,
+		mem:     mem,
+		sched:   s,
+		pm:      pm,
+		cfg:     cfg,
 		store:   make(map[storeKey]*stored),
 		maxSeen: make(map[storeKey]uint64),
 		misses:  make(map[types.SiteID]int),
@@ -229,6 +246,16 @@ func (m *Manager) SetMetrics(reg *metrics.Registry) {
 		stored:    reg.Counter("ckpt.stored"),
 	}
 }
+
+// SetAccuser routes heartbeat crash verdicts into the epidemic layer
+// as suspicion (gossip.Manager.Accuse) instead of removing the site
+// from the roster directly. Must be called before Start.
+func (m *Manager) SetAccuser(fn func(types.SiteID)) { m.accuse = fn }
+
+// SetGossipMode flips Config.GossipMode after construction: a joiner
+// learns the cluster's dissemination mode only from the sign-on reply,
+// after every manager has been wired. Must be called before Start.
+func (m *Manager) SetGossipMode(on bool) { m.cfg.GossipMode = on }
 
 // StoredFor reports whether this site holds a checkpoint of origin's
 // state for prog (test/diagnostic hook).
@@ -350,14 +377,13 @@ func (m *Manager) heartbeatLoop() {
 	}
 }
 
-// probeAll pings every peer once, bumping miss counters on silence.
+// probeAll pings this period's probe set once, bumping miss counters on
+// silence: every peer in legacy mode, the ring successors in gossip
+// mode.
 func (m *Manager) probeAll() {
 	self := m.bus.Self()
-	for _, s := range m.cm.Sites() {
-		if s.ID == self {
-			continue
-		}
-		id := s.ID
+	for _, id := range m.probeSet(self) {
+		id := id
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
@@ -379,8 +405,38 @@ func (m *Manager) probeAll() {
 	}
 }
 
-// declareCrash broadcasts the death and removes the site locally (which
-// triggers recovery through the OnLeave hook).
+// probeSet returns the peers to ping this period. Legacy mode probes
+// the whole roster; gossip mode probes ringProbes successors of the
+// local id on the sorted roster — every site is watched by its
+// predecessors, and the tombstone a detector produces reaches the rest
+// of the cluster epidemically.
+func (m *Manager) probeSet(self types.SiteID) []types.SiteID {
+	ids := m.cm.SiteIDs() // sorted, self included
+	peers := ids[:0]
+	for _, id := range ids {
+		if id != self {
+			peers = append(peers, id)
+		}
+	}
+	if !m.cfg.GossipMode || len(peers) <= ringProbes {
+		return peers
+	}
+	// First ringProbes ids after self in ring order.
+	start := 0
+	for start < len(peers) && peers[start] < self {
+		start++
+	}
+	out := make([]types.SiteID, 0, ringProbes)
+	for i := 0; i < ringProbes; i++ {
+		out = append(out, peers[(start+i)%len(peers)])
+	}
+	return out
+}
+
+// declareCrash removes the site locally, which triggers recovery
+// through the OnLeave hook. In legacy mode the death is broadcast as a
+// CrashNotice first; in gossip mode the removal feeds the epidemic
+// layer instead and the tombstone spreads from there.
 func (m *Manager) declareCrash(dead types.SiteID) {
 	m.mu.Lock()
 	delete(m.misses, dead)
@@ -388,8 +444,19 @@ func (m *Manager) declareCrash(dead types.SiteID) {
 	if _, known := m.cm.Lookup(dead); !known {
 		return // someone else already declared it
 	}
-	_ = m.bus.Send(types.Broadcast, types.MgrCluster, types.MgrCheckpoint,
-		&wire.CrashNotice{Dead: dead})
+	if m.accuse != nil {
+		// Gossip mode: heartbeat evidence is only an accusation. A
+		// falsely accused site refutes it epidemically (probes fail
+		// routinely during join waves, when the target cannot yet route
+		// its Pong back to a brand-new prober); a dead one ages to a
+		// tombstone after DeadAfter rounds and is removed then.
+		m.accuse(dead)
+		return
+	}
+	if !m.cfg.GossipMode {
+		_ = m.bus.Send(types.Broadcast, types.MgrCluster, types.MgrCheckpoint,
+			&wire.CrashNotice{Dead: dead})
+	}
 	m.cm.Remove(dead, true)
 }
 

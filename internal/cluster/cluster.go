@@ -63,6 +63,11 @@ type Manager struct {
 	onChangeMu sync.Mutex
 	onJoin     []func(types.SiteInfo)
 	onLeave    []func(types.SiteID, bool) // crashed?
+
+	// gossipMode suppresses the broadcast membership paths (newcomer
+	// announcements) — the gossip manager carries them instead. Set once
+	// during daemon wiring, before the bus starts.
+	gossipMode bool
 }
 
 // New returns a cluster manager bound to bus. It registers itself as the
@@ -144,6 +149,10 @@ func (m *Manager) Join(contactAddr string, timeout time.Duration) error {
 		Speed:    m.cfg.Speed,
 		Reliable: m.cfg.Reliable,
 	}
+	// Dissemination mode is a cluster property, not a site flag: adopt
+	// whatever the contact reports, overruling the local configuration
+	// (the daemon re-wires its managers from GossipMode after Join).
+	m.gossipMode = ack.Gossip
 	m.bus.SetSelf(ack.Assigned)
 	for _, s := range ack.Cluster {
 		if s.ID != ack.Assigned && s.PhysAddr != m.cfg.PhysAddr {
@@ -323,6 +332,59 @@ func (m *Manager) OnLeave(f func(id types.SiteID, crashed bool)) {
 	m.onChangeMu.Unlock()
 }
 
+// SetGossipMode turns off the broadcast membership paths: newcomer
+// announcements ride the gossip digests instead of a cluster-wide
+// SiteAnnounce. Must be set during wiring, before any traffic flows.
+func (m *Manager) SetGossipMode(on bool) {
+	m.mu.Lock()
+	m.gossipMode = on
+	m.mu.Unlock()
+}
+
+// GossipMode reports the cluster's dissemination mode: the local wiring
+// for the bootstrap site, the contact's sign-on answer for a joiner.
+func (m *Manager) GossipMode() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.gossipMode
+}
+
+// Departed reports whether id is known to have signed off or crashed.
+// Send paths use it to skip peers the roster has marked gone.
+func (m *Manager) Departed(id types.SiteID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.departed[id]
+}
+
+// MergeSite adds or refreshes a peer entry learned out of band — the
+// gossip manager's path into the roster for sites introduced by a
+// digest. Fires OnJoin exactly like an announcement would. Gossip
+// events are incarnation-fenced, so a merge for a departed id is an
+// authoritative revival (the subject itself outbid its tombstone) and
+// clears the departed mark that blocks ordinary announcements.
+func (m *Manager) MergeSite(s types.SiteInfo) {
+	if s.ID.Valid() {
+		m.mu.Lock()
+		delete(m.departed, s.ID)
+		m.mu.Unlock()
+	}
+	m.merge(s)
+}
+
+// UpdateStats refreshes the load vector of a known peer (the gossip
+// equivalent of handleLoadReport). Unknown or departed ids are ignored.
+func (m *Manager) UpdateStats(id types.SiteID, load float64, queueLen, programs int32) {
+	m.mu.Lock()
+	if s, ok := m.sites[id]; ok {
+		s.Load = load
+		s.QueueLen = queueLen
+		s.Programs = programs
+		m.sites[id] = s
+	}
+	m.mu.Unlock()
+}
+
 // merge adds or refreshes a peer entry, firing OnJoin for new sites.
 func (m *Manager) merge(s types.SiteInfo) {
 	if !s.ID.Valid() {
@@ -493,6 +555,7 @@ func (m *Manager) handleSignOn(msg *wire.Message, req *wire.SignOnRequest) {
 	for _, s := range m.sites {
 		snapshot = append(snapshot, s)
 	}
+	gossiping := m.gossipMode
 	m.mu.RUnlock()
 
 	// The requester had no logical id when it sent the sign-on (its Src
@@ -507,13 +570,19 @@ func (m *Manager) handleSignOn(msg *wire.Message, req *wire.SignOnRequest) {
 		DstMgr:  msg.SrcMgr,
 		Seq:     m.bus.NextSeq(),
 		Reply:   msg.Seq,
-		Payload: &wire.SignOnReply{Assigned: id, Cluster: snapshot},
+		Payload: &wire.SignOnReply{Assigned: id, Gossip: gossiping, Cluster: snapshot},
 	}
 	if err := m.bus.SendMsg(reply); err != nil {
 		return
 	}
 	// Propagate the newcomer to everyone else (paper: "A's id and status
 	// information is then propagated to the other sites of the cluster").
+	// In gossip mode the merge above already seeded a hot row via the
+	// OnJoin hook; the epidemic spreads it in O(log N) rounds, so the
+	// O(cluster) broadcast is skipped.
+	if gossiping {
+		return
+	}
 	_ = m.bus.Send(types.Broadcast, types.MgrCluster, types.MgrCluster,
 		&wire.SiteAnnounce{Sites: []types.SiteInfo{newcomer}})
 }

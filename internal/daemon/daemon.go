@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/code"
 	"repro/internal/exec"
+	"repro/internal/gossip"
 	"repro/internal/iomgr"
 	"repro/internal/memory"
 	"repro/internal/metrics"
@@ -77,6 +78,16 @@ type Config struct {
 	CentralSched bool
 	// Checkpoint configures crash management; zero disables it.
 	Checkpoint checkpoint.Config
+	// Gossip replaces broadcast membership and load dissemination with
+	// the epidemic layer (internal/gossip): load vectors and sign-off
+	// tombstones travel in bounded per-tick digests, help requests are
+	// aimed by power-of-two-choices over the gossiped load table, and
+	// crash probing shrinks to the heartbeat ring. Broadcast mode
+	// remains the default for small (≤4 site) clusters and tests.
+	Gossip bool
+	// GossipFanout is how many peers receive a digest per statistics
+	// tick (0 = gossip default).
+	GossipFanout int
 	// LoadReportEvery is the site manager's statistics period.
 	LoadReportEvery time.Duration
 	// NoReadReplication disables COMA read replication (A-6 ablation).
@@ -134,7 +145,9 @@ type Daemon struct {
 	Site  *sitemgr.Manager
 	Ckpt  *checkpoint.Manager
 	Acct  *accounting.Manager
-	Trace *trace.Tracer
+	// Gossip is the epidemic membership layer; nil unless Config.Gossip.
+	Gossip *gossip.Manager
+	Trace  *trace.Tracer
 	// Metrics is the site's registry; nil unless Config.Metrics (or
 	// MetricsAddr) enabled it.
 	Metrics *metrics.Registry
@@ -260,7 +273,11 @@ func New(cfg Config) *Daemon {
 	})
 	d.Site = sitemgr.New(d.Bus, d.CM, d.Sched, d.Exec, d.Mem, d.IO, d.PM,
 		cfg.LoadReportEvery, cfg.Window)
+
 	d.Ckpt = checkpoint.New(d.Bus, d.CM, d.Mem, d.Sched, d.PM, cfg.Checkpoint)
+	if cfg.Gossip {
+		d.enableGossip()
+	}
 
 	if cfg.TraceCapacity > 0 {
 		d.Trace = trace.New(cfg.TraceCapacity, d.Bus.Self)
@@ -313,6 +330,48 @@ func New(cfg Config) *Daemon {
 	})
 
 	return d
+}
+
+// enableGossip wires the epidemic membership layer into every manager:
+// bounded digests replace the LoadReport / SignOffNotice / SiteAnnounce
+// broadcasts, help requests are aimed by power-of-two-choices over the
+// gossiped load table, and the heartbeat probes only the ring
+// successors. Called during construction when the configuration asks for
+// gossip, or right after Join when the sign-on reply reports a
+// gossip-mode cluster; must run before the manager loops start.
+func (d *Daemon) enableGossip() {
+	if d.Gossip != nil {
+		return
+	}
+	// The seed is decorrelated from the scheduler's so the two random
+	// streams never walk in lockstep.
+	d.Gossip = gossip.New(d.Bus, d.CM, gossip.Config{
+		Fanout: d.cfg.GossipFanout,
+		Seed:   siteSeed(d.cfg) ^ 0x676f7373, // "goss"
+	})
+	d.CM.SetGossipMode(true)
+	d.CM.OnJoin(d.Gossip.AddSite)
+	d.CM.OnLeave(d.Gossip.MarkGone)
+	d.Site.SetGossip(d.Gossip)
+	d.Sched.SetHelpTargeter(d.Gossip)
+	d.Ckpt.SetGossipMode(true)
+	d.Ckpt.SetAccuser(d.Gossip.Accuse)
+}
+
+// disableGossip reverts to broadcast mode when the sign-on reply reports
+// a broadcast cluster: a digest-emitting minority would talk past its
+// peers (sites without the layer drop MgrGossip traffic) while its own
+// load reports stopped flowing. The roster hooks stay registered — they
+// feed the orphaned row table, which never transmits.
+func (d *Daemon) disableGossip() {
+	if d.Gossip == nil {
+		return
+	}
+	d.Site.SetGossip(nil)
+	d.Sched.SetHelpTargeter(nil)
+	d.Ckpt.SetGossipMode(false)
+	d.Ckpt.SetAccuser(nil)
+	d.Gossip = nil
 }
 
 // listenAndRun binds the network and starts every manager loop.
@@ -383,11 +442,28 @@ func (d *Daemon) Join(contactAddr string) error {
 		d.Net.Close()
 		return err
 	}
+	// The sign-on reply carried the cluster's dissemination mode, which
+	// overrules the local flag: gossip only works cluster-wide, so a
+	// joiner adopts whatever the cluster runs. This also covers thin
+	// observer sites (sdvmstat) that join with default options — in a
+	// gossip cluster they must announce themselves epidemically or peers
+	// could never route replies back to them.
+	if d.CM.GossipMode() {
+		d.enableGossip()
+	} else {
+		d.disableGossip()
+	}
 	d.runExecution()
 	return nil
 }
 
 func (d *Daemon) runExecution() {
+	if d.Gossip != nil {
+		// The local id and the sign-on roster snapshot exist now;
+		// gossip seeds its row table from them and starts announcing
+		// this site with the next statistics tick.
+		d.Gossip.Start()
+	}
 	d.Sched.Start()
 	d.Exec.Start()
 	d.Site.Start()
@@ -557,9 +633,16 @@ func (d *Daemon) SignOff() error {
 	d.Ckpt.Close()
 	peers := d.CM.SiteIDs() // capture before SignOff empties the roster
 	err := d.Site.SignOff()
-	// Flush the goodbye broadcast before cutting links: a Ping/Pong
-	// round-trip per peer proves (FIFO per connection, FIFO bus inbox)
-	// that everything sent earlier has been dispatched there.
+	if d.Gossip != nil {
+		// O(fanout) flush: only the farewell burst targets and the
+		// sign-off successor (which just received our queue and memory)
+		// saw traffic that must land before teardown; the tombstone
+		// reaches everyone else epidemically.
+		peers = append(d.Gossip.BurstPeers(), d.Site.Successor())
+	}
+	// Flush the goodbye before cutting links: a Ping/Pong round-trip
+	// per peer proves (FIFO per connection, FIFO bus inbox) that
+	// everything sent earlier has been dispatched there.
 	d.flushPeers(peers)
 	d.Mem.Close()
 	d.Bus.Close()
@@ -578,7 +661,7 @@ func (d *Daemon) flushPeers(peers []types.SiteID) int {
 	self := d.Bus.Self()
 	flushed := 0
 	for i, id := range peers {
-		if id == self {
+		if id == self || !id.Valid() {
 			continue
 		}
 		nonce := uint64(i) + 1

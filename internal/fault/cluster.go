@@ -30,6 +30,11 @@ type ClusterConfig struct {
 	// Batched enables message coalescing and wide help grants on every
 	// site (see Scenario.Batched).
 	Batched bool
+	// Gossip runs the cluster on the epidemic membership layer
+	// (internal/gossip): bounded digests instead of broadcast load
+	// reports and goodbyes, p2c help targeting, ring heartbeats. This
+	// is what lets chaos scenarios scale to 64+ sites.
+	Gossip bool
 }
 
 // Site is one daemon instance in a chaos cluster. A rejoin after a
@@ -111,6 +116,7 @@ func (c *Cluster) startSite(index, gen int) (*Site, error) {
 		cfg.Coalesce = true
 		cfg.HelpBatch = 8
 	}
+	cfg.Gossip = c.cfg.Gossip
 	if c.cfg.Checkpoint {
 		cfg.Checkpoint.Interval = 150 * time.Millisecond
 		cfg.Checkpoint.HeartbeatEvery = 100 * time.Millisecond

@@ -76,6 +76,12 @@ type Scenario struct {
 	// via the grant log, and coalesced envelopes must tolerate lossy
 	// links.
 	Batched bool `json:"batched,omitempty"`
+
+	// Gossip runs the cluster on the epidemic membership layer: load,
+	// joins, goodbyes and crash tombstones disseminate in bounded
+	// digests instead of broadcasts, which is what lets the churn
+	// scenarios scale past a handful of sites.
+	Gossip bool `json:"gossip,omitempty"`
 }
 
 // disruptive reports whether the scenario kills or isolates sites —
@@ -193,10 +199,11 @@ func Scenarios() []Scenario {
 		},
 		{
 			Name:  "churn-storm",
-			Desc:  "leaves, crashes, stalls and rejoins overlap — the paper's adaptive-cluster claim under concurrent churn",
-			Sites: 5, Primes: 60, Width: 8, Cost: 20,
+			Desc:  "leaves, crashes, stalls and rejoins overlap at gossip scale — the paper's adaptive-cluster claim under concurrent churn",
+			Sites: 64, Primes: 60, Width: 8, Cost: 20,
 			Checkpoint: true,
 			Batched:    true,
+			Gossip:     true,
 			Steps: []Step{
 				{At: ms(250), Kind: StepLeave, Site: 4},
 				{At: ms(500), Kind: StepCrash, Site: 3},
@@ -260,6 +267,7 @@ func Run(sc Scenario, seed int64) (*Report, error) {
 		Link:       sc.Link,
 		Checkpoint: sc.Checkpoint,
 		Batched:    sc.Batched,
+		Gossip:     sc.Gossip,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,239 @@
+// Package gossip implements the SDVM's epidemic membership and load
+// dissemination layer. Instead of every site broadcasting LoadReport
+// and SignOffNotice to the whole roster (O(N) messages per site per
+// tick — the scaling wall the paper's broadcast cluster list hits),
+// each site pushes a bounded digest of its membership view to Fanout
+// random peers per tick. Rumors — joins, sign-offs, crashes, load
+// changes — reach every site in O(log N) rounds, and no dissemination
+// path ever iterates the full roster.
+//
+// Liveness follows SWIM: a site that falls silent turns suspect, then
+// dead; a suspected site that sees its own obituary refutes it by
+// bumping its incarnation number, which only the subject itself may
+// do. Tombstones (dead or left) ride digests for TombstoneTTL rounds
+// and are retained forever locally so stale alive copies can never
+// resurrect a departed site.
+package gossip
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/msgbus"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Manager wires the protocol State to the message bus and the cluster
+// roster. The State is pure and lock-free; the Manager owns the mutex
+// and applies roster side effects only after releasing it, because the
+// roster fires user callbacks (OnJoin/OnLeave) that re-enter gossip.
+type Manager struct {
+	bus *msgbus.Bus
+	cm  *cluster.Manager
+	cfg Config
+
+	mu    sync.Mutex
+	st    *State         // nil until Start (self id unknown before sign-on)
+	burst []types.SiteID // farewell targets recorded by Leave
+}
+
+// New creates the gossip manager and registers it on the bus. Start
+// must be called once the local site id is known (after Bootstrap or
+// Join).
+func New(bus *msgbus.Bus, cm *cluster.Manager, cfg Config) *Manager {
+	m := &Manager{bus: bus, cm: cm, cfg: cfg.withDefaults()}
+	bus.Register(types.MgrGossip, m)
+	return m
+}
+
+// Start seeds the protocol state from the roster snapshot the sign-on
+// handshake delivered. Digests arriving before Start are dropped — the
+// epidemic retries every tick, so nothing is lost.
+func (m *Manager) Start() {
+	self := m.cm.Self()
+	peers := m.cm.Sites()
+	m.mu.Lock()
+	m.st = NewState(self, m.cfg)
+	for _, p := range peers {
+		m.st.SeedPeer(p)
+	}
+	m.mu.Unlock()
+}
+
+// AddSite installs (or completes) a peer row and marks it hot. Wired to
+// the roster's OnJoin hook: when this site is the sign-on contact it may
+// be the only site that knows the newcomer exists, so the row must ride
+// outgoing digests immediately (Announce) rather than wait for the
+// newcomer's own gossip. Idempotent, so merges that originated from
+// gossip itself loop back harmlessly — at worst refreshing a ride budget.
+func (m *Manager) AddSite(info types.SiteInfo) {
+	m.mu.Lock()
+	if m.st != nil {
+		m.st.Announce(info)
+	}
+	m.mu.Unlock()
+}
+
+// MarkGone tombstones a peer on local authority (heartbeat crash
+// declaration, legacy goodbye broadcast). Wired to the roster's
+// OnLeave hook; idempotent.
+func (m *Manager) MarkGone(id types.SiteID, crashed bool) {
+	m.mu.Lock()
+	if m.st != nil {
+		m.st.MarkGone(id, crashed)
+	}
+	m.mu.Unlock()
+}
+
+// Accuse feeds external liveness evidence (a failed heartbeat probe)
+// into the protocol as suspicion instead of removing the site
+// outright: a falsely accused site refutes epidemically — a routine
+// event during join waves, when a probe target cannot yet route its
+// Pong back to a brand-new prober — while a dead one ages out.
+func (m *Manager) Accuse(id types.SiteID) {
+	m.mu.Lock()
+	if m.st != nil {
+		m.st.Accuse(id)
+	}
+	m.mu.Unlock()
+}
+
+// Tick runs one protocol round: refresh the local load vector, age the
+// current window, and push this round's digest to Fanout random peers.
+// Called from the site manager's stats ticker, so gossip needs no
+// goroutine of its own.
+func (m *Manager) Tick(load float64, queueLen, programs int32) {
+	m.mu.Lock()
+	if m.st == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.st.SetLocalStats(load, queueLen, programs)
+	targets, digest, events := m.st.Tick()
+	m.mu.Unlock()
+
+	m.apply(events)
+	for _, t := range targets {
+		_ = m.bus.Send(t, types.MgrGossip, types.MgrGossip, digest)
+	}
+}
+
+// Introduce pushes a one-entry digest carrying only this site's row
+// directly to target, ahead of a request on the same connection. Both
+// transports deliver FIFO per peer and the bus inbox preserves arrival
+// order, so the peer merges this site's routing info before it
+// dispatches the request — it can route the reply even if it had never
+// heard of this site (a fresh joiner querying the cluster before the
+// epidemic spread its row).
+func (m *Manager) Introduce(target types.SiteID) {
+	m.mu.Lock()
+	if m.st == nil {
+		m.mu.Unlock()
+		return
+	}
+	d := m.st.SelfDigest()
+	m.mu.Unlock()
+	_ = m.bus.Send(target, types.MgrGossip, types.MgrGossip, d)
+}
+
+// Leave marks the local site's own row as a sign-off tombstone and
+// pushes the farewell digest to a final burst of peers. The epidemic
+// carries the goodbye from there; returns immediately.
+func (m *Manager) Leave() {
+	m.mu.Lock()
+	if m.st == nil {
+		m.mu.Unlock()
+		return
+	}
+	targets, digest := m.st.Leave()
+	m.burst = targets
+	m.mu.Unlock()
+
+	for _, t := range targets {
+		_ = m.bus.Send(t, types.MgrGossip, types.MgrGossip, digest)
+	}
+}
+
+// BurstPeers returns the targets of the sign-off farewell burst — the
+// only peers worth flushing before teardown, replacing the O(N)
+// every-peer ping round the broadcast path needed.
+func (m *Manager) BurstPeers() []types.SiteID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]types.SiteID, len(m.burst))
+	copy(out, m.burst)
+	return out
+}
+
+// PickHelpTarget selects a help-request donor by power-of-two-choices
+// over the gossiped load table, using the caller's seeded rng so the
+// scheduler's decisions stay deterministic per site. Returns
+// InvalidSite when no eligible candidate is known.
+func (m *Manager) PickHelpTarget(rng *rand.Rand, exclude map[types.SiteID]bool) types.SiteID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.st == nil {
+		return types.InvalidSite
+	}
+	return m.st.PickTwoChoices(rng, exclude)
+}
+
+// Round returns the local protocol round (diagnostics, tests).
+func (m *Manager) Round() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.st == nil {
+		return 0
+	}
+	return m.st.Round()
+}
+
+// HandleMessage implements msgbus.Handler: merge incoming digests
+// (answering with an anti-entropy delta when we know fresher state)
+// and deltas (never answered, so there is no reply ping-pong).
+func (m *Manager) HandleMessage(msg *wire.Message) {
+	switch p := msg.Payload.(type) {
+	case *wire.GossipDigest:
+		if !p.From.Valid() {
+			return
+		}
+		m.mu.Lock()
+		if m.st == nil {
+			m.mu.Unlock()
+			return
+		}
+		delta, events := m.st.HandleDigest(p)
+		m.mu.Unlock()
+		m.apply(events)
+		if delta != nil {
+			_ = m.bus.Send(p.From, types.MgrGossip, types.MgrGossip, delta)
+		}
+	case *wire.GossipDelta:
+		m.mu.Lock()
+		if m.st == nil {
+			m.mu.Unlock()
+			return
+		}
+		events := m.st.HandleDelta(p)
+		m.mu.Unlock()
+		m.apply(events)
+	}
+}
+
+// apply pushes merge-decided membership events into the cluster roster.
+// Runs without the gossip lock: Remove and MergeSite fire OnLeave and
+// OnJoin hooks that call straight back into MarkGone and AddSite.
+func (m *Manager) apply(events []Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventJoin:
+			m.cm.MergeSite(ev.Info)
+		case EventLeave:
+			m.cm.Remove(ev.Site, ev.Crashed)
+		case EventStats:
+			m.cm.UpdateStats(ev.Site, ev.Load, ev.QueueLen, ev.Programs)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// simConfig uses the default protocol clocks: at 256 sites a given
+// row's stats refresh only every handful of rounds, so an aggressive
+// suspicion clock would drown the cluster in false accusations.
+func simConfig(seed int64) Config {
+	return Config{Fanout: 3, DigestMax: 16, Seed: seed}
+}
+
+func siteInfo(id types.SiteID) types.SiteInfo {
+	return types.SiteInfo{ID: id, PhysAddr: fmt.Sprintf("sim-%d", id), Speed: 1}
+}
+
+// sim drives N pure protocol instances with synchronous synthetic
+// routing — no bus, no goroutines, one deterministic seed.
+type sim struct {
+	states map[types.SiteID]*State
+	order  []types.SiteID // stable tick order
+}
+
+func newSim(n int) *sim {
+	s := &sim{states: make(map[types.SiteID]*State)}
+	for i := 1; i <= n; i++ {
+		id := types.SiteID(i)
+		st := NewState(siteInfo(id), simConfig(int64(i)))
+		for j := 1; j <= n; j++ {
+			if j != i {
+				st.SeedPeer(siteInfo(types.SiteID(j)))
+			}
+		}
+		s.states[id] = st
+		s.order = append(s.order, id)
+	}
+	return s
+}
+
+// step runs one round: every live site ticks and its digest is
+// delivered synchronously, anti-entropy deltas flowing straight back.
+func (s *sim) step() {
+	for _, id := range s.order {
+		src, ok := s.states[id]
+		if !ok {
+			continue // crashed
+		}
+		targets, digest, _ := src.Tick()
+		for _, t := range targets {
+			dst, ok := s.states[t]
+			if !ok {
+				continue // message to a dead site is lost
+			}
+			delta, _ := dst.HandleDigest(digest)
+			if delta != nil {
+				src.HandleDelta(delta)
+			}
+		}
+	}
+}
+
+// crash removes a site without ceremony: it simply stops ticking and
+// answering.
+func (s *sim) crash(id types.SiteID) { delete(s.states, id) }
+
+// join starts a fresh site knowing only the contact, and tells the
+// contact about it — the sign-on handshake in miniature.
+func (s *sim) join(id, contact types.SiteID) {
+	st := NewState(siteInfo(id), simConfig(int64(id)))
+	st.SeedPeer(siteInfo(contact))
+	s.states[id] = st
+	s.order = append(s.order, id)
+	s.states[contact].Announce(siteInfo(id))
+}
+
+// converged reports whether every live site's view of site id matches
+// the predicate.
+func (s *sim) converged(check func(st *State) bool) bool {
+	for _, st := range s.states {
+		if !check(st) {
+			return false
+		}
+	}
+	return true
+}
+
+// stepsUntil runs rounds until every live state satisfies check,
+// failing the test past limit.
+func (s *sim) stepsUntil(t *testing.T, limit int, what string, check func(st *State) bool) int {
+	t.Helper()
+	for r := 1; r <= limit; r++ {
+		s.step()
+		if s.converged(check) {
+			return r
+		}
+	}
+	t.Fatalf("%s: not converged after %d rounds", what, limit)
+	return 0
+}
+
+// TestConvergence256 is the scale acceptance test: a 256-site cluster
+// disseminates a join and then a crash to every member within a bounded
+// number of gossip rounds, with every digest staying within DigestMax.
+func TestConvergence256(t *testing.T) {
+	const n = 256
+	s := newSim(n)
+	// Warm up: drain the hot flood the all-at-once seeding created, as
+	// a real cluster would have long before a join arrives.
+	for r := 0; r < 5; r++ {
+		s.step()
+	}
+
+	// A fresh site joins knowing only site 1.
+	joiner := types.SiteID(n + 1)
+	s.join(joiner, 1)
+	rounds := s.stepsUntil(t, 40, "join dissemination", func(st *State) bool {
+		_, ok := st.Lookup(joiner)
+		return ok
+	})
+	t.Logf("join reached all %d sites in %d rounds", n, rounds)
+
+	// The joiner must likewise learn the whole roster, one digest
+	// window at a time, once peers start picking it as a target.
+	s.stepsUntil(t, 120, "joiner roster fill", func(st *State) bool {
+		return st.Size() >= n
+	})
+
+	// Site 7 crashes silently. Suspicion ages it out and the tombstone
+	// spreads; bounded by the aging-cursor sweep (n/DigestMax) plus the
+	// two suspicion clocks plus dissemination.
+	s.crash(7)
+	cfg := simConfig(1).withDefaults()
+	// The alive→suspect clock scales with the table's refresh lag (see
+	// refreshLag); the death clock and the sweep cursor do not.
+	lag := (n + 1 + cfg.Fanout*cfg.DigestMax - 1) / (cfg.Fanout * cfg.DigestMax)
+	limit := n/cfg.DigestMax + int(cfg.SuspectAfter)*lag + int(cfg.DeadAfter) + 60
+	rounds = s.stepsUntil(t, limit, "crash tombstone", func(st *State) bool {
+		e, ok := st.Lookup(7)
+		return ok && Status(e.Status).Tombstone()
+	})
+	t.Logf("crash of site 7 tombstoned everywhere in %d rounds (limit %d)", rounds, limit)
+}
+
+// TestDigestBounded pins the O(fanout) property: no digest ever carries
+// more than DigestMax entries or targets more than Fanout peers, even
+// from a site that knows hundreds of rows.
+func TestDigestBounded(t *testing.T) {
+	s := newSim(128)
+	for r := 0; r < 30; r++ {
+		for _, id := range s.order {
+			st := s.states[id]
+			targets, digest, _ := st.Tick()
+			if len(targets) > 3 {
+				t.Fatalf("round %d: %d targets, fanout is 3", r, len(targets))
+			}
+			if len(digest.Entries) > 16 {
+				t.Fatalf("round %d: digest carries %d entries, max 16", r, len(digest.Entries))
+			}
+			if len(digest.Sites) > len(digest.Entries) {
+				t.Fatalf("round %d: %d site infos for %d entries", r, len(digest.Sites), len(digest.Entries))
+			}
+			for _, tgt := range targets {
+				if dst, ok := s.states[tgt]; ok {
+					if delta, _ := dst.HandleDigest(digest); delta != nil {
+						if len(delta.Entries) > 16 {
+							t.Fatalf("delta carries %d entries", len(delta.Entries))
+						}
+						st.HandleDelta(delta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRefutation pins the SWIM incarnation rule: a falsely suspected
+// site that hears its own obituary bumps its incarnation, and the
+// refutation wins over the accusation everywhere.
+func TestRefutation(t *testing.T) {
+	a := NewState(siteInfo(1), simConfig(1))
+	b := NewState(siteInfo(2), simConfig(2))
+	a.SeedPeer(siteInfo(2))
+	b.SeedPeer(siteInfo(1))
+
+	// a accuses b at incarnation 0.
+	accusation := &wire.GossipDigest{From: 1, Round: 9, Entries: []wire.GossipEntry{
+		{Site: 2, Incarnation: 0, Status: uint8(StatusSuspect), OriginRound: 9},
+	}}
+	delta, _ := b.HandleDigest(accusation)
+	self, _ := b.Lookup(2)
+	if Status(self.Status) != StatusAlive || self.Incarnation != 1 {
+		t.Fatalf("suspected site did not refute: %+v", self)
+	}
+	// The refutation flows straight back as an anti-entropy delta...
+	if delta == nil {
+		t.Fatal("no delta answering a stale accusation")
+	}
+	a.HandleDelta(delta)
+	got, _ := a.Lookup(2)
+	if Status(got.Status) != StatusAlive || got.Incarnation != 1 {
+		t.Fatalf("accuser did not adopt the refutation: %+v", got)
+	}
+	// ...and a re-played accusation at the old incarnation loses.
+	a.HandleDigest(accusation)
+	got, _ = a.Lookup(2)
+	if Status(got.Status) != StatusAlive {
+		t.Fatalf("stale accusation resurrected suspicion: %+v", got)
+	}
+}
+
+// TestTombstoneFencing pins that a departed site stays departed: alive
+// rows at any incarnation the site actually used cannot overwrite its
+// tombstone, only the site itself could (with a higher incarnation).
+func TestTombstoneFencing(t *testing.T) {
+	a := NewState(siteInfo(1), simConfig(1))
+	a.SeedPeer(siteInfo(2))
+	a.MarkGone(2, false)
+
+	stale := &wire.GossipDigest{From: 3, Round: 4, Entries: []wire.GossipEntry{
+		{Site: 2, Incarnation: 0, Status: uint8(StatusAlive), OriginRound: 99, Load: 0.5},
+	}, Sites: []types.SiteInfo{siteInfo(2)}}
+	delta, events := a.HandleDigest(stale)
+	e, _ := a.Lookup(2)
+	if Status(e.Status) != StatusLeft {
+		t.Fatalf("stale alive row revived a tombstone: %+v", e)
+	}
+	for _, ev := range events {
+		if ev.Kind == EventJoin {
+			t.Fatal("tombstoned site produced a join event")
+		}
+	}
+	// The sender holding the stale row gets corrected by delta.
+	if delta == nil || len(delta.Entries) != 1 || Status(delta.Entries[0].Status) != StatusLeft {
+		t.Fatalf("no corrective delta for stale alive row: %+v", delta)
+	}
+}
+
+// TestLeavePropagates pins the sign-off path: Leave bumps the own
+// incarnation so the Left tombstone overrules every alive copy already
+// in flight, and other sites adopt it with a leave event.
+func TestLeavePropagates(t *testing.T) {
+	a := NewState(siteInfo(1), simConfig(1))
+	b := NewState(siteInfo(2), simConfig(2))
+	a.SeedPeer(siteInfo(2))
+	b.SeedPeer(siteInfo(1))
+
+	targets, farewell := a.Leave()
+	if len(targets) == 0 {
+		t.Fatal("leave produced no farewell targets")
+	}
+	_, events := b.HandleDigest(farewell)
+	var left bool
+	for _, ev := range events {
+		if ev.Kind == EventLeave && ev.Site == 1 && !ev.Crashed {
+			left = true
+		}
+	}
+	if !left {
+		t.Fatalf("no leave event from farewell digest: %+v", events)
+	}
+	e, _ := b.Lookup(1)
+	if Status(e.Status) != StatusLeft || e.Incarnation == 0 {
+		t.Fatalf("farewell row not adopted: %+v", e)
+	}
+	// The leaver never refutes its own tombstone.
+	echo := &wire.GossipDigest{From: 2, Round: 1, Entries: []wire.GossipEntry{e}}
+	a.HandleDigest(echo)
+	own, _ := a.Lookup(1)
+	if Status(own.Status) != StatusLeft {
+		t.Fatalf("leaver refuted its own sign-off: %+v", own)
+	}
+}
+
+// TestStatsDisseminate pins load-vector flow: a queue-depth change on
+// one site reaches another through digests alone, carried as a stats
+// event for the roster.
+func TestStatsDisseminate(t *testing.T) {
+	s := newSim(8)
+	s.states[3].SetLocalStats(0.75, 42, 2)
+	for r := 0; r < 20; r++ {
+		s.step()
+		e, ok := s.states[6].Lookup(3)
+		if ok && e.QueueLen == 42 {
+			return
+		}
+	}
+	e, _ := s.states[6].Lookup(3)
+	t.Fatalf("site 6 never saw site 3's queue depth: %+v", e)
+}
+
+// TestMarkGoneIdempotent pins the re-entrancy contract: the roster's
+// OnLeave hook loops back into MarkGone for removals gossip itself
+// initiated, which must be a no-op.
+func TestMarkGoneIdempotent(t *testing.T) {
+	a := NewState(siteInfo(1), simConfig(1))
+	a.SeedPeer(siteInfo(2))
+	a.MarkGone(2, true)
+	before, _ := a.Lookup(2)
+	a.MarkGone(2, false) // second removal with a different flavor
+	after, _ := a.Lookup(2)
+	if before != after {
+		t.Fatalf("second MarkGone changed the row: %+v -> %+v", before, after)
+	}
+	if a.Size() != 2 {
+		t.Fatalf("size %d after duplicate MarkGone", a.Size())
+	}
+}
+
+// TestPickTwoChoicesEligibility pins the candidate filter: departed,
+// suspected, excluded, unroutable and empty-queued sites are never
+// picked — even when the ineligible ones advertise the deepest queues —
+// and with two candidates the heavier queue wins.
+func TestPickTwoChoicesEligibility(t *testing.T) {
+	a := NewState(siteInfo(1), simConfig(1))
+	for i := 2; i <= 6; i++ {
+		a.SeedPeer(siteInfo(types.SiteID(i)))
+	}
+	// Sites 2 and 3 advertise modest queued work; the soon-poisoned
+	// sites 4–6 advertise far deeper queues, which a liveness-blind
+	// picker would chase.
+	a.HandleDigest(&wire.GossipDigest{From: 2, Round: 1, Entries: []wire.GossipEntry{
+		{Site: 2, Status: uint8(StatusAlive), OriginRound: 1, QueueLen: 1},
+		{Site: 3, Status: uint8(StatusAlive), OriginRound: 1, QueueLen: 1},
+		{Site: 4, Status: uint8(StatusAlive), OriginRound: 1, QueueLen: 70},
+		{Site: 5, Status: uint8(StatusAlive), OriginRound: 1, QueueLen: 80},
+		{Site: 6, Status: uint8(StatusAlive), OriginRound: 1, QueueLen: 90},
+	}})
+	a.MarkGone(4, true) // tombstone
+	// Suspect site 5 via a digest.
+	a.HandleDigest(&wire.GossipDigest{From: 2, Round: 2, Entries: []wire.GossipEntry{
+		{Site: 5, Incarnation: 0, Status: uint8(StatusSuspect), OriginRound: 1, QueueLen: 80},
+	}})
+	exclude := map[types.SiteID]bool{6: true}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		got := a.PickTwoChoices(rng, exclude)
+		switch got {
+		case 4, 5, 6, 1:
+			t.Fatalf("picked ineligible site %v", got)
+		case types.InvalidSite:
+			t.Fatal("no candidate found despite eligible peers")
+		}
+	}
+
+	// Bias: give site 3 a deep queue; it must win almost every sample
+	// against site 2's single queued frame.
+	a.HandleDigest(&wire.GossipDigest{From: 3, Round: 3, Entries: []wire.GossipEntry{
+		{Site: 3, Incarnation: 0, Status: uint8(StatusAlive), OriginRound: 50, QueueLen: 40},
+	}})
+	wins := 0
+	for i := 0; i < 400; i++ {
+		if a.PickTwoChoices(rng, exclude) == 3 {
+			wins++
+		}
+	}
+	if wins < 300 {
+		t.Fatalf("heavy-queue site won only %d/400 picks", wins)
+	}
+}
+
+// TestPickTwoChoicesBiasProperty is the seeded property test behind
+// targeted help requests: across seeds and thousands of rounds, picks
+// land on heavier queues with the power-of-two-choices bias and never
+// on departed, suspected, excluded or local sites — even though the
+// ineligible sites advertise the deepest queues in the cluster, which
+// is exactly what a bias-only implementation would chase.
+func TestPickTwoChoicesBiasProperty(t *testing.T) {
+	const n = 24
+	for _, seed := range []int64{1, 7, 42} {
+		st := NewState(siteInfo(1), simConfig(1))
+		entries := make([]wire.GossipEntry, 0, n-1)
+		for i := 2; i <= n; i++ {
+			st.SeedPeer(siteInfo(types.SiteID(i)))
+			entries = append(entries, wire.GossipEntry{
+				Site: types.SiteID(i), Status: uint8(StatusAlive),
+				OriginRound: 1, QueueLen: int32(i * 4),
+			})
+		}
+		st.HandleDigest(&wire.GossipDigest{From: 2, Round: 1, Entries: entries})
+		// Poison the top of the queue-depth order.
+		st.MarkGone(n, true)    // crashed
+		st.MarkGone(n-1, false) // signed off
+		st.HandleDigest(&wire.GossipDigest{From: 2, Round: 2, Entries: []wire.GossipEntry{
+			{Site: n - 2, Status: uint8(StatusSuspect), OriginRound: 1, QueueLen: (n - 2) * 4},
+		}})
+		exclude := map[types.SiteID]bool{n - 3: true}
+
+		rng := rand.New(rand.NewSource(seed))
+		counts := make(map[types.SiteID]int)
+		const rounds = 4000
+		for i := 0; i < rounds; i++ {
+			got := st.PickTwoChoices(rng, exclude)
+			if got == types.InvalidSite {
+				t.Fatalf("seed %d: no candidate despite eligible peers", seed)
+			}
+			if got == 1 || got > n-4 {
+				t.Fatalf("seed %d: picked ineligible site %v", seed, got)
+			}
+			counts[got]++
+		}
+		// Eligible donors are 2..n-4 with queue depth rising in id
+		// order. Split them in half: the heavy half must dominate.
+		mid := types.SiteID((2 + n - 4) / 2)
+		light, heavy := 0, 0
+		for id, c := range counts {
+			if id <= mid {
+				light += c
+			} else {
+				heavy += c
+			}
+		}
+		if heavy < 2*light {
+			t.Fatalf("seed %d: p2c bias too weak: heavy half %d picks, light half %d", seed, heavy, light)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package msgbus
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -453,6 +454,14 @@ func (b *Bus) route(m *wire.Message) error {
 			clone := *m
 			clone.Dst = id
 			if err := b.sendRemote(&clone); err != nil && firstErr == nil {
+				// A peer that departed between the roster snapshot and
+				// this send (goodbye processed mid-fanout) is skipped,
+				// not an error: the stats tick and other periodic
+				// broadcasts must not fail over a site that is simply
+				// gone.
+				if errors.Is(err, types.ErrSiteLeft) {
+					continue
+				}
 				firstErr = err
 			}
 		}

@@ -384,3 +384,63 @@ func TestRegisterInvalidPanics(t *testing.T) {
 	}()
 	buses[0].Register(types.MgrInvalid, HandlerFunc(func(*wire.Message) {}))
 }
+
+// departedResolver simulates the goodbye window: the roster snapshot
+// still lists a site that has since signed off, and resolving it yields
+// ErrSiteLeft (exactly what cluster.PhysAddr reports for departed ids).
+type departedResolver struct {
+	*fakeResolver
+	left types.SiteID
+}
+
+func (r *departedResolver) PhysAddr(id types.SiteID) (string, error) {
+	if id == r.left {
+		return "", &types.SiteError{Err: types.ErrSiteLeft, Site: id}
+	}
+	return r.fakeResolver.PhysAddr(id)
+}
+
+func (r *departedResolver) SiteIDs() []types.SiteID {
+	return append(r.fakeResolver.SiteIDs(), r.left)
+}
+
+// A peer that departs between the roster snapshot and the fanout send
+// must be skipped, not turned into a broadcast error: the site
+// manager's stats tick broadcasts every period and a goodbye processed
+// mid-fanout is routine, not a fault.
+func TestBroadcastSkipsDepartedPeer(t *testing.T) {
+	net := newFakeNet()
+	inner := &fakeResolver{addrs: make(map[types.SiteID]string)}
+	res := &departedResolver{fakeResolver: inner, left: types.SiteID(3)}
+	var buses []*Bus
+	for _, id := range []types.SiteID{1, 2} {
+		addr := fmt.Sprintf("addr-%d", id)
+		b := New(res, net)
+		b.SetSelf(id)
+		b.Start()
+		t.Cleanup(b.Close)
+		net.mu.Lock()
+		net.buses[addr] = b
+		net.mu.Unlock()
+		inner.mu.Lock()
+		inner.addrs[id] = addr
+		inner.mu.Unlock()
+		buses = append(buses, b)
+	}
+	got := make(chan *wire.Message, 1)
+	buses[1].Register(types.MgrCluster, HandlerFunc(func(m *wire.Message) { got <- m }))
+
+	if err := buses[0].Send(types.Broadcast, types.MgrCluster, types.MgrCluster, &wire.LoadReport{}); err != nil {
+		t.Fatalf("broadcast over a departed peer errored: %v", err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("live peer missed the broadcast")
+	}
+
+	// Direct sends still surface the departure — only the fanout skips.
+	if err := buses[0].Send(types.SiteID(3), types.MgrCluster, types.MgrCluster, &wire.Ping{}); !errors.Is(err, types.ErrSiteLeft) {
+		t.Fatalf("direct send to departed site: got %v, want ErrSiteLeft", err)
+	}
+}

@@ -597,8 +597,18 @@ func (m *Manager) Close() {
 	if l != nil {
 		l.Close()
 	}
+	// Close connections concurrently: a large site holds hundreds of
+	// endpoints, and each Close may briefly contend with live peer
+	// traffic — serialized, that contention compounds into a teardown
+	// measured in tens of seconds at 256 sites.
+	var cwg sync.WaitGroup
 	for _, ep := range conns {
-		ep.Close()
+		cwg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer cwg.Done()
+			ep.Close()
+		}(ep)
 	}
+	cwg.Wait()
 	m.wg.Wait()
 }

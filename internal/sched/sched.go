@@ -53,6 +53,17 @@ type grantLogger interface {
 	RecordGrant(grantee types.SiteID, f *wire.Microframe)
 }
 
+// HelpTargeter picks one help-request donor from a disseminated load
+// table — internal/gossip implements it with power-of-two-choices over
+// the gossiped load vectors, O(1) per pick where the cluster list's
+// PickHelpTarget scans the whole roster. The scheduler passes its own
+// seeded rng so targeting stays deterministic per site; implementations
+// must never return departed or suspected sites, and return InvalidSite
+// when no eligible donor is known.
+type HelpTargeter interface {
+	PickHelpTarget(rng *rand.Rand, exclude map[types.SiteID]bool) types.SiteID
+}
+
 // grantReclaimer takes logged grants back when the reply carrying them
 // could not be delivered (the requester signed off between asking and
 // receiving). Reclaiming must be atomic with crash replay so a batch is
@@ -123,6 +134,7 @@ type Manager struct {
 	cm       *cluster.Manager
 	resolver Resolver
 	adopter  Adopter
+	targeter HelpTargeter // nil: fall back to the cluster-list scan
 	cfg      Config
 	tr       *trace.Tracer
 
@@ -310,6 +322,11 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, resolver Resolver, cfg Config) *M
 // SetAdopter wires the attraction memory (for incomplete frames arriving
 // in relocations).
 func (m *Manager) SetAdopter(a Adopter) { m.adopter = a }
+
+// SetHelpTargeter switches help-request targeting from the cluster
+// list's roster scan onto the given load table (power-of-two-choices
+// over gossiped load vectors). Must be called before Start.
+func (m *Manager) SetHelpTargeter(t HelpTargeter) { m.targeter = t }
 
 // SetTracer installs the event tracer (nil = off).
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
@@ -798,7 +815,7 @@ func (m *Manager) askForHelp() bool {
 		case i == 0 && m.grantorTarget(exclude) != types.InvalidSite:
 			target = m.grantorTarget(exclude)
 		default:
-			target = m.cm.PickHelpTarget(exclude)
+			target = m.pickHelpTarget(exclude)
 		}
 		if target == types.InvalidSite {
 			return false
@@ -870,6 +887,19 @@ func (m *Manager) acceptForeignFrame(f *wire.Microframe, from types.SiteID) {
 	if m.adopter != nil {
 		m.adopter.AdoptFrame(f)
 	}
+}
+
+// pickHelpTarget chooses the next help-request donor: two random
+// choices over the gossiped load table when a targeter is wired (the
+// heavier queue wins — the work-stealing dual of p2c placement), the
+// cluster list's full-roster scan otherwise.
+func (m *Manager) pickHelpTarget(exclude map[types.SiteID]bool) types.SiteID {
+	if m.targeter != nil {
+		m.rngMu.Lock()
+		defer m.rngMu.Unlock()
+		return m.targeter.PickHelpTarget(m.rng, exclude)
+	}
+	return m.cm.PickHelpTarget(exclude)
 }
 
 // grantorTarget returns the last grantor if it is usable as a target.

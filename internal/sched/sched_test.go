@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -631,5 +632,63 @@ func TestPickIndexPolicies(t *testing.T) {
 	}
 	if pickIndex(4, types.SchedPriority, at) != 1 {
 		t.Error("priority pick must take first-highest (FIFO tie-break)")
+	}
+}
+
+// fakeTargeter aims every help request at one fixed site, standing in
+// for the gossip manager's p2c pick.
+type fakeTargeter struct {
+	mu     sync.Mutex
+	target types.SiteID
+	calls  int
+}
+
+func (ft *fakeTargeter) PickHelpTarget(_ *rand.Rand, exclude map[types.SiteID]bool) types.SiteID {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.calls++
+	if exclude[ft.target] {
+		return types.InvalidSite
+	}
+	return ft.target
+}
+
+// A wired HelpTargeter replaces the cluster list's full-roster scan:
+// help requests go where it points, and its InvalidSite verdict is
+// final — no fallback that could resurrect a departed target.
+func TestHelpTargeterDirectsRequests(t *testing.T) {
+	_, mgrs := schedCluster(t, 3, Config{})
+	busy, idle := mgrs[0], mgrs[2]
+	ft := &fakeTargeter{target: busy.bus.Self()}
+	idle.SetHelpTargeter(ft)
+	for i := uint64(1); i <= 2; i++ {
+		busy.Enqueue(frameFor(1, i, types.PriorityNormal))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		if _, ok := idle.GetWork(); ok {
+			close(done)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("targeted help request did not deliver work")
+	}
+	ft.mu.Lock()
+	calls := ft.calls
+	ft.mu.Unlock()
+	if calls == 0 {
+		t.Fatal("help path never consulted the targeter")
+	}
+	if s := busy.Stats(); s.HelpServed == 0 {
+		t.Fatalf("busy stats = %+v", s)
+	}
+
+	none := &fakeTargeter{target: types.InvalidSite}
+	mgrs[1].SetHelpTargeter(none)
+	if got := mgrs[1].pickHelpTarget(nil); got != types.InvalidSite {
+		t.Fatalf("InvalidSite verdict not final: picked %v", got)
 	}
 }

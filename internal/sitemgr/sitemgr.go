@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/exec"
+	"repro/internal/gossip"
 	"repro/internal/iomgr"
 	"repro/internal/memory"
 	"repro/internal/metrics"
@@ -59,6 +60,10 @@ type Manager struct {
 	io    *iomgr.Manager
 	pm    *program.Manager
 
+	// gsp, when set, replaces the per-tick LoadReport broadcast with one
+	// epidemic round and the goodbye broadcast with a gossip tombstone.
+	gsp *gossip.Manager
+
 	interval time.Duration
 	window   int
 
@@ -71,6 +76,7 @@ type Manager struct {
 	lastTick  time.Time
 	load      float64
 	startedAt time.Time
+	successor types.SiteID // picked at SignOff; inherits local state
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -109,6 +115,12 @@ func New(bus *msgbus.Bus, cm *cluster.Manager, s *sched.Manager, e *exec.Manager
 // nil registry answers with an empty snapshot.
 func (m *Manager) SetMetrics(reg *metrics.Registry) { m.reg = reg }
 
+// SetGossip switches load dissemination and the sign-off goodbye from
+// roster-wide broadcast onto the epidemic layer. Must be called before
+// Start; the gossip tick piggybacks on the statistics ticker, so gossip
+// needs no goroutine of its own.
+func (m *Manager) SetGossip(g *gossip.Manager) { m.gsp = g }
+
 // Start launches the statistics loop that refreshes and broadcasts this
 // site's load — the data peers use to aim help requests.
 func (m *Manager) Start() {
@@ -139,7 +151,9 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
-// tick recomputes the load over the last interval and broadcasts it.
+// tick recomputes the load over the last interval and disseminates it:
+// one bounded gossip round when the epidemic layer is wired, a
+// roster-wide LoadReport broadcast in legacy mode.
 func (m *Manager) tick() {
 	now := time.Now()
 	busy := m.exec.BusyNanos()
@@ -159,7 +173,13 @@ func (m *Manager) tick() {
 	m.load = load
 	m.mu.Unlock()
 
-	m.cm.UpdateSelf(load, int32(m.sched.QueueLen()), int32(len(m.pm.Programs())))
+	queueLen := int32(m.sched.QueueLen())
+	programs := int32(len(m.pm.Programs()))
+	m.cm.UpdateSelf(load, queueLen, programs)
+	if m.gsp != nil {
+		m.gsp.Tick(load, queueLen, programs)
+		return
+	}
 	m.cm.BroadcastLoad()
 }
 
@@ -224,6 +244,9 @@ func (m *Manager) SignOff() error {
 	//    after the goodbye empties the roster — fall back to it instead
 	//    of being dropped.
 	successor := m.PickSuccessor()
+	m.mu.Lock()
+	m.successor = successor
+	m.mu.Unlock()
 	if successor != types.InvalidSite {
 		m.sched.SetFallback(successor)
 	}
@@ -231,7 +254,7 @@ func (m *Manager) SignOff() error {
 	m.exec.Wait()
 	if successor == types.InvalidSite {
 		// Last site standing: nothing to relocate to.
-		m.cm.AnnounceSignOff()
+		m.goodbye()
 		m.io.CloseAll()
 		return nil
 	}
@@ -249,9 +272,29 @@ func (m *Manager) SignOff() error {
 	}
 
 	// 5. Say goodbye.
-	m.cm.AnnounceSignOff()
+	m.goodbye()
 	m.io.CloseAll()
 	return nil
+}
+
+// goodbye announces the departure: a Left tombstone pushed to a gossip
+// fanout's worth of peers when the epidemic layer is wired (it carries
+// the sign-off from there in O(log N) rounds), a roster-wide
+// SignOffNotice broadcast in legacy mode.
+func (m *Manager) goodbye() {
+	if m.gsp != nil {
+		m.gsp.Leave()
+		return
+	}
+	m.cm.AnnounceSignOff()
+}
+
+// Successor returns the site SignOff picked to inherit local state
+// (InvalidSite before sign-off, or when this was the last site).
+func (m *Manager) Successor() types.SiteID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.successor
 }
 
 // HandleMessage implements msgbus.Handler. The site manager answers
@@ -292,6 +335,7 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 
 // QueryStatus fetches a remote site's status snapshot.
 func (m *Manager) QueryStatus(site types.SiteID) (*wire.StatusReply, error) {
+	m.introduce(site)
 	reply, err := m.bus.Request(site, types.MgrSite, types.MgrSite,
 		&wire.StatusQuery{}, 3*time.Second)
 	if err != nil {
@@ -304,9 +348,21 @@ func (m *Manager) QueryStatus(site types.SiteID) (*wire.StatusReply, error) {
 	return sr, nil
 }
 
+// introduce pushes this site's own gossip row to the peer ahead of a
+// request on the same FIFO connection: a fresh joiner can query the
+// whole cluster immediately, before the epidemic has spread its row —
+// without the introduction, a peer that never heard of this site could
+// not route the reply and the request would time out.
+func (m *Manager) introduce(site types.SiteID) {
+	if m.gsp != nil {
+		m.gsp.Introduce(site)
+	}
+}
+
 // QueryMetrics fetches a remote site's metrics snapshot. Querying the
 // local site works too (the bus loops it back).
 func (m *Manager) QueryMetrics(site types.SiteID) (*wire.MetricsReply, error) {
+	m.introduce(site)
 	reply, err := m.bus.Request(site, types.MgrSite, types.MgrSite,
 		&wire.MetricsQuery{}, 3*time.Second)
 	if err != nil {

@@ -143,6 +143,7 @@ const (
 	MgrNetwork              // network manager (communication layer)
 	MgrCheckpoint           // crash management / checkpointing ([4])
 	MgrAccounting           // accounting (paper §2.2/§6 commercial use)
+	MgrGossip               // epidemic membership & load dissemination
 
 	managerCount
 )
@@ -165,6 +166,7 @@ var managerNames = [...]string{
 	MgrNetwork:    "network",
 	MgrCheckpoint: "checkpoint",
 	MgrAccounting: "accounting",
+	MgrGossip:     "gossip",
 }
 
 func (m ManagerID) String() string {

@@ -68,6 +68,10 @@ func malformedSeeds() map[string][]byte {
 		append(make([]byte, 16), le32(0x0FFFFFF0)...))
 	// MetricsReply: sample count 2^28 × 12-byte samples ≈ 3 GiB.
 	seeds["metricsreply-huge-count"] = rawMsg(uint16(KindMetricsReply), le32(0x0FFFFFFF))
+	// GossipDigest: From 4 + Round 4, then an entry count of 2^28
+	// 29-byte rows ≈ 7.8 GiB with no bytes behind it.
+	seeds["gossipdigest-huge-count"] = rawMsg(uint16(KindGossipDigest),
+		append(make([]byte, 8), le32(0x0FFFFFFF)...))
 	seeds["empty"] = []byte{}
 	seeds["truncated-header"] = []byte{1, 2, 3, 4, 5}
 	seeds["unknown-kind"] = rawMsg(0xFFFF, nil)

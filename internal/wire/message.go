@@ -95,6 +95,13 @@ const (
 	// drop travel in one round-trip instead of one per address.
 	KindMemInvalidateBatch
 
+	// Epidemic membership & load dissemination (internal/gossip): a
+	// bounded digest of the sender's membership view pushed to a few
+	// random peers per tick, and the anti-entropy delta a receiver
+	// answers with when it knows fresher rows.
+	KindGossipDigest
+	KindGossipDelta
+
 	kindCount
 )
 
@@ -151,6 +158,8 @@ var kindNames = map[Kind]string{
 	KindMetricsQuery:       "metrics-query",
 	KindMetricsReply:       "metrics-reply",
 	KindMemInvalidateBatch: "mem-invalidate-batch",
+	KindGossipDigest:       "gossip-digest",
+	KindGossipDelta:        "gossip-delta",
 }
 
 func (k Kind) String() string {

@@ -27,7 +27,7 @@ func samplePayloads() []Payload {
 
 	return []Payload{
 		&SignOnRequest{PhysAddr: "10.1.2.3:9999", Platform: 5, Speed: 2.5},
-		&SignOnReply{Assigned: 9, Cluster: sites},
+		&SignOnReply{Assigned: 9, Gossip: true, Cluster: sites},
 		&SiteAnnounce{Sites: sites},
 		&SignOffNotice{Leaving: 4},
 		&LoadReport{Site: 2, Load: 0.75, QueueLen: 10, Programs: 2},
@@ -92,6 +92,15 @@ func samplePayloads() []Payload {
 			{Name: "sched.dispatch_latency.sum_ns", Value: 345678},
 		}},
 		&MetricsReply{},
+		&GossipDigest{From: 3, Round: 17, Entries: []GossipEntry{
+			{Site: 1, Incarnation: 2, Status: 0, OriginRound: 16, Load: 0.25, QueueLen: 4, Programs: 1},
+			{Site: 4, Incarnation: 1, Status: 2, OriginRound: 9},
+		}, Sites: sites},
+		&GossipDigest{From: 5, Round: 1},
+		&GossipDelta{From: 2, Entries: []GossipEntry{
+			{Site: 6, Incarnation: 7, Status: 1, OriginRound: 30, Load: 0.9, QueueLen: 12, Programs: 2},
+		}, Sites: sites[:1]},
+		&GossipDelta{From: 9},
 	}
 }
 

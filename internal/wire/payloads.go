@@ -83,9 +83,13 @@ func (p *SignOnRequest) UnmarshalWire(r *Reader) {
 }
 
 // SignOnReply assigns the new site its unique logical id and a snapshot of
-// the current cluster composition.
+// the current cluster composition. Gossip reports the cluster's
+// dissemination mode: membership is a cluster-wide property, so the
+// joiner adopts whatever the contact reports instead of trusting its own
+// configuration.
 type SignOnReply struct {
 	Assigned types.SiteID
+	Gossip   bool
 	Cluster  []types.SiteInfo
 }
 
@@ -93,6 +97,7 @@ func (*SignOnReply) Kind() Kind { return KindSignOnReply }
 
 func (p *SignOnReply) MarshalWire(w *Writer) {
 	w.SiteID(p.Assigned)
+	w.Bool(p.Gossip)
 	w.Uint32(uint32(len(p.Cluster)))
 	for i := range p.Cluster {
 		marshalSiteInfo(w, &p.Cluster[i])
@@ -101,6 +106,7 @@ func (p *SignOnReply) MarshalWire(w *Writer) {
 
 func (p *SignOnReply) UnmarshalWire(r *Reader) {
 	p.Assigned = r.SiteID()
+	p.Gossip = r.Bool()
 	n := r.SliceLen(siteInfoWireSize, "cluster list")
 	p.Cluster = grow(p.Cluster, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
@@ -944,6 +950,137 @@ func init() {
 	register(KindInputReply, func() Payload { return &InputReply{} })
 	register(KindMemInvalidate, func() Payload { return &MemInvalidate{} })
 	register(KindMemInvalidateBatch, func() Payload { return &MemInvalidateBatch{} })
+	register(KindGossipDigest, func() Payload { return &GossipDigest{} })
+	register(KindGossipDelta, func() Payload { return &GossipDelta{} })
+}
+
+// ---------------------------------------------------------------------------
+// Gossip payloads (internal/gossip): epidemic membership & load
+// dissemination. The digest/delta pair replaces the broadcast
+// LoadReport/SignOffNotice paths on large clusters — every send is
+// O(fanout), never O(cluster).
+
+// GossipEntry is one row of a site's membership view: who the row is
+// about, how alive the sender believes it is, and the load vector the
+// scheduler's power-of-two-choices targeting samples from. Incarnation
+// numbers implement SWIM-style refutation: only the subject site may
+// bump its own incarnation, so a higher incarnation always wins a merge
+// and a falsely suspected site can overrule its accusers.
+type GossipEntry struct {
+	Site        types.SiteID
+	Incarnation uint32
+	Status      uint8   // gossip.Status: alive / suspect / dead / left
+	OriginRound uint32  // subject's own round counter when it refreshed the row
+	Load        float64 // load vector: cpu load ...
+	QueueLen    int32   // ... executable queue depth ...
+	Programs    int32   // ... and resident program count
+}
+
+// gossipEntryWireSize is the encoded size of one GossipEntry:
+// Site (4) + Incarnation (4) + Status (1) + OriginRound (4) +
+// Load (8) + QueueLen (4) + Programs (4).
+const gossipEntryWireSize = 4 + 4 + 1 + 4 + 8 + 4 + 4
+
+func marshalGossipEntry(w *Writer, e *GossipEntry) {
+	w.SiteID(e.Site)
+	w.Uint32(e.Incarnation)
+	w.Uint8(e.Status)
+	w.Uint32(e.OriginRound)
+	w.Float64(e.Load)
+	w.Int32(e.QueueLen)
+	w.Int32(e.Programs)
+}
+
+func unmarshalGossipEntry(r *Reader) GossipEntry {
+	return GossipEntry{
+		Site:        r.SiteID(),
+		Incarnation: r.Uint32(),
+		Status:      r.Uint8(),
+		OriginRound: r.Uint32(),
+		Load:        r.Float64(),
+		QueueLen:    r.Int32(),
+		Programs:    r.Int32(),
+	}
+}
+
+// GossipDigest is one anti-entropy push: a bounded window of the
+// sender's membership view (its own row, recently changed rows, and a
+// rotating slice of the rest). Sites carries full cluster-list entries
+// for the non-tombstone rows, so a receiver that learns a site from a
+// digest can immediately route to it — no separate introduction round.
+type GossipDigest struct {
+	From    types.SiteID
+	Round   uint32 // sender's local round counter (diagnostic)
+	Entries []GossipEntry
+	Sites   []types.SiteInfo
+}
+
+func (*GossipDigest) Kind() Kind { return KindGossipDigest }
+
+func (p *GossipDigest) MarshalWire(w *Writer) {
+	w.SiteID(p.From)
+	w.Uint32(p.Round)
+	w.Uint32(uint32(len(p.Entries)))
+	for i := range p.Entries {
+		marshalGossipEntry(w, &p.Entries[i])
+	}
+	w.Uint32(uint32(len(p.Sites)))
+	for i := range p.Sites {
+		marshalSiteInfo(w, &p.Sites[i])
+	}
+}
+
+func (p *GossipDigest) UnmarshalWire(r *Reader) {
+	p.From = r.SiteID()
+	p.Round = r.Uint32()
+	n := r.SliceLen(gossipEntryWireSize, "gossip entries")
+	p.Entries = grow(p.Entries, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p.Entries[i] = unmarshalGossipEntry(r)
+	}
+	n = r.SliceLen(siteInfoWireSize, "gossip sites")
+	p.Sites = grow(p.Sites, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p.Sites[i] = unmarshalSiteInfo(r)
+	}
+}
+
+// GossipDelta is the anti-entropy reply: the rows of an incoming digest
+// the receiver knows strictly fresher state for, sent back so the
+// staler side converges in one exchange instead of waiting for the
+// epidemic to wash back. Deltas are never answered (no ping-pong).
+type GossipDelta struct {
+	From    types.SiteID
+	Entries []GossipEntry
+	Sites   []types.SiteInfo
+}
+
+func (*GossipDelta) Kind() Kind { return KindGossipDelta }
+
+func (p *GossipDelta) MarshalWire(w *Writer) {
+	w.SiteID(p.From)
+	w.Uint32(uint32(len(p.Entries)))
+	for i := range p.Entries {
+		marshalGossipEntry(w, &p.Entries[i])
+	}
+	w.Uint32(uint32(len(p.Sites)))
+	for i := range p.Sites {
+		marshalSiteInfo(w, &p.Sites[i])
+	}
+}
+
+func (p *GossipDelta) UnmarshalWire(r *Reader) {
+	p.From = r.SiteID()
+	n := r.SliceLen(gossipEntryWireSize, "gossip entries")
+	p.Entries = grow(p.Entries, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p.Entries[i] = unmarshalGossipEntry(r)
+	}
+	n = r.SliceLen(siteInfoWireSize, "gossip sites")
+	p.Sites = grow(p.Sites, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p.Sites[i] = unmarshalSiteInfo(r)
+	}
 }
 
 // Usage is one site's resource account for one program.
