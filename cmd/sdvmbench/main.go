@@ -18,6 +18,7 @@
 //	sdvmbench -exp memstress         # P-1 sharded attraction-memory throughput
 //	sdvmbench -exp helpstorm         # P-2 batched help grants + coalescing
 //	sdvmbench -exp scalestorm        # P-4 gossip membership at 64–256 sites
+//	sdvmbench -exp memread           # P-5 read replicas on a read-hot working set
 //	sdvmbench -exp all               # everything
 //
 // -exp also accepts a comma-separated list; the BENCH_2.json trajectory
@@ -40,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment(s), comma-separated: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|memstress|helpstorm|scalestorm|all")
+		exp     = flag.String("exp", "all", "experiment(s), comma-separated: table1|overhead|churn|crash|hetero|sched|window|security|idalloc|replication|pinning|scale|speeds|central|memstress|helpstorm|scalestorm|memread|all")
 		full    = flag.Bool("full", false, "table1: run every published row (p up to 1000); slow")
 		scale   = flag.Int("scale", 1000, "wall-clock microseconds per Work unit")
 		cost    = flag.Float64("cost", 2.0, "Work units per prime-candidate test")
@@ -199,6 +200,15 @@ func main() {
 				s = nil
 			}
 			return expHelpStorm(spec, *cost, s)
+		})
+	}
+	if all || want["memread"] {
+		any = true
+		run("memread", "P-5 — read replicas + write-invalidate on a read-hot working set", func(s *bench.Summary) error {
+			if report == nil {
+				s = nil
+			}
+			return expMemRead(spec, s)
 		})
 	}
 	if !any {
@@ -486,6 +496,35 @@ func expScaleStorm(sum *bench.Summary) error {
 	}
 	if sum != nil {
 		sum.Values["converged"] = converged
+	}
+	return nil
+}
+
+func expMemRead(spec bench.Spec, sum *bench.Summary) error {
+	res, err := bench.MemRead(spec, 2, 32, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    replication on: %.0f reads/s (%d replica hits, %d remote fetches)\n",
+		res.OpsWith, res.ReplicaHits, res.RemoteWith)
+	fmt.Printf("    replication off: %.0f reads/s (%d remote fetches)   owner writes during run: %d\n",
+		res.OpsWithout, res.RemoteWithout, res.Writes)
+	fmt.Printf("    effective: %v (hits observed and strictly fewer cross-site fetches)\n", res.Effective)
+	if sum != nil {
+		effective := 0.0
+		if res.Effective {
+			effective = 1
+		}
+		sum.Values = map[string]float64{
+			"ops_per_sec_with":    res.OpsWith,
+			"ops_per_sec_without": res.OpsWithout,
+			"replica_hits":        float64(res.ReplicaHits),
+			"remote_with":         float64(res.RemoteWith),
+			"remote_without":      float64(res.RemoteWithout),
+			"owner_writes":        float64(res.Writes),
+			"effective":           effective,
+		}
+		sum.Metrics = res.Metrics
 	}
 	return nil
 }

@@ -242,3 +242,132 @@ func scaleStormOne(n int, workUnit time.Duration) (ScaleStormPoint, error) {
 	pt.Converged = true
 	return pt, nil
 }
+
+// MemReadResult is the P-5 read-replica measurement: the same cluster
+// and read-hot access pattern, with the replica protocol on and off.
+type MemReadResult struct {
+	OpsWith       float64 // reads/sec, replication on
+	OpsWithout    float64 // reads/sec, replication off
+	ReplicaHits   uint64  // replication on: reads served from a local replica
+	RemoteWith    uint64  // replication on: reads that crossed the network
+	RemoteWithout uint64  // replication off: ditto (≈ every read)
+	Writes        uint64  // background owner writes per run (invalidation traffic)
+	Effective     bool    // hits observed AND strictly fewer remote fetches
+
+	// Metrics is the replication-on run's cluster-wide counter totals,
+	// so the trajectory report carries mem.replica.hits and
+	// mem.replica.invalidations next to the derived numbers.
+	Metrics map[string]int64
+}
+
+// MemRead measures what the read-replica protocol buys on a read-hot
+// working set: `readers` goroutines on every non-owner site sweep the
+// owner's objects `rounds` times while the owner keeps writing in the
+// background (so invalidations are part of the measurement, not assumed
+// away). With replication off every read is a cross-site round-trip;
+// with it on, all but the first fault-in per (site, object) — and the
+// re-faults after each invalidation — are served locally.
+func MemRead(spec Spec, readers, objects, rounds int) (MemReadResult, error) {
+	if spec.Link.Latency == 0 {
+		spec.Link.Latency = 200 * time.Microsecond
+	}
+	run := func(disable bool) (ops float64, hits, remote, writes uint64, totals map[string]int64, err error) {
+		s := spec
+		s.Sites = 4
+		s.Metrics = true
+		s.NoReadReplication = disable
+		c, err := NewCluster(s)
+		if err != nil {
+			return 0, 0, 0, 0, nil, err
+		}
+		defer c.Close()
+
+		own := c.Daemons[0].Mem
+		pid := types.MakeProgramID(1, 1)
+		addrs := make([]types.GlobalAddr, objects)
+		for i := range addrs {
+			addrs[i] = own.Alloc(pid, make([]byte, 64))
+		}
+
+		// Background writer: steady owner-side stores, so the run prices
+		// in invalidation rounds and replica re-faults.
+		stop := make(chan struct{})
+		var writerDone sync.WaitGroup
+		writerDone.Add(1)
+		var wrote uint64
+		go func() {
+			defer writerDone.Done()
+			buf := make([]byte, 64)
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if own.Write(addrs[i%len(addrs)], 0, buf) == nil {
+						wrote++
+					}
+				}
+			}
+		}()
+
+		var (
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+		)
+		fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+		start := time.Now()
+		for site := 1; site < s.Sites; site++ {
+			mem := c.Daemons[site].Mem
+			for w := 0; w < readers; w++ {
+				wg.Add(1)
+				go func(site, w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						for _, a := range addrs {
+							if _, err := mem.Read(a); err != nil {
+								fail(fmt.Errorf("site %d reader %d: %w", site, w, err))
+								return
+							}
+						}
+					}
+				}(site, w)
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(stop)
+		writerDone.Wait()
+		if firstErr != nil {
+			return 0, 0, 0, 0, nil, firstErr
+		}
+		for _, d := range c.Daemons {
+			st := d.Mem.Stats()
+			hits += st.ReplicaHits
+			remote += st.RemoteReads
+		}
+		reads := float64((s.Sites - 1) * readers * objects * rounds)
+		return reads / elapsed.Seconds(), hits, remote, wrote, c.MetricsTotals(), nil
+	}
+
+	opsWith, hits, remoteWith, writes, totals, err := run(false)
+	if err != nil {
+		return MemReadResult{}, err
+	}
+	opsWithout, _, remoteWithout, _, _, err := run(true)
+	if err != nil {
+		return MemReadResult{}, err
+	}
+	return MemReadResult{
+		OpsWith:       opsWith,
+		OpsWithout:    opsWithout,
+		ReplicaHits:   hits,
+		RemoteWith:    remoteWith,
+		RemoteWithout: remoteWithout,
+		Writes:        writes,
+		Effective:     hits > 0 && remoteWith < remoteWithout,
+		Metrics:       totals,
+	}, nil
+}

@@ -307,6 +307,12 @@ func New(cfg Config) *Daemon {
 	// submitter-side restart watchdog for locally submitted programs.
 	d.CM.OnLeave(func(id types.SiteID, crashed bool) {
 		if !crashed {
+			// Graceful sign-off still severs coherence ties: replicas the
+			// leaver served move with evacuation, not with the leaver's
+			// identity, and its copyset entries would stall future
+			// writes' invalidation round-trips. (OnSiteCrashed does the
+			// same purge itself on the crash path.)
+			d.Mem.DropSiteReplicas(id)
 			return
 		}
 		go d.Mem.OnSiteCrashed(id, func(p types.ProgramID) bool {

@@ -198,6 +198,30 @@ func Scenarios() []Scenario {
 			Deadline: 40 * time.Second,
 		},
 		{
+			Name: "replica-storm",
+			Desc: "replica holders are cut off from the home mid-write-burst, declared crashed and replaced — twice; writes must wait out the invalidation deadline and the crash path must reclaim every replica and copyset entry",
+			// Each squall isolates one helper past the crash threshold
+			// (HeartbeatEvery × MissLimit ≈ 600 ms) while the dataflow is
+			// writing hard: the home's invalidations to the lost site go
+			// unacked (the 500 ms best-effort deadline is exercised, not
+			// just configured), and the crash declaration must purge its
+			// replicas, copyset entries and heat counters before the
+			// replacement joins.
+			Sites: 4, Primes: 50, Width: 8, Cost: 10,
+			Checkpoint: true,
+			Steps: []Step{
+				{At: ms(150), Kind: StepPartition, Groups: [][]int{{0, 1, 2}, {3}}},
+				{At: ms(900), Kind: StepCrash, Site: 3},
+				{At: ms(1000), Kind: StepHeal},
+				{At: ms(1400), Kind: StepRejoin, Site: 3},
+				{At: ms(1900), Kind: StepPartition, Groups: [][]int{{0, 1, 3}, {2}}},
+				{At: ms(2650), Kind: StepCrash, Site: 2},
+				{At: ms(2750), Kind: StepHeal},
+				{At: ms(3150), Kind: StepRejoin, Site: 2},
+			},
+			Deadline: 45 * time.Second,
+		},
+		{
 			Name:  "churn-storm",
 			Desc:  "leaves, crashes, stalls and rejoins overlap at gossip scale — the paper's adaptive-cluster claim under concurrent churn",
 			Sites: 64, Primes: 60, Width: 8, Cost: 20,

@@ -82,19 +82,25 @@ type memShard struct {
 	// guarded by mu
 	remap map[types.GlobalAddr]types.SiteID
 
-	// readCache holds validated read copies of remote objects
+	// readCache holds validated read replicas of remote objects
 	// (COMA read replication, paper §4: objects "migrate or even be
 	// copied to other sites"). Coherence is write-invalidate: the owner
 	// tracks a copyset per object and sends invalidations when the
-	// object changes or migrates. guarded by mu
-	readCache map[types.GlobalAddr][]byte
-	// copies is the owner-side copyset: sites holding read copies of a
+	// object changes or migrates. Each entry remembers the version it
+	// mirrors and the site that served it, so replicas sourced from a
+	// departed site can be purged. guarded by mu
+	readCache map[types.GlobalAddr]replica
+	// copies is the owner-side copyset: sites holding read replicas of a
 	// locally owned object. guarded by mu
 	copies map[types.GlobalAddr]map[types.SiteID]bool
 	// fetching single-flights remote reads: concurrent readers of one
 	// address share a single fetch instead of a thundering herd.
 	// guarded by mu
-	fetching map[types.GlobalAddr]chan struct{}
+	fetching map[types.GlobalAddr]*fetchState
+	// heat is the owner-side decayed per-writer access count for each
+	// locally owned object — the signal that migrates the home toward
+	// its hottest writer (noteWriteLocked). guarded by mu
+	heat map[types.GlobalAddr]map[types.SiteID]uint32
 
 	// consumed records frames that already fired, distinguishing the
 	// programming error "parameter for a consumed frame" from routing
@@ -117,11 +123,44 @@ func (s *memShard) init() {
 	s.frames = make(map[types.FrameID]*wire.Microframe)
 	s.frameOwner = make(map[types.FrameID]types.SiteID)
 	s.remap = make(map[types.GlobalAddr]types.SiteID)
-	s.readCache = make(map[types.GlobalAddr][]byte)
+	s.readCache = make(map[types.GlobalAddr]replica)
 	s.copies = make(map[types.GlobalAddr]map[types.SiteID]bool)
-	s.fetching = make(map[types.GlobalAddr]chan struct{})
+	s.fetching = make(map[types.GlobalAddr]*fetchState)
+	s.heat = make(map[types.GlobalAddr]map[types.SiteID]uint32)
 	s.consumed = make(map[types.FrameID]bool)
 	s.pendingRetries = make(map[wire.Target]int)
+}
+
+// replica is one cached read copy of a remote object.
+type replica struct {
+	data    []byte
+	version uint64       // object version the bytes correspond to
+	from    types.SiteID // owner that served the copy
+}
+
+// fetchState is the single-flight marker for one in-progress remote
+// read. An invalidation arriving while the fetch is in flight poisons
+// it: the owner has already removed this site from the copyset (the
+// request that registered it raced the write), so installing the
+// fetched bytes would create a replica no future write can invalidate.
+// poisoned is guarded by the shard mutex.
+type fetchState struct {
+	done     chan struct{}
+	poisoned bool
+}
+
+// purgeReplicaLocked removes any local replica of addr and poisons an
+// in-flight fetch so a racing install cannot resurrect stale bytes.
+// Caller holds s.mu. Reports whether a cached replica was dropped.
+func (s *memShard) purgeReplicaLocked(addr types.GlobalAddr) bool {
+	if st, ok := s.fetching[addr]; ok {
+		st.poisoned = true
+	}
+	_, had := s.readCache[addr]
+	if had {
+		delete(s.readCache, addr)
+	}
+	return had
 }
 
 // Manager is one site's attraction memory.
@@ -215,6 +254,9 @@ type counters struct {
 	invalidates     atomic.Uint64
 	invalidateAcks  atomic.Uint64
 	shardContention atomic.Uint64
+	replicaHits     atomic.Uint64
+	replicaInvals   atomic.Uint64
+	homeMigrations  atomic.Uint64
 }
 
 // memMetrics bundles the attraction memory's instruments; every field is
@@ -233,6 +275,9 @@ type memMetrics struct {
 	invalidateAcks  *metrics.Counter
 	invalidateRTT   *metrics.Histogram
 	shardContention *metrics.Counter
+	replicaHits     *metrics.Counter
+	replicaInvals   *metrics.Counter
+	homeMigrations  *metrics.Counter
 }
 
 // SetMetrics installs the instruments. Called once at daemon construction;
@@ -255,6 +300,9 @@ func (m *Manager) SetMetrics(reg *metrics.Registry) {
 		invalidateAcks:  reg.Counter("mem.invalidate_acks"),
 		invalidateRTT:   reg.Histogram("mem.invalidate_rtt", nil),
 		shardContention: reg.Counter("mem.shard.contention"),
+		replicaHits:     reg.Counter("mem.replica.hits"),
+		replicaInvals:   reg.Counter("mem.replica.invalidations"),
+		homeMigrations:  reg.Counter("mem.home.migrations"),
 	}
 	reg.GaugeFunc("mem.objects", func() int64 { return int64(m.ObjectCount()) })
 	reg.GaugeFunc("mem.frames_waiting", func() int64 { return int64(m.FrameCount()) })
@@ -280,6 +328,9 @@ type Stats struct {
 	Invalidates     uint64 // replicas dropped after a remote write
 	InvalidateAcks  uint64 // invalidation round-trips confirmed by a Barrier reply
 	ShardContention uint64 // shard-lock acquisitions that had to wait
+	ReplicaHits     uint64 // reads served from a versioned read replica
+	ReplicaInvals   uint64 // replica entries purged by invalidation or site departure
+	HomeMigrations  uint64 // heat-triggered ownership pushes toward a dominant writer
 }
 
 // New returns an attraction memory bound to bus, delivering executable
@@ -347,7 +398,7 @@ func (m *Manager) SetReadReplication(enabled bool) {
 		for i := range m.shards {
 			s := &m.shards[i]
 			m.lockShard(s)
-			s.readCache = make(map[types.GlobalAddr][]byte)
+			s.readCache = make(map[types.GlobalAddr]replica)
 			s.mu.Unlock()
 		}
 	}
@@ -376,6 +427,9 @@ func (m *Manager) Stats() Stats {
 		Invalidates:     m.counts.invalidates.Load(),
 		InvalidateAcks:  m.counts.invalidateAcks.Load(),
 		ShardContention: m.counts.shardContention.Load(),
+		ReplicaHits:     m.counts.replicaHits.Load(),
+		ReplicaInvals:   m.counts.replicaInvals.Load(),
+		HomeMigrations:  m.counts.homeMigrations.Load(),
 	}
 }
 
@@ -535,6 +589,12 @@ func (m *Manager) ReclaimGrants(grantee types.SiteID, ids []types.FrameID) []*wi
 // and every logged parameter of still-running programs is resent (stale
 // copies are dropped at the receivers).
 func (m *Manager) OnSiteCrashed(dead types.SiteID, running func(types.ProgramID) bool) {
+	// First sever coherence state: replicas the dead site served may
+	// predate whatever checkpoint recovery restores, and its copyset
+	// entries would make every future write wait out the invalidation
+	// deadline for an ack that never comes.
+	m.DropSiteReplicas(dead)
+
 	m.logMu.Lock()
 	granted := m.grantLog[dead]
 	delete(m.grantLog, dead)
@@ -639,39 +699,111 @@ func (m *Manager) Read(addr types.GlobalAddr) ([]byte, error) {
 			m.met.localReads.Inc()
 			return data, nil
 		}
-		if data, ok := s.readCache[addr]; ok {
-			out := append([]byte(nil), data...)
+		if rep, ok := s.readCache[addr]; ok {
+			out := append([]byte(nil), rep.data...)
 			s.mu.Unlock()
 			m.counts.cacheHits.Add(1)
 			m.met.cacheHits.Inc()
+			m.counts.replicaHits.Add(1)
+			m.met.replicaHits.Inc()
 			return out, nil
 		}
-		if wait, inflight := s.fetching[addr]; inflight && m.cacheEnabled.Load() {
+		if st, inflight := s.fetching[addr]; inflight && m.cacheEnabled.Load() {
 			// Another microthread is already fetching this object;
 			// share its result instead of stampeding the owner.
 			s.mu.Unlock()
-			<-wait
+			<-st.done
 			continue
 		}
-		done := make(chan struct{})
-		s.fetching[addr] = done
+		st := &fetchState{done: make(chan struct{})}
+		s.fetching[addr] = st
 		s.mu.Unlock()
 		m.counts.remoteReads.Add(1)
 		m.met.remoteReads.Inc()
 
-		o, err := m.fetch(addr, false)
+		if !m.cacheEnabled.Load() {
+			// Replication ablated (A-6): plain uncached owner read.
+			o, err := m.fetch(addr, false)
+			m.lockShard(s)
+			delete(s.fetching, addr)
+			close(st.done)
+			s.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return o.Data, nil
+		}
+		rep, err := m.fetchReplica(addr)
 		m.lockShard(s)
-		if err == nil && m.cacheEnabled.Load() {
-			s.readCache[addr] = append([]byte(nil), o.Data...)
+		if err == nil && m.cacheEnabled.Load() && !st.poisoned {
+			s.readCache[addr] = rep
 		}
 		delete(s.fetching, addr)
-		close(done)
+		close(st.done)
 		s.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
-		return o.Data, nil
+		// The cached slice must not alias the caller's view.
+		return append([]byte(nil), rep.data...), nil
 	}
+}
+
+// fetchReplica retrieves a versioned read replica of addr from its
+// current owner, following redirects with the same retry pacing as
+// fetch. The owner registers this site in the object's copyset before
+// answering, so the installed replica is covered by write-invalidation
+// from the moment it exists.
+func (m *Manager) fetchReplica(addr types.GlobalAddr) (replica, error) {
+	var lastErr error
+	for round := 0; round < 5; round++ {
+		rep, retry, err := m.fetchReplicaOnce(addr)
+		if err == nil {
+			return rep, nil
+		}
+		if !retry {
+			return replica{}, err
+		}
+		lastErr = err
+		m.met.fetchRetries.Inc()
+		if !m.pause(m.retryDelay(round)) {
+			break // shutting down: stop chasing the directory
+		}
+	}
+	return replica{}, lastErr
+}
+
+// fetchReplicaOnce runs one redirect chase of the replica protocol.
+// retry reports whether the failure is plausibly transient.
+func (m *Manager) fetchReplicaOnce(addr types.GlobalAddr) (rep replica, retry bool, err error) {
+	s := m.shardFor(addr)
+	m.lockShard(s)
+	dst := m.routeObjectLocked(s, addr)
+	s.mu.Unlock()
+	if dst == types.InvalidSite {
+		return replica{}, false, &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+	}
+
+	for hop := 0; hop < maxRedirects; hop++ {
+		reply, err := m.bus.Request(dst, types.MgrMemory, types.MgrMemory,
+			&wire.MemReadReplica{Addr: addr}, 0)
+		if err != nil {
+			return replica{}, true, err
+		}
+		rd, ok := reply.Payload.(*wire.MemReplicaData)
+		if !ok {
+			return replica{}, false, fmt.Errorf("%w: mem replica reply %T", types.ErrBadMessage, reply.Payload)
+		}
+		switch {
+		case rd.Found && rd.Redirect == types.InvalidSite:
+			return replica{data: rd.Data, version: rd.Version, from: dst}, false, nil
+		case rd.Redirect != types.InvalidSite && rd.Redirect != dst:
+			dst = rd.Redirect
+		default:
+			return replica{}, true, &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+		}
+	}
+	return replica{}, true, fmt.Errorf("memory: replica read %v: redirect chain too long", addr)
 }
 
 // Attract migrates the object to this site (ownership transfer) and
@@ -694,8 +826,12 @@ func (m *Manager) Attract(addr types.GlobalAddr) ([]byte, error) {
 	m.lockShard(s)
 	s.objects[addr] = o
 	// The resident object supersedes any replica we held; a stale one
-	// left here would resurface once the object migrates away again.
-	delete(s.readCache, addr)
+	// left here (or installed by a racing fetch) would resurface once
+	// the object migrates away again.
+	s.purgeReplicaLocked(addr)
+	// Snapshot while still holding the lock: the moment the object is
+	// installed, a concurrent local Write may mutate its backing array.
+	data := append([]byte(nil), o.Data...)
 	s.mu.Unlock()
 	m.counts.migrations.Add(1)
 	m.met.migrations.Inc()
@@ -706,7 +842,7 @@ func (m *Manager) Attract(addr types.GlobalAddr) ([]byte, error) {
 		_ = m.bus.Send(addr.Home, types.MgrMemory, types.MgrMemory,
 			&wire.HomeUpdate{Addr: addr, Owner: self})
 	}
-	return append([]byte(nil), o.Data...), nil
+	return data, nil
 }
 
 // fetch resolves addr through the homesite directory and retrieves the
@@ -883,53 +1019,186 @@ func (m *Manager) routeObjectLocked(s *memShard, addr types.GlobalAddr) types.Si
 	return types.InvalidSite
 }
 
+// Heat-based home migration (attraction memory v2): each owner keeps a
+// decayed per-writer access count per resident object. Once a remote
+// writer's share of the recent write window dominates everyone else
+// combined, the object is pushed to that writer so its writes become
+// local — observed access heat drives placement instead of static
+// ownership.
+const (
+	// heatWindow bounds the per-object counter total; reaching it halves
+	// every counter, so old traffic fades geometrically. The decay is
+	// op-count based, not wall-clock, so seeded runs stay reproducible.
+	heatWindow = 64
+	// heatMigrateMin is the decayed count a remote writer needs before a
+	// push is even considered; below it the signal is noise.
+	heatMigrateMin = 8
+	// heatDominance: a remote writer must exceed this multiple of all
+	// other writers combined (including the owner) to attract the home.
+	heatDominance = 2
+)
+
+// noteWriteLocked records one write to addr by writer in the shard-local
+// heat table and returns the site the object should migrate to, or
+// InvalidSite. Caller holds s.mu; the caller triggers the actual
+// migration after releasing the lock and invalidating replicas.
+func (m *Manager) noteWriteLocked(s *memShard, addr types.GlobalAddr, writer types.SiteID) types.SiteID {
+	if !writer.Valid() {
+		return types.InvalidSite
+	}
+	h := s.heat[addr]
+	if h == nil {
+		h = make(map[types.SiteID]uint32)
+		s.heat[addr] = h
+	}
+	h[writer]++
+	var total uint32
+	for _, c := range h {
+		total += c
+	}
+	if total >= heatWindow {
+		total = 0
+		for id, c := range h {
+			c /= 2
+			if c == 0 {
+				delete(h, id)
+				continue
+			}
+			h[id] = c
+			total += c
+		}
+	}
+	if writer == m.bus.Self() {
+		return types.InvalidSite
+	}
+	c := h[writer]
+	if c < heatMigrateMin || c <= heatDominance*(total-c) {
+		return types.InvalidSite
+	}
+	return writer
+}
+
+// migrateHome pushes a locally owned object to its dominant writer (the
+// decision made in noteWriteLocked), invalidating every outstanding
+// replica — ownership moved, so the new owner starts a fresh copyset —
+// and shipping the decayed heat table along so the new owner's
+// migration judgement does not restart cold. Runs off the dispatcher.
+func (m *Manager) migrateHome(addr types.GlobalAddr, dst types.SiteID) {
+	self := m.bus.Self()
+	if dst == self || !dst.Valid() {
+		return
+	}
+	s := m.shardFor(addr)
+	m.lockShard(s)
+	o, ok := s.objects[addr]
+	if !ok {
+		s.mu.Unlock()
+		return // already migrated or dropped; the heat signal was stale
+	}
+	obj := *o.Clone()
+	delete(s.objects, addr)
+	if addr.Home == self {
+		s.objOwner[addr] = dst
+	} else {
+		// Transit hint, exactly like the Attract path: until the home
+		// directory catches up, traffic arriving here is forwarded.
+		s.remap[addr] = dst
+	}
+	inv := getInvalidation()
+	inv.add(addr, m.takeCopysetLocked(s, inv, addr, dst))
+	ht := &wire.MemHeatTransfer{Addr: addr}
+	for id, c := range s.heat[addr] {
+		ht.Sites = append(ht.Sites, id)
+		ht.Heats = append(ht.Heats, c)
+	}
+	delete(s.heat, addr)
+	s.mu.Unlock()
+
+	m.counts.migrations.Add(1)
+	m.met.migrations.Inc()
+	m.counts.homeMigrations.Add(1)
+	m.met.homeMigrations.Inc()
+	// Invalidate before the object lands at dst: a replica holder must
+	// never observe the new owner's writes while still caching ours.
+	m.sendInvalidates(inv)
+	_ = m.bus.Send(dst, types.MgrMemory, types.MgrMemory,
+		&wire.MemMigrate{Objects: []wire.MemObject{obj}})
+	_ = m.bus.Send(dst, types.MgrMemory, types.MgrMemory, ht)
+}
+
 // Write stores data at offset within the object, extending it if needed.
-// Non-resident objects are written in place at their owner.
+// Non-resident objects are written in place at their owner. Like fetch,
+// an exhausted redirect chain is retried after a pause rather than
+// failed outright: ownership can be mid-flight between two sites (an
+// Attract or heat push in progress), during which home and new owner
+// briefly redirect to each other.
 func (m *Manager) Write(addr types.GlobalAddr, offset int, data []byte) error {
+	var lastErr error
+	for round := 0; round < 5; round++ {
+		done, err := m.writeOnce(addr, offset, data)
+		if done {
+			return err
+		}
+		lastErr = err
+		m.met.fetchRetries.Inc()
+		if !m.pause(m.retryDelay(round)) {
+			break // shutting down: stop chasing the directory
+		}
+	}
+	return lastErr
+}
+
+// writeOnce attempts one write resolution. done=false means the failure
+// is plausibly transient (in-flight migration) and worth retrying.
+func (m *Manager) writeOnce(addr types.GlobalAddr, offset int, data []byte) (done bool, err error) {
 	s := m.shardFor(addr)
 	m.lockShard(s)
 	if o, ok := s.objects[addr]; ok {
 		if !writeAt(o, offset, data) {
 			s.mu.Unlock()
-			return fmt.Errorf("memory: write %v: offset %d + %d bytes out of bounds", addr, offset, len(data))
+			return true, fmt.Errorf("memory: write %v: offset %d + %d bytes out of bounds", addr, offset, len(data))
 		}
 		inv := getInvalidation()
 		inv.add(addr, m.takeCopysetLocked(s, inv, addr, types.InvalidSite))
+		// Local writes feed the heat table too: the owner's own traffic
+		// is the counterweight a remote writer must dominate before the
+		// object is pushed away.
+		m.noteWriteLocked(s, addr, m.bus.Self())
 		s.mu.Unlock()
 		m.counts.localWrites.Add(1)
 		m.met.localWrites.Inc()
 		m.sendInvalidates(inv)
-		return nil
+		return true, nil
 	}
 	// A stale local replica must not survive our own write-through.
-	delete(s.readCache, addr)
+	s.purgeReplicaLocked(addr)
 	dst := m.routeObjectLocked(s, addr)
 	s.mu.Unlock()
 	m.counts.remoteWrites.Add(1)
 	m.met.remoteWrites.Inc()
 	if dst == types.InvalidSite {
-		return &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+		return false, &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
 	}
 
 	for hop := 0; hop < maxRedirects; hop++ {
 		reply, err := m.bus.Request(dst, types.MgrMemory, types.MgrMemory,
 			&wire.MemWrite{Addr: addr, Offset: uint32(offset), Data: data}, 0)
 		if err != nil {
-			return err
+			return false, err
 		}
 		ack, ok := reply.Payload.(*wire.MemWriteAck)
 		if !ok {
-			return fmt.Errorf("%w: mem write reply %T", types.ErrBadMessage, reply.Payload)
+			return true, fmt.Errorf("%w: mem write reply %T", types.ErrBadMessage, reply.Payload)
 		}
 		if ack.OK {
-			return nil
+			return true, nil
 		}
 		if ack.Redirect == types.InvalidSite || ack.Redirect == dst {
-			return &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
+			return false, &types.AddrError{Err: types.ErrNoSuchObject, Addr: addr}
 		}
 		dst = ack.Redirect
 	}
-	return fmt.Errorf("memory: write %v: redirect chain too long", addr)
+	return false, fmt.Errorf("memory: write %v: redirect chain too long", addr)
 }
 
 // maxObjectSize bounds a memory object's backing array. An object must
@@ -968,6 +1237,7 @@ func (m *Manager) EvacuateTo(successor types.SiteID) error {
 	var frames []*wire.Microframe
 	var objects []wire.MemObject
 	self := m.bus.Self()
+	inv := getInvalidation()
 	for i := range m.shards {
 		s := &m.shards[i]
 		m.lockShard(s)
@@ -990,11 +1260,17 @@ func (m *Manager) EvacuateTo(successor types.SiteID) error {
 			} else {
 				s.remap[addr] = successor
 			}
+			// Replica holders keyed to this owner's copysets would never
+			// hear about the successor's writes; flush them now, while
+			// this site can still collect the acks.
+			inv.add(addr, m.takeCopysetLocked(s, inv, addr, successor))
 		}
 		s.frames = make(map[types.FrameID]*wire.Microframe)
 		s.objects = make(map[types.GlobalAddr]*wire.MemObject)
+		s.heat = make(map[types.GlobalAddr]map[types.SiteID]uint32)
 		s.mu.Unlock()
 	}
+	m.sendInvalidates(inv)
 
 	// Tell everyone where the addresses homed or owned here now live,
 	// before moving the data, so in-flight traffic re-routes.
@@ -1066,7 +1342,7 @@ func (m *Manager) Restore(frames []*wire.Microframe, objects []wire.MemObject) {
 		s := m.shardFor(o.Addr)
 		m.lockShard(s)
 		s.objects[o.Addr] = &o
-		delete(s.readCache, o.Addr)
+		s.purgeReplicaLocked(o.Addr)
 		s.mu.Unlock()
 	}
 	self := m.bus.Self()
@@ -1102,11 +1378,13 @@ func (m *Manager) DropProgram(prog types.ProgramID) {
 			if o.Program == prog {
 				delete(s.objects, addr)
 				delete(s.objOwner, addr)
+				delete(s.copies, addr)
+				delete(s.heat, addr)
 			}
 		}
 		// Replicas are not program-tagged; drop them all (cheap, and a
 		// terminated program's addresses never resolve again anyway).
-		s.readCache = make(map[types.GlobalAddr][]byte)
+		s.readCache = make(map[types.GlobalAddr]replica)
 		s.mu.Unlock()
 	}
 	m.logMu.Lock()
@@ -1189,21 +1467,146 @@ func (m *Manager) HandleMessage(msg *wire.Message) {
 		for _, f := range p.Frames {
 			m.AdoptFrame(f)
 		}
+	case *wire.MemReadReplica:
+		m.handleMemReadReplica(msg, p)
+	case *wire.MemHeatTransfer:
+		m.handleHeatTransfer(p)
 	}
 }
 
-// dropReplicas discards the local read copy of addr, if any.
+// dropReplicas discards the local read replica of addr, if any, and
+// poisons an in-flight fetch: the invalidation proves the owner already
+// removed this site from the copyset, so bytes still in flight would
+// install a replica no future write can reach.
 func (m *Manager) dropReplicas(addr types.GlobalAddr) {
 	s := m.shardFor(addr)
 	m.lockShard(s)
-	_, ok := s.readCache[addr]
-	if ok {
-		delete(s.readCache, addr)
-	}
+	had := s.purgeReplicaLocked(addr)
 	s.mu.Unlock()
-	if ok {
+	if had {
 		m.counts.invalidates.Add(1)
 		m.met.invalidates.Inc()
+		m.counts.replicaInvals.Add(1)
+		m.met.replicaInvals.Inc()
+	}
+}
+
+// DropSiteReplicas severs every coherence tie to a departed site: local
+// replicas it served are purged (a crashed owner may be restored from
+// an older checkpoint, so bytes it served can no longer be trusted),
+// in-flight fetches are poisoned, the site leaves every owner-side
+// copyset (a write must not spend its invalidation deadline waiting on
+// an ack that can never come), and its heat counters are forgotten so a
+// dead site cannot attract an object. The daemon calls this for both
+// crash declarations and graceful sign-offs.
+func (m *Manager) DropSiteReplicas(site types.SiteID) {
+	var dropped uint64
+	for i := range m.shards {
+		s := &m.shards[i]
+		m.lockShard(s)
+		for addr, rep := range s.readCache {
+			if rep.from == site {
+				delete(s.readCache, addr)
+				dropped++
+			}
+		}
+		for _, st := range s.fetching {
+			st.poisoned = true
+		}
+		for addr, cs := range s.copies {
+			if cs[site] {
+				delete(cs, site)
+				if len(cs) == 0 {
+					delete(s.copies, addr)
+				}
+			}
+		}
+		for addr, h := range s.heat {
+			if _, ok := h[site]; ok {
+				delete(h, site)
+				if len(h) == 0 {
+					delete(s.heat, addr)
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	if dropped > 0 {
+		m.counts.replicaInvals.Add(dropped)
+		m.met.replicaInvals.Add(dropped)
+	}
+}
+
+// handleMemReadReplica serves the replica protocol's fault-in: the
+// requester is registered in the copyset under the same lock that
+// snapshots the data, so a write committing after this point takes a
+// copyset that includes the requester — the replica being installed is
+// invalidated, never silently stale.
+func (m *Manager) handleMemReadReplica(msg *wire.Message, p *wire.MemReadReplica) {
+	s := m.shardFor(p.Addr)
+	m.lockShard(s)
+	if o, ok := s.objects[p.Addr]; ok {
+		if msg.Src.Valid() && msg.Src != m.bus.Self() {
+			cs, ok := s.copies[p.Addr]
+			if !ok {
+				cs = make(map[types.SiteID]bool)
+				s.copies[p.Addr] = cs
+			}
+			cs[msg.Src] = true
+		}
+		reply := &wire.MemReplicaData{Found: true, Version: o.Version,
+			Data: append([]byte(nil), o.Data...)}
+		s.mu.Unlock()
+		m.counts.localReads.Add(1)
+		m.met.localReads.Inc()
+		_ = m.bus.Reply(msg, types.MgrMemory, reply)
+		return
+	}
+	dst := m.routeObjectLocked(s, p.Addr)
+	s.mu.Unlock()
+
+	if dst == types.InvalidSite || dst == m.bus.Self() {
+		_ = m.bus.ReplyErr(msg, types.MgrMemory, wire.ErrCodeNoSuchObject, p.Addr.String())
+		return
+	}
+	_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemReplicaData{Found: true, Redirect: dst})
+}
+
+// handleHeatTransfer seeds the heat table for an object that just
+// migrated here because of its write heat. Counts are capped at the
+// decay window — they arrive off the wire and must not be trusted to
+// be sane — and only applied while the object is resident, so a stale
+// transfer cannot reheat an address that has already moved on.
+func (m *Manager) handleHeatTransfer(p *wire.MemHeatTransfer) {
+	n := len(p.Sites)
+	if len(p.Heats) < n {
+		n = len(p.Heats)
+	}
+	if n == 0 {
+		return
+	}
+	s := m.shardFor(p.Addr)
+	m.lockShard(s)
+	defer s.mu.Unlock()
+	if _, resident := s.objects[p.Addr]; !resident {
+		return
+	}
+	h := s.heat[p.Addr]
+	if h == nil {
+		h = make(map[types.SiteID]uint32)
+		s.heat[p.Addr] = h
+	}
+	for i := 0; i < n; i++ {
+		id, c := p.Sites[i], p.Heats[i]
+		if !id.Valid() || c == 0 {
+			continue
+		}
+		if c > heatWindow {
+			c = heatWindow
+		}
+		if h[id] += c; h[id] > heatWindow {
+			h[id] = heatWindow
+		}
 	}
 }
 
@@ -1269,8 +1672,10 @@ func (m *Manager) handleMemRead(msg *wire.Message, p *wire.MemRead) {
 				s.remap[p.Addr] = msg.Src
 			}
 			// Ownership moves: replicas keyed to this owner's copyset
-			// are dropped (the new owner starts a fresh copyset).
+			// are dropped (the new owner starts a fresh copyset), and
+			// the heat table goes with the ownership role.
 			inv.add(p.Addr, m.takeCopysetLocked(s, inv, p.Addr, msg.Src))
+			delete(s.heat, p.Addr)
 			s.mu.Unlock()
 			m.counts.migrations.Add(1)
 			m.met.migrations.Inc()
@@ -1310,20 +1715,30 @@ func (m *Manager) handleMemWrite(msg *wire.Message, p *wire.MemWrite) {
 			return
 		}
 		inv := getInvalidation()
-		inv.add(p.Addr, m.takeCopysetLocked(s, inv, p.Addr, msg.Src))
+		// The writer itself is not skipped: it dropped its own replica
+		// before writing through, but a concurrent reader on its site may
+		// have re-installed one in the meantime — that copy is as stale
+		// as anyone else's.
+		inv.add(p.Addr, m.takeCopysetLocked(s, inv, p.Addr, types.InvalidSite))
+		migrateTo := m.noteWriteLocked(s, p.Addr, msg.Src)
 		s.mu.Unlock()
 		m.counts.localWrites.Add(1)
 		m.met.localWrites.Inc()
-		if inv.empty() {
+		if inv.empty() && migrateTo == types.InvalidSite {
 			putInvalidation(inv)
 			_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: true})
 			return
 		}
 		// Collect invalidation acks off the dispatcher, then ack the
 		// writer: once the writer proceeds, no stale replica survives.
+		// A heat-triggered push runs after the ack — placement is an
+		// optimisation, not part of the write's consistency contract.
 		go func() {
 			m.sendInvalidates(inv)
 			_ = m.bus.Reply(msg, types.MgrMemory, &wire.MemWriteAck{OK: true})
+			if migrateTo != types.InvalidSite {
+				m.migrateHome(p.Addr, migrateTo)
+			}
 		}()
 		return
 	}
@@ -1345,7 +1760,7 @@ func (m *Manager) handleMigrate(p *wire.MemMigrate) {
 		s := m.shardFor(o.Addr)
 		m.lockShard(s)
 		s.objects[o.Addr] = &o
-		delete(s.readCache, o.Addr)
+		s.purgeReplicaLocked(o.Addr)
 		if o.Addr.Home == self {
 			delete(s.objOwner, o.Addr) // we own it again
 		} else {

@@ -3,8 +3,10 @@ package memory
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,12 +20,38 @@ func randBytes(rng *rand.Rand, n int) []byte {
 	return out
 }
 
-// TestShardedModelEquivalence drives a seeded random sequence of
-// Alloc/Read/Write/Attract operations from both sites of a two-site
-// cluster against a plain single-map reference model. The sharded
-// manager must agree with the model after every read, and after a full
-// evacuation the survivor must still serve exactly the model contents.
+// TestShardedModelEquivalence is the coherence protocol's consistency
+// harness. Two phases:
+//
+//   - sequential: a seeded random Alloc/Read/Write/Attract sequence from
+//     both sites of a two-site cluster against a plain single-map
+//     reference model, byte-for-byte, including after a full evacuation;
+//   - histories: seeded concurrent histories on a three-site cluster.
+//     Writers serialize per address and publish a monotonically
+//     increasing sequence number; readers and attractors on every site
+//     assert each observed value lies between the last committed write
+//     (a stale read below this bound means a replica survived an
+//     invalidation barrier) and the highest issued write, and never
+//     travels backwards within one goroutine. After the history drains,
+//     every site must read exactly the committed value — plain and
+//     under -race, across 200 seeds.
 func TestShardedModelEquivalence(t *testing.T) {
+	t.Run("sequential", testModelEquivalenceSequential)
+	t.Run("histories", func(t *testing.T) {
+		iters := 200
+		if testing.Short() {
+			iters = 20
+		}
+		for i := 0; i < iters; i++ {
+			consistencyHistory(t, int64(i)*31+42)
+			if t.Failed() {
+				t.Fatalf("history with seed %d failed", int64(i)*31+42)
+			}
+		}
+	})
+}
+
+func testModelEquivalenceSequential(t *testing.T) {
 	_, mems, _ := memCluster(t, 2)
 	a, b := mems[0], mems[1]
 	rng := rand.New(rand.NewSource(42))
@@ -93,6 +121,168 @@ func TestShardedModelEquivalence(t *testing.T) {
 		}
 		if !bytes.Equal(got, model[addr]) {
 			t.Fatalf("post-evacuation read %v = %x, model %x", addr, got, model[addr])
+		}
+	}
+}
+
+// consistencyHistory replays one seeded concurrent read/write/migrate
+// history against a three-site cluster and checks per-address
+// sequential consistency. Writers hold a per-address mutex, so writes to
+// one address are totally ordered; `issued` is advanced before Write
+// starts and `committed` after Write returns, giving every concurrent
+// read a correctness window: it may see any value a write has started
+// publishing, but never one older than the last write whose
+// invalidation barrier completed before the read began.
+func consistencyHistory(t *testing.T, seed int64) {
+	t.Helper()
+	_, mems, _ := memCluster(t, 3)
+	rng := rand.New(rand.NewSource(seed))
+
+	const (
+		numAddrs = 6
+		workers  = 4
+		opsEach  = 30
+	)
+	type addrState struct {
+		mu        sync.Mutex
+		issued    atomic.Uint64
+		committed atomic.Uint64
+	}
+	addrs := make([]types.GlobalAddr, numAddrs)
+	states := make([]*addrState, numAddrs)
+	for i := range addrs {
+		addrs[i] = mems[rng.Intn(len(mems))].Alloc(prog(), make([]byte, 8))
+		states[i] = &addrState{}
+	}
+
+	// Pre-generate each worker's op stream single-threaded, so the RNG
+	// stays deterministic; the schedule interleaving still varies, but
+	// the invariants must hold under every interleaving.
+	type op struct{ kind, site, addr int }
+	plans := make([][]op, workers)
+	for w := range plans {
+		plans[w] = make([]op, opsEach)
+		for i := range plans[w] {
+			plans[w][i] = op{kind: rng.Intn(10), site: rng.Intn(len(mems)), addr: rng.Intn(numAddrs)}
+		}
+	}
+
+	var (
+		wg     sync.WaitGroup
+		failMu sync.Mutex
+		fails  []string
+	)
+	fail := func(format string, args ...any) {
+		failMu.Lock()
+		fails = append(fails, fmt.Sprintf(format, args...))
+		failMu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// lastSeen is keyed per (addr, site): while a write's
+			// invalidation barrier is still in flight, the owner already
+			// serves the new value but a replica elsewhere may serve the
+			// old one, so cross-site observations only become comparable
+			// once the write commits (the lo bound). Within one site,
+			// values must never go backwards.
+			lastSeen := make([]uint64, numAddrs*len(mems))
+			check := func(what string, idx, site int, data []byte, lo, hi uint64) {
+				v := binary.BigEndian.Uint64(data)
+				if v < lo {
+					fail("worker %d: stale %s of %v: seq %d, but %d was committed before the %s began",
+						w, what, addrs[idx], v, lo, what)
+				}
+				if v > hi {
+					fail("worker %d: phantom %s of %v: seq %d, but only %d was ever issued", w, what, addrs[idx], v, hi)
+				}
+				k := idx*len(mems) + site
+				if v < lastSeen[k] {
+					fail("worker %d: %s of %v at site %d went backwards: %d after %d",
+						w, what, addrs[idx], site+1, v, lastSeen[k])
+				}
+				lastSeen[k] = v
+			}
+			for _, o := range plans[w] {
+				st, m := states[o.addr], mems[o.site]
+				switch {
+				case o.kind < 4: // write the next sequence value
+					st.mu.Lock()
+					seq := st.issued.Load() + 1
+					st.issued.Store(seq)
+					var buf [8]byte
+					binary.BigEndian.PutUint64(buf[:], seq)
+					err := m.Write(addrs[o.addr], 0, buf[:])
+					if err == nil {
+						st.committed.Store(seq)
+					}
+					st.mu.Unlock()
+					if err != nil {
+						fail("worker %d: write %v: %v", w, addrs[o.addr], err)
+						return
+					}
+				case o.kind < 9: // read
+					lo := st.committed.Load()
+					data, err := m.Read(addrs[o.addr])
+					if err != nil {
+						fail("worker %d: read %v: %v", w, addrs[o.addr], err)
+						return
+					}
+					check("read", o.addr, o.site, data, lo, st.issued.Load())
+				default: // attract: ownership migration mid-history
+					lo := st.committed.Load()
+					data, err := m.Attract(addrs[o.addr])
+					if err != nil {
+						fail("worker %d: attract %v: %v", w, addrs[o.addr], err)
+						return
+					}
+					check("attract", o.addr, o.site, data, lo, st.issued.Load())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, f := range fails {
+		t.Errorf("seed %d: %s", seed, f)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent: every write has returned, so its invalidation barrier
+	// completed. Every site must now read exactly the committed value;
+	// anything less is a replica that survived an invalidation.
+	for idx, addr := range addrs {
+		want := states[idx].committed.Load()
+		for si, m := range mems {
+			data, err := m.Read(addr)
+			if err != nil {
+				t.Fatalf("seed %d: quiescent read %v at site %d: %v", seed, addr, si+1, err)
+			}
+			if v := binary.BigEndian.Uint64(data); v != want {
+				t.Fatalf("seed %d: quiescent read %v at site %d = seq %d, want %d (stale replica survived the barrier)",
+					seed, addr, si+1, v, want)
+			}
+		}
+	}
+
+	// Graceful sign-off: drain the third site; survivors must still
+	// agree (evacuation flushes its copysets and re-homes its objects).
+	if err := mems[2].EvacuateTo(1); err != nil {
+		t.Fatalf("seed %d: evacuate: %v", seed, err)
+	}
+	for idx, addr := range addrs {
+		want := states[idx].committed.Load()
+		for si, m := range mems[:2] {
+			data, err := m.Read(addr)
+			if err != nil {
+				t.Fatalf("seed %d: post-evacuation read %v at site %d: %v", seed, addr, si+1, err)
+			}
+			if v := binary.BigEndian.Uint64(data); v != want {
+				t.Fatalf("seed %d: post-evacuation read %v at site %d = seq %d, want %d",
+					seed, addr, si+1, v, want)
+			}
 		}
 	}
 }

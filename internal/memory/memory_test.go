@@ -584,3 +584,172 @@ func TestOwnerLocalWriteInvalidatesBeforeReturn(t *testing.T) {
 		t.Fatalf("read after owner write = %q", got)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Replica coherence: crash purges, fetch poisoning, evacuation flush,
+// heat-driven home migration.
+
+func TestReplicaPurgeOnCrash(t *testing.T) {
+	_, mems, _ := memCluster(t, 2)
+	owner, reader := mems[0], mems[1]
+
+	addr := owner.Alloc(prog(), []byte("warm"))
+	if _, err := reader.Read(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Read(addr); err != nil {
+		t.Fatal(err)
+	}
+	if reader.Stats().ReplicaHits == 0 {
+		t.Fatal("second read was not served from the replica")
+	}
+
+	// The owner is declared crashed: bytes it served may predate the
+	// checkpoint recovery restores from, so the replica must go.
+	reader.OnSiteCrashed(1, nil)
+	if reader.Stats().ReplicaInvals == 0 {
+		t.Fatal("crash purge not counted in ReplicaInvals")
+	}
+	s := reader.shardFor(addr)
+	reader.lockShard(s)
+	_, cached := s.readCache[addr]
+	s.mu.Unlock()
+	if cached {
+		t.Fatal("replica survived the owner's crash declaration")
+	}
+}
+
+func TestReplicaCopysetPurgeOnCrash(t *testing.T) {
+	_, mems, _ := memCluster(t, 2)
+	owner, reader := mems[0], mems[1]
+
+	addr := owner.Alloc(prog(), []byte("tracked"))
+	if _, err := reader.Read(addr); err != nil {
+		t.Fatal(err)
+	}
+	s := owner.shardFor(addr)
+	owner.lockShard(s)
+	registered := s.copies[addr][2]
+	s.mu.Unlock()
+	if !registered {
+		t.Fatal("reader never entered the owner's copyset")
+	}
+
+	// The reader departs; if it lingered in the copyset, every future
+	// write would wait out the invalidation deadline for an ack that can
+	// never come.
+	owner.DropSiteReplicas(2)
+	owner.lockShard(s)
+	_, still := s.copies[addr]
+	s.mu.Unlock()
+	if still {
+		t.Fatal("departed site still in the owner's copyset")
+	}
+}
+
+func TestReplicaFetchPoisoning(t *testing.T) {
+	_, mems, _ := memCluster(t, 2)
+	reader := mems[1]
+	addr := mems[0].Alloc(prog(), []byte("inflight"))
+
+	s := reader.shardFor(addr)
+	st := &fetchState{done: make(chan struct{})}
+	reader.lockShard(s)
+	s.fetching[addr] = st
+	s.mu.Unlock()
+
+	// An invalidation landing mid-fetch must poison the in-flight fetch
+	// so its (possibly pre-write) result is never installed as a replica.
+	reader.dropReplicas(addr)
+
+	reader.lockShard(s)
+	poisoned := st.poisoned
+	delete(s.fetching, addr)
+	s.mu.Unlock()
+	close(st.done)
+	if !poisoned {
+		t.Fatal("in-flight fetch not poisoned by the invalidation")
+	}
+}
+
+func TestReplicaFlushOnEvacuation(t *testing.T) {
+	_, mems, _ := memCluster(t, 3)
+	owner, successor, reader := mems[0], mems[1], mems[2]
+
+	addr := owner.Alloc(prog(), []byte("old"))
+	if _, err := reader.Read(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sign-off flushes the copyset with acks, so the reader's replica is
+	// gone by the time EvacuateTo returns — not eventually, now.
+	if err := owner.EvacuateTo(2); err != nil {
+		t.Fatal(err)
+	}
+	s := reader.shardFor(addr)
+	reader.lockShard(s)
+	_, cached := s.readCache[addr]
+	s.mu.Unlock()
+	if cached {
+		t.Fatal("replica survived the owner's evacuation")
+	}
+
+	if err := successor.Write(addr, 0, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.Read(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("read after evacuation + write = %q, want %q", got, "new")
+	}
+}
+
+func TestHeatMigrationMovesHome(t *testing.T) {
+	_, mems, _ := memCluster(t, 2)
+	home, writer := mems[0], mems[1]
+
+	addr := home.Alloc(prog(), []byte{0})
+	// A remote writer that dominates the address's traffic pulls the
+	// home to itself once it crosses the heat threshold. Exactly
+	// heatMigrateMin writes suffice when nobody else writes at all.
+	for i := 0; i < heatMigrateMin; i++ {
+		if err := writer.Write(addr, 0, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testnet.WaitFor(t, "object pushed to the dominant writer", func() bool {
+		return writer.ObjectCount() == 1 && home.ObjectCount() == 0
+	})
+	if home.Stats().HomeMigrations == 0 {
+		t.Fatal("home migration not counted")
+	}
+
+	// The heat table travels with the object: with no further writes
+	// issued, heat at the new owner can only come from the transfer.
+	testnet.WaitFor(t, "heat table travelled with the object", func() bool {
+		s := writer.shardFor(addr)
+		writer.lockShard(s)
+		n := s.heat[addr][2]
+		s.mu.Unlock()
+		return n > 0
+	})
+
+	// Writes land locally at the new owner now, and the old home still
+	// observes them through the directory.
+	before := writer.Stats().LocalWrites
+	if err := writer.Write(addr, 0, []byte("Z")); err != nil {
+		t.Fatal(err)
+	}
+	if writer.Stats().LocalWrites != before+1 {
+		t.Fatal("write after migration did not land locally")
+	}
+	got, err := home.Read(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'Z' {
+		t.Fatalf("old home reads %v after migration write", got)
+	}
+}

@@ -28,6 +28,8 @@ func benchMessages() []*Message {
 		&HelpReply{Frames: []*Microframe{frame, frame.Clone(), frame.Clone(), frame.Clone()}},
 		&MemInvalidateBatch{Addrs: addrs},
 		&MemWrite{Addr: addr, Offset: 16, Data: make([]byte, 256)},
+		&MemReadReplica{Addr: addr},
+		&MemReplicaData{Found: true, Version: 9, Data: make([]byte, 256)},
 	}
 	out := make([]*Message, len(payloads))
 	for i, p := range payloads {

@@ -72,6 +72,14 @@ func malformedSeeds() map[string][]byte {
 	// 29-byte rows ≈ 7.8 GiB with no bytes behind it.
 	seeds["gossipdigest-huge-count"] = rawMsg(uint16(KindGossipDigest),
 		append(make([]byte, 8), le32(0x0FFFFFFF)...))
+	// MemReplicaData: Found=1, Redirect=0, Version 8, then a Bytes32
+	// length of ~256 MiB with no bytes behind it.
+	seeds["memreplicadata-huge-data"] = rawMsg(uint16(KindMemReplicaData),
+		append(append([]byte{1}, make([]byte, 12)...), le32(0x0FFFFFF0)...))
+	// MemHeatTransfer: Addr 12, then a heat-table count of 2^28
+	// 8-byte (site, heat) pairs ≈ 2 GiB with no bytes behind it.
+	seeds["memheattransfer-huge-count"] = rawMsg(uint16(KindMemHeatTransfer),
+		append(make([]byte, 12), le32(0x0FFFFFFF)...))
 	seeds["empty"] = []byte{}
 	seeds["truncated-header"] = []byte{1, 2, 3, 4, 5}
 	seeds["unknown-kind"] = rawMsg(0xFFFF, nil)

@@ -102,6 +102,16 @@ const (
 	KindGossipDigest
 	KindGossipDelta
 
+	// Home-based coherence (attraction memory v2): a reader faults in
+	// a cached read replica from the owning site instead of migrating
+	// the object, the owner answers with data + version (or a
+	// redirect), and when ownership moves because a remote writer's
+	// access heat dominates, the decayed heat table travels with the
+	// object so the new owner does not restart cold.
+	KindMemReadReplica
+	KindMemReplicaData
+	KindMemHeatTransfer
+
 	kindCount
 )
 
@@ -160,6 +170,9 @@ var kindNames = map[Kind]string{
 	KindMemInvalidateBatch: "mem-invalidate-batch",
 	KindGossipDigest:       "gossip-digest",
 	KindGossipDelta:        "gossip-delta",
+	KindMemReadReplica:     "mem-read-replica",
+	KindMemReplicaData:     "mem-replica-data",
+	KindMemHeatTransfer:    "mem-heat-transfer",
 }
 
 func (k Kind) String() string {

@@ -101,6 +101,12 @@ func samplePayloads() []Payload {
 			{Site: 6, Incarnation: 7, Status: 1, OriginRound: 30, Load: 0.9, QueueLen: 12, Programs: 2},
 		}, Sites: sites[:1]},
 		&GossipDelta{From: 9},
+		&MemReadReplica{Addr: addr},
+		&MemReplicaData{Found: true, Version: 5, Data: []byte{7, 8, 9}},
+		&MemReplicaData{Found: true, Redirect: 6},
+		&MemReplicaData{Found: false},
+		&MemHeatTransfer{Addr: addr, Sites: []types.SiteID{1, 4}, Heats: []uint32{12, 3}},
+		&MemHeatTransfer{Addr: addr},
 	}
 }
 

@@ -1296,3 +1296,101 @@ func (p *InputReply) UnmarshalWire(r *Reader) {
 	p.OK = r.Bool()
 	p.Line = r.String()
 }
+
+// ---------------------------------------------------------------------------
+// Home-based coherence payloads (attraction memory v2): read replicas
+// fault in via MemReadReplica/MemReplicaData instead of migrating the
+// object, and MemHeatTransfer ships the owner's decayed access-heat
+// table alongside a heat-triggered ownership push so the new owner does
+// not restart its migration decision from a cold counter.
+
+func init() {
+	register(KindMemReadReplica, func() Payload { return &MemReadReplica{} })
+	register(KindMemReplicaData, func() Payload { return &MemReplicaData{} })
+	register(KindMemHeatTransfer, func() Payload { return &MemHeatTransfer{} })
+}
+
+// MemReadReplica asks the owning site for a cached read replica of one
+// object. Unlike MemRead{Migrate:false} the owner registers the
+// requester in the object's replica set under the same lock that
+// serves the data, so a later write cannot commit without invalidating
+// this copy first.
+type MemReadReplica struct {
+	Addr types.GlobalAddr
+}
+
+func (*MemReadReplica) Kind() Kind { return KindMemReadReplica }
+
+func (p *MemReadReplica) MarshalWire(w *Writer) { w.Addr(p.Addr) }
+
+func (p *MemReadReplica) UnmarshalWire(r *Reader) { p.Addr = r.Addr() }
+
+// MemReplicaData answers MemReadReplica: the object bytes plus the
+// version they correspond to, a redirect to the current owner, or
+// not-found. Version lets the requester tag its replica so stale
+// installs racing an invalidation can be detected and discarded.
+type MemReplicaData struct {
+	Found    bool
+	Redirect types.SiteID // nonzero: ask this site instead
+	Version  uint64       // valid when Found and Redirect==0
+	Data     []byte       // valid when Found and Redirect==0
+}
+
+func (*MemReplicaData) Kind() Kind { return KindMemReplicaData }
+
+func (p *MemReplicaData) MarshalWire(w *Writer) {
+	w.Bool(p.Found)
+	w.SiteID(p.Redirect)
+	if p.Found && p.Redirect == types.InvalidSite {
+		w.Uint64(p.Version)
+		w.Bytes32(p.Data)
+	}
+}
+
+func (p *MemReplicaData) UnmarshalWire(r *Reader) {
+	p.Found = r.Bool()
+	p.Redirect = r.SiteID()
+	if p.Found && p.Redirect == types.InvalidSite {
+		p.Version = r.Uint64()
+		p.Data = r.Bytes32()
+	}
+}
+
+// heatEntryWireSize is the encoded size of one (site, heat) pair.
+const heatEntryWireSize = 4 + 4
+
+// MemHeatTransfer accompanies a heat-triggered MemMigrate: the decayed
+// per-writer access counters the old owner accumulated for the object,
+// so the new owner seeds its own heat table instead of needing a full
+// window of writes before it can judge the next migration.
+type MemHeatTransfer struct {
+	Addr  types.GlobalAddr
+	Sites []types.SiteID
+	Heats []uint32 // parallel to Sites
+}
+
+func (*MemHeatTransfer) Kind() Kind { return KindMemHeatTransfer }
+
+func (p *MemHeatTransfer) MarshalWire(w *Writer) {
+	w.Addr(p.Addr)
+	n := len(p.Sites)
+	if len(p.Heats) < n {
+		n = len(p.Heats)
+	}
+	w.Uint32(uint32(n))
+	for i := 0; i < n; i++ {
+		w.SiteID(p.Sites[i])
+		w.Uint32(p.Heats[i])
+	}
+}
+
+func (p *MemHeatTransfer) UnmarshalWire(r *Reader) {
+	p.Addr = r.Addr()
+	n := r.SliceLen(heatEntryWireSize, "heat table")
+	p.Sites = grow(p.Sites, n)
+	p.Heats = grow(p.Heats, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p.Sites[i] = r.SiteID()
+		p.Heats[i] = r.Uint32()
+	}
+}
